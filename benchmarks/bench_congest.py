@@ -1,0 +1,52 @@
+"""Experiment THM3: distributed construction rounds in the CONGEST model (Theorem 3).
+
+Theorem 3 bounds the distributed construction by Õ(√m·D + f²) rounds.  The
+benchmark runs the simulated construction for growing graphs, reports the
+per-phase measured rounds (BFS, ancestry, pipelined outdetect aggregation) and
+the analytically-charged hierarchy budget, and checks that the measured
+communication stays under the theorem's bound.
+"""
+
+import pytest
+
+from common import cached_graph, print_table
+from repro.congest import DistributedLabelConstruction
+
+SEED = 31
+MAX_FAULTS = 2
+SIZES = [32, 64, 96]
+
+
+@pytest.mark.benchmark(group="thm3-congest")
+@pytest.mark.parametrize("n", SIZES)
+def test_distributed_construction_rounds(benchmark, n):
+    graph = cached_graph("erdos-renyi", n, SEED, density=2.0)
+    construction = benchmark.pedantic(
+        lambda: DistributedLabelConstruction(graph, max_faults=MAX_FAULTS),
+        rounds=1, iterations=1)
+    report = construction.report()
+    benchmark.extra_info.update({"n": n, **report["rounds"]})
+    measured = (report["rounds"]["bfs"] + report["rounds"]["ancestry_subtree_sizes"]
+                + report["rounds"]["outdetect_aggregation"])
+    assert measured <= report["theoretical_bound"]
+
+
+@pytest.mark.benchmark(group="thm3-congest")
+def test_congest_round_table(benchmark):
+    rows = []
+    for n in SIZES:
+        graph = cached_graph("erdos-renyi", n, SEED, density=2.0)
+        construction = DistributedLabelConstruction(graph, max_faults=MAX_FAULTS)
+        report = construction.report()
+        rows.append([n, graph.num_edges(), report["rounds"]["bfs"],
+                     report["rounds"]["ancestry_subtree_sizes"],
+                     report["rounds"]["outdetect_aggregation"],
+                     report["rounds"]["hierarchy_budget"],
+                     report["total_rounds"], "%.0f" % report["theoretical_bound"]])
+    print_table("Theorem 3 / CONGEST construction rounds (f=%d)" % MAX_FAULTS,
+                ["n", "m", "BFS", "ancestry", "aggregation", "hierarchy budget",
+                 "total", "Õ(√m·D + f²) bound"], rows)
+    benchmark.extra_info["rows"] = rows
+    graph = cached_graph("erdos-renyi", 32, SEED, density=2.0)
+    benchmark(lambda: DistributedLabelConstruction(graph, max_faults=MAX_FAULTS))
+    assert all(row[6] <= float(row[7]) * 2 for row in rows)

@@ -1,0 +1,58 @@
+"""Experiment COR1: fault-tolerant approximate distance labeling (Corollary 1).
+
+Corollary 1 turns any f-FTC labeling into an O(|F| k)-approximate distance
+labeling with Õ(f^2 n^{1/k}) label bits.  The benchmark builds the reduction
+on grid and sparse random graphs, measures label sizes, and reports the
+observed stretch distribution of the distance estimates — the reproduced shape
+is a bounded stretch that grows with |F| and k, never an unbounded error, and
+exact agreement on reachability.
+"""
+
+import pytest
+
+from common import cached_graph, print_table
+from repro.applications import FaultTolerantDistanceLabeling
+from repro.workloads import FaultModel, make_query_workload
+
+SEED = 23
+MAX_FAULTS = 2
+
+
+@pytest.mark.benchmark(group="cor1-distance")
+@pytest.mark.parametrize("family,n", [("grid", 49), ("tree-chords", 60)])
+def test_distance_labeling_build(benchmark, family, n):
+    graph = cached_graph(family, n, SEED, density=1.4)
+    scheme = benchmark.pedantic(
+        lambda: FaultTolerantDistanceLabeling(graph, max_faults=MAX_FAULTS,
+                                              stretch_parameter=2),
+        rounds=1, iterations=1)
+    stats = scheme.label_size_stats()
+    benchmark.extra_info.update(stats)
+    assert stats["scales"] >= 1
+
+
+@pytest.mark.benchmark(group="cor1-distance")
+def test_distance_stretch_table(benchmark):
+    rows = []
+    for family, n in [("grid", 49), ("tree-chords", 60)]:
+        graph = cached_graph(family, n, SEED, density=1.4)
+        scheme = FaultTolerantDistanceLabeling(graph, max_faults=MAX_FAULTS,
+                                               stretch_parameter=2)
+        workload = make_query_workload(graph, num_queries=30, max_faults=MAX_FAULTS,
+                                       model=FaultModel.TREE_BIASED, seed=SEED)
+        report = scheme.stretch_report(workload.queries)
+        stats = scheme.label_size_stats()
+        rows.append([family, graph.num_vertices(), stats["max_vertex_label_bits"],
+                     report["finite_queries"], "%.2f" % report["mean_stretch"],
+                     "%.2f" % report["max_stretch"], report["unreachable_agreements"]])
+    print_table("Corollary 1 / approximate distance labeling (f=%d, k=2)" % MAX_FAULTS,
+                ["family", "n", "max label bits", "answered", "mean stretch",
+                 "max stretch", "unreachable agreed"], rows)
+    benchmark.extra_info["rows"] = rows
+    graph = cached_graph("grid", 49, SEED, density=1.4)
+    scheme = FaultTolerantDistanceLabeling(graph, max_faults=MAX_FAULTS, stretch_parameter=2)
+    workload = make_query_workload(graph, num_queries=10, max_faults=MAX_FAULTS, seed=SEED)
+    benchmark(lambda: [scheme.estimate_distance(s, t, F) for s, t, F in workload.queries])
+    # The stretch must stay within the O(|F| k) envelope (with our explicit constants).
+    for row in rows:
+        assert float(row[5]) <= 4 * (2 * MAX_FAULTS + 1) * 2 + 1

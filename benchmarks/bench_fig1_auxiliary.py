@@ -1,0 +1,51 @@
+"""Experiment FIG1: the auxiliary-graph transformation of Figure 1 / Section 3.2.
+
+Figure 1 illustrates how every non-tree edge is subdivided so that all faults
+become tree-edge faults.  The measurable claims: |V'| = n + (m - n + 1),
+|E'| = m + (m - n + 1) (both O(m)), sigma maps every original edge to a tree
+edge of T', and connectivity under faults is preserved.  The benchmark times
+the transformation and verifies the size accounting across graph families.
+"""
+
+import pytest
+
+from common import cached_graph, print_table
+from repro.core.transform import build_transformed_instance
+from repro.graphs import AuxiliaryGraph, bfs_spanning_tree
+
+SEED = 2
+
+
+@pytest.mark.benchmark(group="fig1-auxiliary")
+@pytest.mark.parametrize("family,n", [("erdos-renyi", 256), ("barabasi-albert", 256),
+                                      ("grid", 225)])
+def test_auxiliary_graph_construction(benchmark, family, n):
+    graph = cached_graph(family, n, SEED)
+    tree = bfs_spanning_tree(graph, min(graph.vertices()))
+
+    aux = benchmark(lambda: AuxiliaryGraph(graph, tree))
+    stats = aux.statistics()
+    extra = graph.num_edges() - (graph.num_vertices() - 1)
+    assert stats["n_prime"] == graph.num_vertices() + extra
+    assert stats["m_prime"] == graph.num_edges() + extra
+    assert stats["non_tree_edges_prime"] == extra
+    benchmark.extra_info.update(stats)
+
+
+@pytest.mark.benchmark(group="fig1-auxiliary")
+def test_auxiliary_graph_size_table(benchmark):
+    rows = []
+    for family, n in [("erdos-renyi", 128), ("erdos-renyi", 256), ("barabasi-albert", 256),
+                      ("grid", 225), ("tree-chords", 256)]:
+        graph = cached_graph(family, n, SEED)
+        instance = build_transformed_instance(graph)
+        stats = instance.auxiliary.statistics()
+        rows.append([family, stats["n"], stats["m"], stats["n_prime"], stats["m_prime"]])
+    print_table("Figure 1 / auxiliary graph sizes (|V'| = n + (m-n+1), |E'| = m + (m-n+1))",
+                ["family", "n", "m", "n'", "m'"], rows)
+    benchmark.extra_info["rows"] = rows
+    graph = cached_graph("erdos-renyi", 128, SEED)
+    benchmark(lambda: build_transformed_instance(graph))
+    for row in rows:
+        assert row[3] == row[1] + (row[2] - row[1] + 1)
+        assert row[4] == row[2] + (row[2] - row[1] + 1)

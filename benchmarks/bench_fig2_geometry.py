@@ -1,0 +1,74 @@
+"""Experiment FIG2: the Euler-tour geometric interpretation of Figure 2 / Lemma 3.
+
+Figure 2 shows how non-tree edges become points in the plane and how a cut set
+becomes a "checkered" symmetric-difference region.  The measurable claims:
+the embedding assigns distinct coordinates in [1, 2n-2], and for every sampled
+vertex set S the set of non-tree edges crossing the cut equals the set of
+embedded points falling inside the symmetric-difference region of S's directed
+tree boundary (Lemma 3, verified exactly).  The benchmark times the embedding
+and the region-membership evaluation.
+"""
+
+import random
+
+import pytest
+
+from common import cached_graph, print_table
+from repro.epsnet.shapes import shape_from_cut_positions
+from repro.graphs import EulerTour, bfs_spanning_tree
+from repro.graphs.spanning_tree import non_tree_edges
+
+SEED = 4
+
+
+def _instance(n):
+    graph = cached_graph("erdos-renyi", n, SEED)
+    tree = bfs_spanning_tree(graph, min(graph.vertices()))
+    tour = EulerTour(tree)
+    extra = non_tree_edges(graph, tree)
+    return graph, tree, tour, extra
+
+
+@pytest.mark.benchmark(group="fig2-geometry")
+@pytest.mark.parametrize("n", [128, 256])
+def test_embedding_throughput(benchmark, n):
+    graph, tree, tour, extra = _instance(n)
+    points = benchmark(lambda: tour.embed_edges(extra))
+    assert len(points) == len(extra)
+    coordinates = {tour.coordinate(v) for v in tree.vertices() if v != tree.root}
+    assert len(coordinates) == tree.num_vertices() - 1
+    assert all(1 <= c <= 2 * tree.num_vertices() - 2 for c in coordinates)
+
+
+@pytest.mark.benchmark(group="fig2-geometry")
+def test_lemma3_region_membership(benchmark):
+    """Exact verification of Lemma 3 on sampled vertex sets, plus timing."""
+    graph, tree, tour, extra = _instance(128)
+    points = tour.embed_edges(extra)
+    rng = random.Random(SEED)
+    vertices = sorted(graph.vertices())
+    sampled_sets = []
+    for _ in range(40):
+        size = rng.randint(1, len(vertices) // 2)
+        sampled_sets.append(set(rng.sample(vertices, size)) | {tree.root})
+
+    def verify_all():
+        agreements = 0
+        checks = 0
+        for vertex_set in sampled_sets:
+            cut_positions = tour.directed_cut_positions(vertex_set)
+            shape = shape_from_cut_positions(cut_positions)
+            for edge in extra:
+                in_cut = (edge[0] in vertex_set) != (edge[1] in vertex_set)
+                in_region = shape.contains(points[edge])
+                checks += 1
+                if in_cut == in_region:
+                    agreements += 1
+        return agreements, checks
+
+    agreements, checks = benchmark(verify_all)
+    print_table("Figure 2 / Lemma 3 verification",
+                ["sampled sets", "point-membership checks", "agreements"],
+                [[len(sampled_sets), checks, agreements]])
+    benchmark.extra_info["checks"] = checks
+    assert agreements == checks  # Lemma 3 is exact, not probabilistic.

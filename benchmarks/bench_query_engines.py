@@ -1,0 +1,67 @@
+"""Experiment LEM6: basic versus refined query engine (Section 6 / Lemma 6).
+
+The refined engine always expands the component fragment with the smallest
+tree boundary and relies on adaptive outdetect decoding; Lemma 6 says this
+shaves a factor |F| off the query time.  The benchmark compares both engines
+on the same deterministic labels for growing |F|; the reproduced claim is that
+the refined engine's advantage grows with |F| (and both return identical,
+correct answers).
+"""
+
+import time
+
+import pytest
+
+from common import cached_graph, cached_labeling, print_table
+from repro.workloads import FaultModel, make_query_workload
+
+FAMILY = "erdos-renyi"
+N = 96
+SEED = 17
+MAX_FAULTS = 6
+
+
+def _workload(fault_count, num_queries=10):
+    graph = cached_graph(FAMILY, N, SEED)
+    return graph, make_query_workload(graph, num_queries=num_queries, max_faults=fault_count,
+                                      model=FaultModel.TREE_BIASED, seed=SEED + fault_count)
+
+
+@pytest.mark.benchmark(group="lemma6-query-engines")
+@pytest.mark.parametrize("engine", ["basic", "fast"])
+@pytest.mark.parametrize("fault_count", [2, 4, 6])
+def test_engine_timing(benchmark, engine, fault_count):
+    graph, workload = _workload(fault_count)
+    labeling = cached_labeling(FAMILY, N, SEED, MAX_FAULTS, "det-nearlinear")
+    use_fast = engine == "fast"
+
+    def run():
+        return [labeling.connected(s, t, faults, use_fast_engine=use_fast)
+                for s, t, faults in workload.queries]
+
+    answers = benchmark(run)
+    benchmark.extra_info.update({"engine": engine, "fault_count": fault_count})
+    assert answers == workload.ground_truth
+
+
+@pytest.mark.benchmark(group="lemma6-query-engines")
+def test_engines_agree_and_summary(benchmark):
+    labeling = cached_labeling(FAMILY, N, SEED, MAX_FAULTS, "det-nearlinear")
+    rows = []
+    for fault_count in (2, 4, 6):
+        graph, workload = _workload(fault_count, num_queries=8)
+        timings = {}
+        for engine, use_fast in (("basic", False), ("fast", True)):
+            start = time.perf_counter()
+            answers = [labeling.connected(s, t, faults, use_fast_engine=use_fast)
+                       for s, t, faults in workload.queries]
+            timings[engine] = (time.perf_counter() - start) / len(workload)
+            assert answers == workload.ground_truth
+        rows.append([fault_count, "%.2f" % (1000 * timings["basic"]),
+                     "%.2f" % (1000 * timings["fast"]),
+                     "%.2f" % (timings["basic"] / max(timings["fast"], 1e-9))])
+    print_table("Lemma 6 / query engines (ms per query)",
+                ["|F|", "basic engine", "refined engine", "basic/refined"], rows)
+    benchmark.extra_info["rows"] = rows
+    benchmark(lambda: None)
+    assert rows

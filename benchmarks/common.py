@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a Table-1 column, a
+figure, a theorem's scaling claim); see DESIGN.md section 3 for the experiment
+index and EXPERIMENTS.md for the recorded results.  The helpers here cache
+built labelings (they are expensive) and provide a uniform way to print the
+result tables that accompany the pytest-benchmark timings.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.ftc import FTCLabeling
+from repro.graphs.graph import Graph
+from repro.hierarchy.config import ThresholdRule
+from repro.workloads import FaultModel, GraphFamily, make_graph, make_query_workload
+
+#: The Table-1 rows reproduced by the harness (scheme name -> builder kwargs).
+TABLE1_VARIANTS = {
+    "DP21-2nd (whp)": dict(variant=SchemeVariant.SKETCH_WHP),
+    "DP21-2nd (full)": dict(variant=SchemeVariant.SKETCH_FULL),
+    "This paper (det, near-linear)": dict(variant=SchemeVariant.DETERMINISTIC_NEARLINEAR),
+    "This paper (det, poly)": dict(variant=SchemeVariant.DETERMINISTIC_POLY),
+    "This paper (rand, full)": dict(variant=SchemeVariant.RANDOMIZED_FULL),
+}
+
+
+@functools.lru_cache(maxsize=64)
+def cached_graph(family_value: str, n: int, seed: int, density: float = 2.5) -> Graph:
+    return make_graph(GraphFamily(family_value), n=n, seed=seed, density=density)
+
+
+@functools.lru_cache(maxsize=64)
+def cached_labeling(family_value: str, n: int, seed: int, max_faults: int,
+                    variant_value: str, rule_value: str = "practical",
+                    density: float = 2.5) -> FTCLabeling:
+    graph = cached_graph(family_value, n, seed, density)
+    config = FTCConfig(
+        max_faults=max_faults,
+        variant=SchemeVariant(variant_value),
+        threshold_rule=ThresholdRule(rule_value),
+    )
+    return FTCLabeling(graph, config)
+
+
+def cached_workload(family_value: str, n: int, seed: int, num_queries: int,
+                    max_faults: int, model: FaultModel = FaultModel.TREE_BIASED):
+    graph = cached_graph(family_value, n, seed)
+    return make_query_workload(graph, num_queries=num_queries, max_faults=max_faults,
+                               model=model, seed=seed + 1)
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Print an aligned results table (shows up with ``pytest -s`` and in logs)."""
+    widths = [max(len(str(headers[i])), max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(headers))]
+    line = "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    print("\n== %s" % title)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    print()

@@ -1,0 +1,15 @@
+"""Benchmark-harness configuration.
+
+Makes the sibling ``common`` module importable when pytest is invoked from the
+repository root (``pytest benchmarks/ --benchmark-only``) and trims the
+benchmark rounds so the whole harness completes in minutes on a laptop.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["harness"] = "repro FTC labeling benchmark suite"

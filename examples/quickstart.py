@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: build f-FTC labels for a small network and answer queries.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import FTCConfig, FTCLabeling, Graph, SchemeVariant
+
+
+def main() -> None:
+    # A small "data-center pod": two rings joined by a few cross links.
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 0),          # ring A
+        (4, 5), (5, 6), (6, 7), (7, 4),          # ring B
+        (0, 4), (2, 6),                          # cross links
+    ]
+    graph = Graph(edges)
+    print("graph: %d vertices, %d edges" % (graph.num_vertices(), graph.num_edges()))
+
+    # Build the deterministic labeling for up to f = 2 simultaneous link faults.
+    config = FTCConfig(max_faults=2, variant=SchemeVariant.DETERMINISTIC_NEARLINEAR)
+    labeling = FTCLabeling(graph, config)
+
+    stats = labeling.label_size_stats()
+    print("max vertex label: %d bits, max edge label: %d bits"
+          % (stats["max_vertex_label_bits"], stats["max_edge_label_bits"]))
+
+    # The decoder only ever sees labels: this is what would be shipped to a
+    # node that needs to answer connectivity queries under faults.
+    decoder = labeling.decoder()
+    queries = [
+        (1, 6, []),
+        (1, 6, [(2, 6)]),
+        (1, 6, [(2, 6), (0, 4)]),                # both cross links down
+        (0, 3, [(3, 0), (2, 3)]),                # vertex 3 cut off from the ring
+    ]
+    for s, t, faults in queries:
+        fault_labels = [labeling.edge_label(u, v) for u, v in faults]
+        answer = decoder.connected(labeling.vertex_label(s), labeling.vertex_label(t),
+                                   fault_labels)
+        truth = graph.connected(s, t, removed=faults)
+        print("connected(%s, %s | faults=%s) = %-5s (ground truth %s)"
+              % (s, t, faults, answer, truth))
+        assert answer == truth
+
+
+if __name__ == "__main__":
+    main()

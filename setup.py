@@ -1,0 +1,17 @@
+"""Thin setup.py shim.
+
+The project is configured through pyproject.toml; this file exists so that the
+package can be installed in editable mode (``pip install -e . --no-use-pep517``)
+on systems without the ``wheel`` package or network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0", "numpy>=1.24"],
+)

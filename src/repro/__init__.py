@@ -1,0 +1,34 @@
+"""repro — Deterministic Fault-Tolerant Connectivity Labeling Scheme.
+
+A full reproduction of "Deterministic Fault-Tolerant Connectivity Labeling
+Scheme" (Izumi, Emek, Wadayama, Masuzawa; PODC 2023, arXiv:2208.11459): the
+deterministic f-FTC labeling schemes of Theorems 1-2, the randomized
+counterparts they are compared against, the applications of Corollaries 1-2,
+and a CONGEST-model simulation of the distributed construction (Theorem 3).
+
+Quickstart
+----------
+>>> from repro import FTConnectivityOracle, Graph
+>>> graph = Graph([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+>>> oracle = FTConnectivityOracle(graph, max_faults=2)
+>>> oracle.connected(0, 2, faults=[(1, 2), (3, 0)])
+True
+>>> oracle.connected(0, 2, faults=[(1, 2), (2, 3)])
+False
+"""
+
+from repro.core import (FTCConfig, FTCLabeling, FTConnectivityOracle, SchemeVariant)
+from repro.graphs import Graph
+from repro.hierarchy.config import ThresholdRule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "FTCConfig",
+    "FTCLabeling",
+    "FTConnectivityOracle",
+    "SchemeVariant",
+    "ThresholdRule",
+    "__version__",
+]

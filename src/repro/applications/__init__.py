@@ -1,0 +1,27 @@
+"""Applications of the f-FTC labeling scheme (Corollaries 1 and 2).
+
+The paper obtains these applications by plugging any f-FTC labeling scheme
+into the black-box reductions of Dory--Parter; because our scheme is
+deterministic, so are the resulting schemes.
+
+* :mod:`repro.applications.covers` — sparse neighborhood covers (the substrate
+  of the distance-labeling reduction).
+* :mod:`repro.applications.distance_labeling` — fault-tolerant approximate
+  distance labels (Corollary 1).
+* :mod:`repro.applications.routing` — forbidden-set / fault-tolerant compact
+  routing with a packet-level simulator (Corollary 2).
+"""
+
+from repro.applications.covers import SparseNeighborhoodCover, build_scale_covers
+from repro.applications.distance_labeling import FaultTolerantDistanceLabeling
+from repro.applications.routing import ForbiddenSetRoutingScheme, RouteResult
+from repro.applications.vertex_faults import VertexFaultTolerantLabeling
+
+__all__ = [
+    "SparseNeighborhoodCover",
+    "build_scale_covers",
+    "FaultTolerantDistanceLabeling",
+    "ForbiddenSetRoutingScheme",
+    "RouteResult",
+    "VertexFaultTolerantLabeling",
+]

@@ -1,0 +1,274 @@
+"""Forbidden-set (fault-tolerant) compact routing (Corollary 2).
+
+The routing scheme combines three ingredients, matching the DP21 reduction at
+a high level:
+
+* **tree routing** on the spanning tree ``T'`` via ancestry intervals (each
+  vertex's table holds, per incident tree edge, the DFS interval of the
+  subtree behind it);
+* the **f-FTC labeling**, whose fragment/outdetect machinery the route
+  computation uses to discover *recovery edges* connecting the fragments of
+  ``T' - F``;
+* a per-vertex **port map** from edge identifiers to incident edges (the
+  compact-routing analogue of ports).
+
+``route(s, t, F)`` simulates the packet: it computes the fragment-level path
+with the labeling's own merging procedure, walks tree paths inside fragments,
+and crosses recovery edges between them.  The result is an actual path of the
+original graph avoiding ``F`` (or a certified "disconnected"), whose length
+divided by the true shortest path length is the observed stretch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.ftc import FTCLabeling
+from repro.core.query import FragmentStructure
+from repro.graphs.auxiliary import SubdivisionVertex
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.outdetect.base import OutdetectDecodeError
+
+Vertex = Hashable
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one packet."""
+
+    delivered: bool
+    path: list                     # vertices of the original graph (empty if undelivered)
+    hops: int
+    fragments_crossed: int
+
+    def stretch_against(self, shortest: int) -> float:
+        """Observed stretch given the true shortest-path length in G - F."""
+        if not self.delivered or shortest <= 0:
+            return float("inf") if not self.delivered else 1.0
+        return self.hops / shortest
+
+
+class ForbiddenSetRoutingScheme:
+    """Compact routing avoiding a forbidden edge set given at query time."""
+
+    def __init__(self, graph: Graph, max_faults: int,
+                 variant: SchemeVariant = SchemeVariant.DETERMINISTIC_NEARLINEAR,
+                 seed: int = 0):
+        self.graph = graph
+        self.max_faults = max_faults
+        self.labeling = FTCLabeling(graph, FTCConfig(max_faults=max_faults, variant=variant,
+                                                     random_seed=seed))
+        instance = self.labeling.instance
+        self._tree_prime = instance.auxiliary.tree_prime
+        self._ancestry = instance.ancestry
+        # Port map: edge identifier -> the non-tree edge of G' it names.
+        self._edge_of_identifier = {identifier: edge
+                                    for edge, identifier in instance.edge_ids.items()}
+
+    # ----------------------------------------------------------------- routing
+
+    def route(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = ()) -> RouteResult:
+        """Simulate routing a packet from s to t avoiding the faulty edges."""
+        fault_list = [canonical_edge(u, v) for u, v in faults]
+        if len(fault_list) > self.max_faults:
+            raise ValueError("route avoids %d faults but the scheme supports f=%d"
+                             % (len(fault_list), self.max_faults))
+        if s == t:
+            return RouteResult(delivered=True, path=[s], hops=0, fragments_crossed=0)
+
+        crossing_plan = self._fragment_level_plan(s, t, fault_list)
+        if crossing_plan is None:
+            return RouteResult(delivered=False, path=[], hops=0, fragments_crossed=0)
+
+        mapped_faults = set(self.labeling.instance.auxiliary.map_faults(fault_list))
+        path_prime: list = [s]
+        current = s
+        for edge in crossing_plan:
+            u, v = edge
+            # Enter the endpoint lying in the current fragment first.
+            first, second = (u, v)
+            if not self._same_fragment(current, first, mapped_faults):
+                first, second = v, u
+            path_prime.extend(self._tree_path(current, first, mapped_faults)[1:])
+            path_prime.append(second)
+            current = second
+        path_prime.extend(self._tree_path(current, t, mapped_faults)[1:])
+
+        path = self._project_path(path_prime)
+        if not self._path_is_valid(path, set(fault_list)) or path[-1] != t:
+            return RouteResult(delivered=False, path=[], hops=0, fragments_crossed=len(crossing_plan))
+        return RouteResult(delivered=True, path=path, hops=len(path) - 1,
+                           fragments_crossed=len(crossing_plan))
+
+    # ------------------------------------------------------------ plan (labels)
+
+    def _fragment_level_plan(self, s: Vertex, t: Vertex, faults: list) -> list | None:
+        """Sequence of recovery edges (non-tree edges of G') joining s's fragment to t's.
+
+        Uses the same fragment-growing procedure as the query engine, but
+        records which decoded edge merged which fragment so the crossings can
+        be replayed by the packet.
+        """
+        labeling = self.labeling
+        fault_labels = [labeling.edge_label(u, v) for u, v in faults]
+        structure = FragmentStructure(fault_labels)
+        source_label = labeling.vertex_label(s)
+        target_label = labeling.vertex_label(t)
+        source_fragment = structure.fragment_of_vertex(source_label.ancestry)
+        target_fragment = structure.fragment_of_vertex(target_label.ancestry)
+        if source_fragment == target_fragment:
+            return []
+
+        outdetect = labeling.outdetect
+        codec = labeling.instance.codec
+        merged = {source_fragment}
+        combined = structure.fragment_outdetect_label(source_fragment, outdetect)
+        # For path reconstruction: fragment -> (crossing edge, previous fragment).
+        reached_via: dict[int, tuple] = {}
+        for _ in range(structure.num_fragments()):
+            try:
+                identifiers = outdetect.decode(combined)
+            except OutdetectDecodeError:
+                return None
+            progress = False
+            for identifier in identifiers:
+                if not codec.is_plausible(identifier) or identifier not in self._edge_of_identifier:
+                    continue
+                pre_u, pre_v = codec.endpoint_preorders(identifier)
+                fragment_u = structure.fragment_of_preorder(pre_u)
+                fragment_v = structure.fragment_of_preorder(pre_v)
+                if (fragment_u in merged) == (fragment_v in merged):
+                    continue
+                new_fragment = fragment_v if fragment_u in merged else fragment_u
+                reached_via[new_fragment] = (self._edge_of_identifier[identifier],
+                                             fragment_u if fragment_u in merged else fragment_v)
+                merged.add(new_fragment)
+                combined = outdetect.combine(
+                    combined, structure.fragment_outdetect_label(new_fragment, outdetect))
+                progress = True
+                break
+            if not progress:
+                return None
+            if target_fragment in merged:
+                break
+        if target_fragment not in merged:
+            return None
+        # Reconstruct the crossing sequence from target back to source.
+        crossings = []
+        fragment = target_fragment
+        while fragment != source_fragment:
+            edge, previous = reached_via[fragment]
+            crossings.append(edge)
+            fragment = previous
+        crossings.reverse()
+        return crossings
+
+    # ------------------------------------------------------------ tree walking
+
+    def _tree_path(self, a: Vertex, b: Vertex, forbidden_tree_edges: set) -> list:
+        """Path from a to b along T' (must not use forbidden tree edges)."""
+        if a == b:
+            return [a]
+        tree = self._tree_prime
+        ancestors_a = tree.path_to_root(a)
+        ancestor_set = set(ancestors_a)
+        path_b = [b]
+        current = b
+        while current not in ancestor_set:
+            current = tree.parent(current)
+            path_b.append(current)
+        meeting = current
+        path_a = []
+        current = a
+        while current != meeting:
+            path_a.append(current)
+            current = tree.parent(current)
+        path_a.append(meeting)
+        full = path_a + list(reversed(path_b[:-1]))
+        for u, v in zip(full, full[1:]):
+            if canonical_edge(u, v) in forbidden_tree_edges:
+                raise RuntimeError("tree path crosses a faulty edge; fragments were "
+                                   "computed inconsistently")
+        return full
+
+    def _same_fragment(self, a: Vertex, b: Vertex, forbidden_tree_edges: set) -> bool:
+        try:
+            self._tree_path(a, b, forbidden_tree_edges)
+            return True
+        except RuntimeError:
+            return False
+
+    # ------------------------------------------------------------- projection
+
+    def _project_path(self, path_prime: list) -> list:
+        """Drop subdivision vertices, mapping a G' walk back to a G walk."""
+        projected = [vertex for vertex in path_prime
+                     if not isinstance(vertex, SubdivisionVertex)]
+        # Collapse consecutive duplicates that arise from dropped midpoints.
+        collapsed: list = []
+        for vertex in projected:
+            if not collapsed or collapsed[-1] != vertex:
+                collapsed.append(vertex)
+        return collapsed
+
+    def _path_is_valid(self, path: list, faults: set) -> bool:
+        if len(path) < 1:
+            return False
+        for u, v in zip(path, path[1:]):
+            if not self.graph.has_edge(u, v):
+                return False
+            if canonical_edge(u, v) in faults:
+                return False
+        return True
+
+    # -------------------------------------------------------------- statistics
+
+    def table_size_stats(self) -> dict:
+        """Per-vertex routing-table sizes in bits (ports + intervals + labels)."""
+        interval_bits = self._ancestry.max_bit_size()
+        identifier_bits = self.labeling.instance.codec.bit_size()
+        sizes = []
+        for vertex in self.graph.vertices():
+            degree = self.graph.degree(vertex)
+            label_bits = self.labeling.vertex_label(vertex).bit_size()
+            sizes.append(degree * (interval_bits + identifier_bits) + label_bits)
+        return {
+            "max_table_bits": max(sizes) if sizes else 0,
+            "mean_table_bits": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "total_table_bits": sum(sizes),
+        }
+
+    def stretch_report(self, queries: Iterable[tuple]) -> dict:
+        """Observed routing stretch over (s, t, F) queries."""
+        import networkx as nx
+
+        stretches = []
+        undelivered = 0
+        disconnected = 0
+        total = 0
+        for s, t, faults in queries:
+            total += 1
+            reduced = self.graph.without_edges(faults).to_networkx()
+            try:
+                shortest = nx.shortest_path_length(reduced, s, t)
+            except nx.NetworkXNoPath:
+                disconnected += 1
+                result = self.route(s, t, faults)
+                if result.delivered:
+                    undelivered += 1  # delivered despite disconnection: impossible
+                continue
+            result = self.route(s, t, faults)
+            if not result.delivered:
+                undelivered += 1
+                continue
+            stretches.append(result.stretch_against(shortest))
+        return {
+            "total": total,
+            "delivered": len(stretches),
+            "undelivered": undelivered,
+            "disconnected_queries": disconnected,
+            "max_stretch": max(stretches) if stretches else 0.0,
+            "mean_stretch": (sum(stretches) / len(stretches)) if stretches else 0.0,
+        }

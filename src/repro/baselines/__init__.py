@@ -1,0 +1,22 @@
+"""Baseline schemes and oracles the paper compares against.
+
+* :mod:`repro.baselines.naive` — exact recomputation oracles (BFS on G - F and
+  an offline union-find oracle); the ground truth of every experiment.
+* :mod:`repro.baselines.dory_parter` — the Dory--Parter sketch-based f-FTC
+  labeling schemes (whp and full query support), i.e. the randomized schemes
+  of Table 1 that the paper derandomizes.
+* :mod:`repro.baselines.cycle_space` — Pritchard--Thurimella cycle-space
+  sampling cut labels, the substrate of the *first* Dory--Parter scheme,
+  provided as an additional baseline labeling for small cut detection.
+"""
+
+from repro.baselines.naive import ExactConnectivityOracle, UnionFindConnectivityOracle
+from repro.baselines.dory_parter import DoryParterScheme
+from repro.baselines.cycle_space import CycleSpaceCutLabeling
+
+__all__ = [
+    "ExactConnectivityOracle",
+    "UnionFindConnectivityOracle",
+    "DoryParterScheme",
+    "CycleSpaceCutLabeling",
+]

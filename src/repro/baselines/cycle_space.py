@@ -1,0 +1,116 @@
+"""Cycle-space sampling cut labels (Pritchard--Thurimella [PT11]).
+
+This is the randomized substrate of the *first* Dory--Parter scheme: every
+non-tree edge receives a random bit vector, and every tree edge receives the
+XOR of the vectors of the non-tree edges whose fundamental cycle covers it.
+The defining property is that the XOR of the labels over any *cut* ``∂(S)``
+is always zero (every fundamental cycle crosses a cut an even number of
+times), while edge sets that are not unions of cuts have a non-zero XOR with
+high probability over the random vectors.  Equivalently: the labels of the
+tree edges of ``∂_T(S)`` XOR to the labels of the non-tree edges of
+``∂(S) \\ ∂_T(S)``, which is what makes small-cut detection/verification
+possible from labels alone.
+
+The library uses it as a baseline labeling for cut verification experiments;
+the deterministic scheme of the paper does not rely on it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.spanning_tree import RootedTree, non_tree_edges
+
+Vertex = Hashable
+
+
+class CycleSpaceCutLabeling:
+    """Random cycle-space labels for all edges of a graph.
+
+    Parameters
+    ----------
+    graph / tree:
+        The graph and a rooted spanning tree of it.
+    width:
+        Number of random bits per label; failure probability of each
+        membership test is ``2^-width``.
+    seed:
+        Seed of the (reproducible) randomness.
+    """
+
+    def __init__(self, graph: Graph, tree: RootedTree, width: int = 32, seed: int = 0):
+        self.graph = graph
+        self.tree = tree
+        self.width = width
+        rng = random.Random(seed)
+        self._labels: dict[Edge, int] = {}
+        # Step 1: random vectors on non-tree edges.
+        for edge in non_tree_edges(graph, tree):
+            self._labels[edge] = rng.getrandbits(width)
+        # Step 2: tree edges get the XOR of the non-tree edges covering them.
+        # Computed bottom-up: the label of tree edge (v, parent(v)) is the XOR
+        # of the labels of all non-tree edges with exactly one endpoint in the
+        # subtree of v, which equals the XOR over the subtree of a per-vertex
+        # incidence XOR (each internal non-tree edge cancels).
+        vertex_xor: dict[Vertex, int] = {vertex: 0 for vertex in tree.vertices()}
+        for edge, value in list(self._labels.items()):
+            u, v = edge
+            vertex_xor[u] ^= value
+            vertex_xor[v] ^= value
+        subtree_xor: dict[Vertex, int] = {}
+        for vertex in tree.postorder():
+            total = vertex_xor[vertex]
+            for child in tree.children(vertex):
+                total ^= subtree_xor[child]
+            subtree_xor[vertex] = total
+        for vertex in tree.vertices():
+            parent = tree.parent(vertex)
+            if parent is None:
+                continue
+            self._labels[canonical_edge(vertex, parent)] = subtree_xor[vertex]
+
+    # ------------------------------------------------------------------ labels
+
+    def edge_label(self, u: Vertex, v: Vertex) -> int:
+        return self._labels[canonical_edge(u, v)]
+
+    def combined_label(self, edges: Iterable[Edge]) -> int:
+        total = 0
+        for u, v in edges:
+            total ^= self.edge_label(u, v)
+        return total
+
+    def label_bit_size(self) -> int:
+        return self.width
+
+    # --------------------------------------------------------------- predicates
+
+    def xor_is_zero(self, edges: Iterable[Edge]) -> bool:
+        """Whether the labels of the edge set XOR to zero.
+
+        Always true for cuts; false with probability ``1 - 2^-width`` for an
+        edge set that differs from every union of cuts.
+        """
+        return self.combined_label(edges) == 0
+
+    def cut_consistent(self, vertex_set: set) -> bool:
+        """The deterministic guarantee: the cut ``∂(S)`` always XORs to zero.
+
+        Each fundamental cycle crosses any cut an even number of times, so the
+        label of a cut is the XOR, over the fundamental cycles, of an even
+        number of copies of the cycle's random vector.
+        """
+        boundary = [edge for edge in self.graph.edges()
+                    if (edge[0] in vertex_set) != (edge[1] in vertex_set)]
+        return self.xor_is_zero(boundary)
+
+    def verify_cut_candidate(self, tree_edges: Iterable[Edge],
+                             non_tree_edges: Iterable[Edge]) -> bool:
+        """Whp verification that the given tree/non-tree edges form a full cut.
+
+        This is the way the first Dory--Parter scheme consumes the labels: a
+        claimed cut is accepted iff the XOR over all its edges vanishes.
+        """
+        return self.xor_is_zero(list(tree_edges) + list(non_tree_edges))

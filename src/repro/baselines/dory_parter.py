@@ -1,0 +1,74 @@
+"""The Dory--Parter sketch-based f-FTC labeling schemes ([DP21], Table 1 rows 2 and 4).
+
+These are thin, named wrappers around the library's modular pipeline with the
+outdetect component instantiated by the randomized AGM graph sketch instead of
+the deterministic Reed--Solomon labels — exactly the relationship the paper
+describes ("one can easily transform our deterministic scheme into an
+efficient randomized FTC labeling scheme ... just by replacing the graph
+sparsification part").
+
+* ``whp`` query support: O(log n) sketch repetitions; each individual query is
+  answered correctly with high probability, but across all n^{O(f)} possible
+  queries some are wrong.
+* ``full`` query support: repetitions scaled by ``f`` (the footnote-4 variant
+  of [DP21]), driving the per-query failure probability low enough for a union
+  bound over all queries.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.ftc import FTCLabeling
+from repro.graphs.graph import Edge, Graph
+
+Vertex = Hashable
+
+
+class DoryParterScheme:
+    """The sketch-based Dory--Parter labeling scheme (second scheme of [DP21])."""
+
+    def __init__(self, graph: Graph, max_faults: int, full_query_support: bool = False,
+                 seed: int = 0, repetitions: int = 8):
+        variant = SchemeVariant.SKETCH_FULL if full_query_support else SchemeVariant.SKETCH_WHP
+        self.config = FTCConfig(
+            max_faults=max_faults,
+            variant=variant,
+            random_seed=seed,
+            sketch_repetitions=repetitions,
+        )
+        self.full_query_support = full_query_support
+        self.labeling = FTCLabeling(graph, self.config)
+        self.graph = graph
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = ()) -> bool:
+        """Answer a connectivity query (may be wrong with small probability)."""
+        return self.labeling.connected(s, t, faults)
+
+    def label_size_stats(self) -> dict:
+        stats = self.labeling.label_size_stats()
+        stats["full_query_support"] = self.full_query_support
+        return stats
+
+    def error_rate(self, queries: Iterable[tuple]) -> dict:
+        """Empirical error rate over explicit queries — the whp-vs-full experiment."""
+        wrong = 0
+        failed = 0
+        total = 0
+        for s, t, faults in queries:
+            total += 1
+            expected = self.graph.connected(s, t, removed=list(faults))
+            try:
+                answer = self.connected(s, t, faults)
+            except Exception:
+                failed += 1
+                continue
+            if answer != expected:
+                wrong += 1
+        return {
+            "total": total,
+            "wrong": wrong,
+            "failed": failed,
+            "error_rate": (wrong + failed) / total if total else 0.0,
+        }

@@ -1,0 +1,81 @@
+"""Exact (non-labeling) connectivity oracles used as ground truth and baselines.
+
+These oracles have full access to the graph, unlike labeling schemes.  They
+serve two purposes: they are the correctness reference of every test and audit,
+and they are the "centralized oracle" baselines against which the labeling
+scheme's query time is compared in the Table-1 benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+Vertex = Hashable
+
+
+class ExactConnectivityOracle:
+    """Answers queries by running BFS on G - F (always correct, O(n + m) per query)."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = ()) -> bool:
+        return self.graph.connected(s, t, removed=list(faults))
+
+
+class _DisjointSet:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, items: Iterable[Vertex]):
+        self._parent = {item: item for item in items}
+        self._size = {item: 1 for item in self._parent}
+
+    def find(self, item: Vertex) -> Vertex:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Vertex, b: Vertex) -> bool:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return True
+
+    def same(self, a: Vertex, b: Vertex) -> bool:
+        return self.find(a) == self.find(b)
+
+
+class UnionFindConnectivityOracle:
+    """Rebuilds a union-find over the surviving edges per fault set.
+
+    Faster than BFS when many (s, t) pairs are queried under the *same* fault
+    set, because the union-find is cached per fault set — the natural
+    "centralized oracle" comparison point for batched queries.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._cache: dict[frozenset, _DisjointSet] = {}
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = ()) -> bool:
+        key = frozenset(canonical_edge(u, v) for u, v in faults)
+        structure = self._cache.get(key)
+        if structure is None:
+            structure = _DisjointSet(self.graph.vertices())
+            for u, v in self.graph.edges():
+                if canonical_edge(u, v) not in key:
+                    structure.union(u, v)
+            self._cache[key] = structure
+        return structure.same(s, t)
+
+    def cache_size(self) -> int:
+        return len(self._cache)

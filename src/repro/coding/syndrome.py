@@ -1,0 +1,101 @@
+"""Power-sum syndromes of sparse supports over GF(2^w).
+
+The deterministic outdetect labeling assigns each edge ``e`` (identified by a
+non-zero field element ``x_e``) the vector
+
+    g(e) = (x_e, x_e^2, ..., x_e^{2k})
+
+which is exactly the row of the Reed--Solomon parity-check matrix indexed by
+``e`` (Section 7.4).  A vertex label is the XOR of ``g(e)`` over incident
+edges, and the XOR over a vertex set S collapses to the *syndrome* of the
+outgoing edge set ``∂(S)``:
+
+    sum_{v in S} L(v) = sum_{e in ∂(S)} g(e) = (s_1, ..., s_{2k}),
+    s_j = sum_{e in ∂(S)} x_e^j.
+
+Recovering the ``x_e`` from the power sums ``s_j`` is classic syndrome
+decoding, performed in :mod:`repro.coding.rs_decoder`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.gf2.field import GF2m
+
+
+def xor_vectors(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Component-wise XOR of two equal-length syndrome vectors."""
+    if len(a) != len(b):
+        raise ValueError("syndrome vectors have different lengths: %d vs %d" % (len(a), len(b)))
+    return [x ^ y for x, y in zip(a, b)]
+
+
+class SyndromeEncoder:
+    """Computes ``g(e)`` rows and syndromes of explicit supports.
+
+    Parameters
+    ----------
+    field:
+        The GF(2^w) field the edge identifiers live in.
+    threshold:
+        The sparsity threshold ``k``; syndromes have ``2k`` components, which
+        is what allows recovery of up to ``k`` edges.
+    """
+
+    __slots__ = ("field", "threshold", "length")
+
+    def __init__(self, field: GF2m, threshold: int):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1, got %d" % threshold)
+        self.field = field
+        self.threshold = threshold
+        self.length = 2 * threshold
+
+    def zero(self) -> list[int]:
+        """The syndrome of the empty support."""
+        return [0] * self.length
+
+    def encode(self, element: int) -> list[int]:
+        """The parity-check row ``(x, x^2, ..., x^{2k})`` for one element.
+
+        The element must be a non-zero field element; zero is reserved as the
+        paper's "formal zero" marker for an empty outgoing edge set.
+        """
+        if element == 0:
+            raise ValueError("edge identifiers must be non-zero field elements")
+        if not self.field.contains(element):
+            raise ValueError("element %d is outside the field" % element)
+        row = [0] * self.length
+        multiplier = self.field.multiplier(element)
+        power = element
+        row[0] = power
+        for index in range(1, self.length):
+            power = multiplier.mul(power)
+            row[index] = power
+        return row
+
+    def encode_prefix(self, element: int, length: int) -> list[int]:
+        """The first ``length`` components of ``encode(element)``.
+
+        Proposition 6 of the paper: prefixes of Reed--Solomon syndromes are
+        themselves Reed--Solomon syndromes for a smaller threshold, which is
+        what makes adaptive decoding possible without re-labeling.
+        """
+        full = self.encode(element)
+        return full[:length]
+
+    def syndrome_of(self, elements: Iterable[int]) -> list[int]:
+        """The syndrome (power sums) of an explicit support set."""
+        total = self.zero()
+        for element in elements:
+            row = self.encode(element)
+            for index in range(self.length):
+                total[index] ^= row[index]
+        return total
+
+    def accumulate(self, target: list[int], element: int) -> None:
+        """XOR ``g(element)`` into ``target`` in place (used by label builders)."""
+        row = self.encode(element)
+        for index in range(self.length):
+            target[index] ^= row[index]

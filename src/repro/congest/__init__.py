@@ -1,0 +1,31 @@
+"""A synchronous CONGEST-model simulator and the distributed construction of Section 8.
+
+The CONGEST model is a synchronous message-passing network: in every round
+each node may send one O(log n)-bit message over each incident edge.  The
+simulator executes node algorithms round by round, counts rounds, and enforces
+the per-message bit budget, which is what Theorem 3's round bounds are about.
+
+* :mod:`repro.congest.simulator` — the round engine and the node API.
+* :mod:`repro.congest.bfs` — distributed BFS-tree construction (O(D) rounds).
+* :mod:`repro.congest.primitives` — broadcast, convergecast, and pipelined
+  subtree-sum aggregation over a rooted tree.
+* :mod:`repro.congest.construction` — the distributed label construction:
+  ancestry labels and outdetect/tree-edge label aggregation, with round
+  accounting compared against the Õ(√m·D + f²) bound.
+"""
+
+from repro.congest.simulator import CongestSimulator, Message, NodeAlgorithm
+from repro.congest.bfs import DistributedBFS
+from repro.congest.primitives import broadcast_value, convergecast_sum, pipelined_subtree_xor
+from repro.congest.construction import DistributedLabelConstruction
+
+__all__ = [
+    "CongestSimulator",
+    "Message",
+    "NodeAlgorithm",
+    "DistributedBFS",
+    "broadcast_value",
+    "convergecast_sum",
+    "pipelined_subtree_xor",
+    "DistributedLabelConstruction",
+]

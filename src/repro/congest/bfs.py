@@ -1,0 +1,70 @@
+"""Distributed BFS-tree construction in the CONGEST model.
+
+The root floods a "join" wave; every node adopts the first sender it hears
+from as its parent and forwards the wave.  This takes ``D + O(1)`` rounds with
+1-bit-plus-id messages, and the resulting parent map is exactly a BFS tree —
+the spanning tree Section 8 fixes for the distributed construction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.congest.simulator import CongestSimulator, NodeAlgorithm
+from repro.graphs.graph import Graph
+from repro.graphs.spanning_tree import RootedTree
+
+Vertex = Hashable
+
+
+class _BFSAlgorithm(NodeAlgorithm):
+    def __init__(self, root: Vertex):
+        super().__init__()
+        self.root = root
+
+    def init(self, node, neighbors, state):
+        state["parent"] = None
+        state["level"] = None
+        if node == self.root:
+            state["level"] = 0
+            self.halt(node)
+            return {neighbor: 0 for neighbor in neighbors}
+        return {}
+
+    def compute(self, node, neighbors, state, inbox):
+        if state["level"] is not None or not inbox:
+            return {}
+        # Adopt the smallest-keyed sender for determinism.
+        chosen = min(inbox, key=lambda msg: (type(msg.sender).__name__, repr(msg.sender)))
+        state["parent"] = chosen.sender
+        state["level"] = chosen.payload + 1
+        self.halt(node)
+        return {neighbor: state["level"] for neighbor in neighbors if neighbor != chosen.sender}
+
+
+class DistributedBFS:
+    """Builds a BFS tree of a connected graph with a CONGEST algorithm."""
+
+    def __init__(self, graph: Graph, root: Vertex):
+        self.graph = graph
+        self.root = root
+        self.simulator = CongestSimulator(graph)
+        self._states = self.simulator.run(_BFSAlgorithm(root))
+
+    def rounds(self) -> int:
+        return self.simulator.rounds_executed
+
+    def parent_map(self) -> dict:
+        return {vertex: state["parent"] for vertex, state in self._states.items()
+                if state["parent"] is not None}
+
+    def levels(self) -> dict:
+        return {vertex: state["level"] for vertex, state in self._states.items()}
+
+    def tree(self) -> RootedTree:
+        """The BFS tree as a :class:`RootedTree` (raises if the graph was disconnected)."""
+        parent = self.parent_map()
+        missing = [v for v in self.graph.vertices() if v != self.root and v not in parent]
+        if missing:
+            raise ValueError("BFS did not reach %d vertices; graph disconnected?" % len(missing))
+        return RootedTree(self.root, parent)

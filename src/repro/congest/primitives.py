@@ -1,0 +1,158 @@
+"""Tree-based communication primitives in the CONGEST model.
+
+Three primitives cover everything Section 8 needs:
+
+* :func:`broadcast_value` — the root pushes a value down the tree
+  (depth rounds).
+* :func:`convergecast_sum` — leaves push partial aggregates up the tree
+  (depth rounds); used for subtree sizes (ancestry labels) and subtree XOR
+  sums (outdetect edge labels).
+* :func:`pipelined_subtree_xor` — the same aggregation for *vectors* of words:
+  a ``w``-word vector is pipelined one word per round, so the round count is
+  ``depth + w`` rather than ``depth * w``, which is where the ``f^2`` additive
+  term of Theorem 3 comes from.
+
+The primitives run on the simulator so rounds and bandwidth are measured, and
+they return both the result and the round count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.congest.simulator import CongestSimulator, NodeAlgorithm
+from repro.graphs.graph import Graph
+from repro.graphs.spanning_tree import RootedTree
+
+Vertex = Hashable
+
+
+class _ConvergecastAlgorithm(NodeAlgorithm):
+    """Aggregate per-node values towards the root, one value per node."""
+
+    def __init__(self, tree: RootedTree, values: dict, combine: Callable):
+        super().__init__()
+        self.tree = tree
+        self.values = values
+        self.combine = combine
+
+    def init(self, node, neighbors, state):
+        state["pending"] = set(self.tree.children(node))
+        state["accumulator"] = self.values.get(node, 0)
+        state["result"] = None
+        if not state["pending"]:
+            return self._forward(node, state)
+        return {}
+
+    def compute(self, node, neighbors, state, inbox):
+        for message in inbox:
+            if message.sender in state["pending"]:
+                state["pending"].discard(message.sender)
+                state["accumulator"] = self.combine(state["accumulator"], message.payload)
+        if not state["pending"] and not self.has_halted(node):
+            return self._forward(node, state)
+        return {}
+
+    def _forward(self, node, state):
+        state["result"] = state["accumulator"]
+        self.halt(node)
+        parent = self.tree.parent(node)
+        if parent is None:
+            return {}
+        return {parent: state["accumulator"]}
+
+
+def convergecast_sum(graph: Graph, tree: RootedTree, values: dict,
+                     combine: Callable = lambda a, b: a + b) -> tuple[dict, dict]:
+    """Aggregate ``values`` over every subtree; returns (per-node subtree aggregate, report)."""
+    simulator = CongestSimulator(graph, enforce_bandwidth=False)
+    algorithm = _ConvergecastAlgorithm(tree, values, combine)
+    states = simulator.run(algorithm)
+    results = {vertex: state["result"] for vertex, state in states.items()}
+    return results, simulator.report()
+
+
+class _BroadcastAlgorithm(NodeAlgorithm):
+    def __init__(self, tree: RootedTree, value):
+        super().__init__()
+        self.tree = tree
+        self.value = value
+
+    def init(self, node, neighbors, state):
+        state["value"] = None
+        if self.tree.parent(node) is None:
+            state["value"] = self.value
+            self.halt(node)
+            return {child: self.value for child in self.tree.children(node)}
+        return {}
+
+    def compute(self, node, neighbors, state, inbox):
+        if state["value"] is not None:
+            return {}
+        for message in inbox:
+            if message.sender == self.tree.parent(node):
+                state["value"] = message.payload
+                self.halt(node)
+                return {child: message.payload for child in self.tree.children(node)}
+        return {}
+
+
+def broadcast_value(graph: Graph, tree: RootedTree, value) -> tuple[dict, dict]:
+    """Broadcast a value from the root to every node; returns (per-node value, report)."""
+    simulator = CongestSimulator(graph, enforce_bandwidth=False)
+    algorithm = _BroadcastAlgorithm(tree, value)
+    states = simulator.run(algorithm)
+    return {vertex: state["value"] for vertex, state in states.items()}, simulator.report()
+
+
+class _PipelinedXorAlgorithm(NodeAlgorithm):
+    """Pipelined convergecast of fixed-length word vectors (XOR per word)."""
+
+    def __init__(self, tree: RootedTree, vectors: dict, width: int):
+        super().__init__()
+        self.tree = tree
+        self.vectors = vectors
+        self.width = width
+
+    def init(self, node, neighbors, state):
+        state["received"] = {child: [] for child in self.tree.children(node)}
+        state["own"] = list(self.vectors.get(node, [0] * self.width))
+        state["sent_words"] = 0
+        state["result"] = None
+        return {}
+
+    def compute(self, node, neighbors, state, inbox):
+        for message in inbox:
+            if message.sender in state["received"]:
+                state["received"][message.sender].append(message.payload)
+        outgoing = {}
+        parent = self.tree.parent(node)
+        # A word can be forwarded as soon as it has been received from every child.
+        next_word = state["sent_words"]
+        ready = all(len(words) > next_word for words in state["received"].values())
+        if ready and next_word < self.width:
+            word = state["own"][next_word]
+            for words in state["received"].values():
+                word ^= words[next_word]
+            state["own"][next_word] = word
+            state["sent_words"] += 1
+            if parent is not None:
+                outgoing[parent] = word
+        if state["sent_words"] == self.width:
+            state["result"] = list(state["own"])
+            self.halt(node)
+        return outgoing
+
+
+def pipelined_subtree_xor(graph: Graph, tree: RootedTree, vectors: dict,
+                          width: int) -> tuple[dict, dict]:
+    """Subtree XOR of ``width``-word vectors for every vertex, pipelined.
+
+    Returns ``(per-vertex subtree XOR vector, simulator report)``; the round
+    count is ``O(depth + width)`` thanks to pipelining.
+    """
+    simulator = CongestSimulator(graph, enforce_bandwidth=False)
+    algorithm = _PipelinedXorAlgorithm(tree, vectors, width)
+    states = simulator.run(algorithm, max_rounds=50_000)
+    results = {vertex: state["result"] for vertex, state in states.items()}
+    return results, simulator.report()

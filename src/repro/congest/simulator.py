@@ -1,0 +1,147 @@
+"""The synchronous CONGEST round engine.
+
+A :class:`NodeAlgorithm` describes the behaviour of every node: an ``init``
+hook and a per-round ``compute`` hook that receives the messages delivered
+this round and returns the messages to send next round.  The simulator runs
+all nodes in lock-step, delivers messages with a one-round delay, counts
+rounds, and (optionally) enforces the CONGEST bandwidth constraint of
+``O(log n)`` bits per edge per round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message travelling over one edge in one round."""
+
+    sender: Vertex
+    payload: object
+
+    def bit_size(self) -> int:
+        """Approximate payload size in bits (ints, strings, tuples/lists of ints)."""
+        return _payload_bits(self.payload)
+
+
+def _payload_bits(payload: object) -> int:
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(payload.bit_length(), 1)
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_bits(item) for item in payload) + len(payload)
+    if isinstance(payload, dict):
+        return sum(_payload_bits(k) + _payload_bits(v) for k, v in payload.items())
+    return 64
+
+
+class NodeAlgorithm:
+    """Base class for node behaviours.
+
+    Subclasses override :meth:`init` and :meth:`compute`.  A node signals
+    termination by calling :meth:`halt`; the simulation stops when every node
+    has halted or the round limit is reached.
+    """
+
+    def __init__(self):
+        self._halted: set = set()
+
+    # -- to be overridden -------------------------------------------------
+
+    def init(self, node: Vertex, neighbors: list, state: dict) -> dict:
+        """Return the initial outgoing messages ``{neighbor: payload}``."""
+        return {}
+
+    def compute(self, node: Vertex, neighbors: list, state: dict,
+                inbox: list) -> dict:
+        """Process one round; return outgoing messages ``{neighbor: payload}``."""
+        return {}
+
+    # -- services ----------------------------------------------------------
+
+    def halt(self, node: Vertex) -> None:
+        self._halted.add(node)
+
+    def has_halted(self, node: Vertex) -> bool:
+        return node in self._halted
+
+
+class CongestSimulator:
+    """Runs a :class:`NodeAlgorithm` on a graph and accounts for rounds/bits."""
+
+    def __init__(self, graph: Graph, bandwidth_factor: float = 8.0,
+                 enforce_bandwidth: bool = True):
+        self.graph = graph
+        self.bandwidth_factor = bandwidth_factor
+        self.enforce_bandwidth = enforce_bandwidth
+        self.rounds_executed = 0
+        self.max_message_bits = 0
+        self.total_messages = 0
+
+    def bandwidth_limit(self) -> int:
+        """The per-message bit budget: ``bandwidth_factor * log2 n``."""
+        n = max(self.graph.num_vertices(), 2)
+        return int(math.ceil(self.bandwidth_factor * math.log2(n)))
+
+    def run(self, algorithm: NodeAlgorithm, max_rounds: int = 10_000,
+            until: Callable[[dict], bool] | None = None) -> dict:
+        """Execute the algorithm; returns the per-node state dictionaries."""
+        states: dict[Vertex, dict] = {vertex: {} for vertex in self.graph.vertices()}
+        neighbor_lists = {vertex: sorted(self.graph.neighbors(vertex),
+                                         key=lambda v: (type(v).__name__, repr(v)))
+                          for vertex in self.graph.vertices()}
+        outboxes: dict[Vertex, dict] = {}
+        for vertex in self.graph.vertices():
+            outboxes[vertex] = algorithm.init(vertex, neighbor_lists[vertex], states[vertex]) or {}
+
+        limit = self.bandwidth_limit()
+        for _ in range(max_rounds):
+            inboxes: dict[Vertex, list] = {vertex: [] for vertex in self.graph.vertices()}
+            any_message = False
+            for sender, messages in outboxes.items():
+                for receiver, payload in messages.items():
+                    if not self.graph.has_edge(sender, receiver):
+                        raise ValueError("node %r tried to message non-neighbor %r"
+                                         % (sender, receiver))
+                    message = Message(sender=sender, payload=payload)
+                    bits = message.bit_size()
+                    self.max_message_bits = max(self.max_message_bits, bits)
+                    self.total_messages += 1
+                    if self.enforce_bandwidth and bits > limit:
+                        raise ValueError("message of %d bits exceeds the CONGEST budget of %d"
+                                         % (bits, limit))
+                    inboxes[receiver].append(message)
+                    any_message = True
+            if not any_message and all(algorithm.has_halted(v) for v in self.graph.vertices()):
+                break
+            self.rounds_executed += 1
+            outboxes = {}
+            for vertex in self.graph.vertices():
+                if algorithm.has_halted(vertex) and not inboxes[vertex]:
+                    outboxes[vertex] = {}
+                    continue
+                outboxes[vertex] = algorithm.compute(
+                    vertex, neighbor_lists[vertex], states[vertex], inboxes[vertex]) or {}
+            if until is not None and until(states):
+                break
+        return states
+
+    def report(self) -> dict:
+        return {
+            "rounds": self.rounds_executed,
+            "max_message_bits": self.max_message_bits,
+            "total_messages": self.total_messages,
+            "bandwidth_limit_bits": self.bandwidth_limit(),
+        }

@@ -1,0 +1,38 @@
+"""The f-fault-tolerant connectivity (f-FTC) labeling schemes of the paper.
+
+This package assembles the substrates (ancestry labels, edge identifiers,
+sparsification hierarchies, outdetect labelings) into the labeling schemes of
+Theorems 1 and 2 and their randomized counterparts, together with the two
+query-processing engines (Sections 3.1 and 7.6).
+
+Public entry points
+-------------------
+``FTCLabeling``
+    Builds all vertex/edge labels for a graph and a fault budget ``f``.
+``FTCDecoder``
+    The universal decoder: answers ``connected(s, t, F)`` from labels only.
+``FTConnectivityOracle``
+    Convenience wrapper that stores the labels of one graph and answers
+    queries given vertex names and edge lists.
+``FTCConfig`` / ``SchemeVariant``
+    Which of the Table-1 schemes to build.
+"""
+
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.labels import EdgeLabel, VertexLabel
+from repro.core.ftc import FTCLabeling
+from repro.core.query import BasicQueryEngine, QueryFailure
+from repro.core.fast_query import FastQueryEngine
+from repro.core.oracle import FTConnectivityOracle
+
+__all__ = [
+    "FTCConfig",
+    "SchemeVariant",
+    "VertexLabel",
+    "EdgeLabel",
+    "FTCLabeling",
+    "BasicQueryEngine",
+    "FastQueryEngine",
+    "QueryFailure",
+    "FTConnectivityOracle",
+]

@@ -1,0 +1,133 @@
+"""The refined query engine of Section 7.6 (Lemma 6).
+
+Instead of always growing the fragment containing ``s``, the refined procedure
+keeps *all* component fragments in a heap keyed by the size of their tree
+boundary and always expands the one with the smallest boundary.  Combined with
+adaptive outdetect decoding this shaves a factor ``|F|`` off the query time:
+the i-th expansion works on a component whose boundary has at most
+``2|F| / i`` faults, so the per-expansion decoding costs sum to
+``~ |F|^c * H(|F|)`` instead of ``|F|^{c+1}``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.core.labels import EdgeLabel, VertexLabel
+from repro.core.query import FragmentStructure, QueryFailure
+from repro.labeling.edge_ids import EdgeIdCodec
+from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
+
+
+class _ComponentFragment:
+    """A union of fragments, tracked by the refined engine."""
+
+    __slots__ = ("key", "members", "boundary", "label", "alive")
+
+    def __init__(self, key: int, members: set, boundary: set, label):
+        self.key = key
+        self.members = members
+        self.boundary = boundary
+        self.label = label
+        self.alive = True
+
+
+class FastQueryEngine:
+    """Heap-based, adaptive query processing (Lemma 6)."""
+
+    def __init__(self, outdetect: OutdetectScheme, codec: EdgeIdCodec):
+        self.outdetect = outdetect
+        self.codec = codec
+
+    def connected(self, source: VertexLabel, target: VertexLabel,
+                  fault_labels: Sequence[EdgeLabel]) -> bool:
+        """Decide s-t connectivity in G - F from labels only."""
+        if source.ancestry == target.ancestry:
+            return True
+        structure = FragmentStructure(fault_labels)
+        source_fragment = structure.fragment_of_vertex(source.ancestry)
+        target_fragment = structure.fragment_of_vertex(target.ancestry)
+        if source_fragment == target_fragment:
+            return True
+
+        components: dict[int, _ComponentFragment] = {}
+        owner: dict[int, int] = {}
+        heap: list[tuple] = []
+        for key, fragment_id in enumerate(structure.fragment_ids()):
+            component = _ComponentFragment(
+                key=key,
+                members={fragment_id},
+                boundary=structure.boundary_of(fragment_id),
+                label=structure.fragment_outdetect_label(fragment_id, self.outdetect),
+            )
+            components[key] = component
+            owner[fragment_id] = key
+            heapq.heappush(heap, (len(component.boundary), key))
+        next_key = len(components)
+
+        while heap:
+            _, key = heapq.heappop(heap)
+            component = components.get(key)
+            if component is None or not component.alive:
+                continue
+            if len([c for c in components.values() if c.alive]) <= 1:
+                return False
+            try:
+                edge_identifiers = self.outdetect.decode(component.label)
+            except OutdetectDecodeError as error:
+                raise QueryFailure(str(error)) from error
+            partner_key = self._partner_component(edge_identifiers, structure, owner,
+                                                  component, components)
+            if partner_key is None:
+                # No outgoing edge: this component is a maximal connected piece.
+                contains_source = source_fragment in component.members
+                contains_target = target_fragment in component.members
+                if contains_source or contains_target:
+                    return contains_source and contains_target
+                component.alive = False
+                del components[key]
+                continue
+            partner = components[partner_key]
+            merged = _ComponentFragment(
+                key=next_key,
+                members=component.members | partner.members,
+                boundary=component.boundary ^ partner.boundary,
+                label=self.outdetect.combine(component.label, partner.label),
+            )
+            next_key += 1
+            if source_fragment in merged.members and target_fragment in merged.members:
+                return True
+            component.alive = False
+            partner.alive = False
+            del components[key]
+            del components[partner_key]
+            components[merged.key] = merged
+            for fragment_id in merged.members:
+                owner[fragment_id] = merged.key
+            heapq.heappush(heap, (len(merged.boundary), merged.key))
+        return False
+
+    def _partner_component(self, edge_identifiers: Sequence[int],
+                           structure: FragmentStructure, owner: dict,
+                           component: _ComponentFragment,
+                           components: dict) -> int | None:
+        """The component reached by the first usable decoded edge."""
+        if not edge_identifiers:
+            return None
+        for identifier in edge_identifiers:
+            if not self.codec.is_plausible(identifier):
+                continue
+            pre_u, pre_v = self.codec.endpoint_preorders(identifier)
+            key_u = owner.get(structure.fragment_of_preorder(pre_u))
+            key_v = owner.get(structure.fragment_of_preorder(pre_v))
+            if key_u is None or key_v is None:
+                continue
+            in_u = key_u == component.key
+            in_v = key_v == component.key
+            if in_u == in_v:
+                continue
+            partner_key = key_v if in_u else key_u
+            if partner_key in components and components[partner_key].alive:
+                return partner_key
+        raise QueryFailure("decoded edge identifiers do not yield an outgoing edge")

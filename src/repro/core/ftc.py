@@ -1,0 +1,180 @@
+"""The top-level f-FTC labeling scheme (Theorems 1 and 2).
+
+:class:`FTCLabeling` runs the whole wrap-up of Section 5:
+
+1. root a spanning tree and build the auxiliary instance (G', T', sigma);
+2. build the sparsification hierarchy (deterministic or randomized) or, for
+   the Dory--Parter baselines, a single graph sketch;
+3. build the layered S_{f,T'}-outdetect labels;
+4. build ancestry labels and the tree-edge scheme (subtree sums);
+5. expose per-vertex and per-edge labels of the *original* graph through the
+   transformation of Proposition 1 (an edge's label is the label of sigma(e)).
+
+Queries are answered by :class:`FTCDecoder`, which sees labels only.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.fast_query import FastQueryEngine
+from repro.core.labels import EdgeLabel, VertexLabel
+from repro.core.query import BasicQueryEngine
+from repro.core.transform import TransformedInstance, build_transformed_instance
+from repro.core.tree_scheme import TreeEdgeLabeling
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.hierarchy.config import HierarchyConfig
+from repro.hierarchy.deterministic import build_deterministic_hierarchy
+from repro.hierarchy.randomized import build_randomized_hierarchy
+from repro.outdetect.base import OutdetectScheme
+from repro.outdetect.layered import LayeredOutdetect
+from repro.outdetect.rs_threshold import RSThresholdOutdetect
+from repro.outdetect.sketch import SketchOutdetect
+
+Vertex = Hashable
+
+
+class FTCDecoder:
+    """The universal decoding function D^con of Section 7.1.
+
+    It answers connectivity queries from the labels of ``s``, ``t`` and the
+    faulty edges alone.  Two engines are available: the basic one of Lemma 1
+    and the refined heap-based one of Lemma 6 (the default).
+    """
+
+    def __init__(self, outdetect: OutdetectScheme, codec, use_fast_engine: bool = True):
+        self._basic = BasicQueryEngine(outdetect, codec)
+        self._fast = FastQueryEngine(outdetect, codec)
+        self.use_fast_engine = use_fast_engine
+
+    def connected(self, source_label: VertexLabel, target_label: VertexLabel,
+                  fault_labels: Sequence[EdgeLabel]) -> bool:
+        engine = self._fast if self.use_fast_engine else self._basic
+        return engine.connected(source_label, target_label, fault_labels)
+
+
+class FTCLabeling:
+    """Labels of one graph for one fault budget, plus the matching decoder."""
+
+    def __init__(self, graph: Graph, config: FTCConfig, root: Vertex | None = None):
+        if graph.num_vertices() < 1:
+            raise ValueError("the input graph must have at least one vertex")
+        if not graph.is_connected():
+            raise ValueError("the input graph must be connected "
+                             "(run one labeling per connected component)")
+        self.graph = graph
+        self.config = config
+        start = time.perf_counter()
+        self.instance: TransformedInstance = build_transformed_instance(
+            graph, root=root, edge_id_mode=config.edge_id_mode)
+        self.outdetect: OutdetectScheme = self._build_outdetect()
+        self._tree_labeling = TreeEdgeLabeling(self.instance, self.outdetect)
+        self.construction_seconds = time.perf_counter() - start
+        self._hierarchy = getattr(self, "_hierarchy", None)
+
+    # ------------------------------------------------------------ construction
+
+    def _build_outdetect(self) -> OutdetectScheme:
+        instance = self.instance
+        config = self.config
+        vertices = list(instance.auxiliary.tree_prime.vertices())
+        if config.variant.uses_hierarchy:
+            hierarchy_config = HierarchyConfig(
+                max_faults=config.max_faults,
+                rule=config.threshold_rule,
+                net_algorithm=config.net_algorithm,
+                random_seed=config.random_seed,
+            )
+            if config.variant is SchemeVariant.RANDOMIZED_FULL:
+                hierarchy = build_randomized_hierarchy(instance.non_tree_edges, hierarchy_config)
+            else:
+                hierarchy = build_deterministic_hierarchy(
+                    instance.non_tree_edges, instance.tour, hierarchy_config)
+            self._hierarchy = hierarchy
+            if not hierarchy.levels:
+                # A tree has no non-tree edges; a single trivial level keeps the
+                # layered machinery uniform.
+                level_scheme = RSThresholdOutdetect(
+                    instance.codec.field, 1, vertices, {},
+                    adaptive=config.adaptive_decoding)
+                return LayeredOutdetect([level_scheme])
+            level_schemes = []
+            for level_edges, threshold in zip(hierarchy.levels, hierarchy.thresholds):
+                edge_ids = {edge: instance.edge_ids[edge] for edge in level_edges}
+                level_schemes.append(RSThresholdOutdetect(
+                    instance.codec.field, threshold, vertices, edge_ids,
+                    adaptive=config.adaptive_decoding))
+            return LayeredOutdetect(level_schemes)
+        # Sketch-based baselines (Dory--Parter second scheme).
+        self._hierarchy = None
+        return SketchOutdetect(
+            vertices, instance.edge_ids,
+            repetitions=config.effective_sketch_repetitions(),
+            seed=config.random_seed)
+
+    # ---------------------------------------------------------------- labels
+
+    def vertex_label(self, vertex: Vertex) -> VertexLabel:
+        """Label of an original vertex."""
+        if not self.graph.has_vertex(vertex):
+            raise KeyError("vertex %r is not in the graph" % (vertex,))
+        return self._tree_labeling.vertex_label(vertex)
+
+    def edge_label(self, u: Vertex, v: Vertex) -> EdgeLabel:
+        """Label of an original edge (the label of sigma(e), Proposition 1)."""
+        edge = canonical_edge(u, v)
+        if not self.graph.has_edge(*edge):
+            raise KeyError("edge %r is not in the graph" % (edge,))
+        image = self.instance.auxiliary.sigma(*edge)
+        return self._tree_labeling.tree_edge_label(*image)
+
+    def all_vertex_labels(self) -> dict:
+        return {vertex: self.vertex_label(vertex) for vertex in self.graph.vertices()}
+
+    def all_edge_labels(self) -> dict:
+        return {edge: self.edge_label(*edge) for edge in self.graph.edges()}
+
+    # ---------------------------------------------------------------- queries
+
+    def decoder(self, use_fast_engine: bool = True) -> FTCDecoder:
+        """The universal decoder for labels produced by this scheme."""
+        return FTCDecoder(self.outdetect, self.instance.codec, use_fast_engine)
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = (),
+                  use_fast_engine: bool = True) -> bool:
+        """Convenience query: look up the labels and run the decoder."""
+        fault_list = list(faults)
+        if len(fault_list) > self.config.max_faults:
+            raise ValueError("query has %d faults but the scheme was built for f=%d"
+                             % (len(fault_list), self.config.max_faults))
+        fault_labels = [self.edge_label(u, v) for u, v in fault_list]
+        return self.decoder(use_fast_engine).connected(
+            self.vertex_label(s), self.vertex_label(t), fault_labels)
+
+    # -------------------------------------------------------------- statistics
+
+    def label_size_stats(self) -> dict:
+        """Label-size accounting (bits), the quantity Table 1 compares."""
+        vertex_bits = [self.vertex_label(v).bit_size() for v in self.graph.vertices()]
+        edge_bits = [self.edge_label(u, v).bit_size() for u, v in self.graph.edges()]
+        stats = {
+            "n": self.graph.num_vertices(),
+            "m": self.graph.num_edges(),
+            "f": self.config.max_faults,
+            "variant": self.config.variant.value,
+            "max_vertex_label_bits": max(vertex_bits) if vertex_bits else 0,
+            "max_edge_label_bits": max(edge_bits) if edge_bits else 0,
+            "mean_edge_label_bits": (sum(edge_bits) / len(edge_bits)) if edge_bits else 0.0,
+            "total_label_bits": sum(vertex_bits) + sum(edge_bits),
+            "construction_seconds": self.construction_seconds,
+        }
+        if self._hierarchy is not None:
+            stats["hierarchy"] = self._hierarchy.describe()
+        return stats
+
+    @property
+    def hierarchy(self):
+        """The sparsification hierarchy (``None`` for sketch variants)."""
+        return self._hierarchy

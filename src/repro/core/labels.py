@@ -1,0 +1,67 @@
+"""The label objects handed to the universal decoder.
+
+A query ``(s, t, F)`` is answered from the :class:`VertexLabel` of ``s`` and
+``t`` and the :class:`EdgeLabel` of every edge in ``F`` — nothing else.  The
+label objects therefore contain exactly what the paper assigns (Section 7.2):
+
+* a vertex carries its ancestry label in the auxiliary spanning tree ``T'``;
+* an edge carries the ancestry labels of the two endpoints of its image
+  ``sigma(e)`` in ``T'`` and the XOR of the outdetect labels over the subtree
+  hanging below that tree edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.labeling.ancestry import AncestryLabel
+
+OutdetectLabel = Any
+
+
+@dataclass(frozen=True)
+class VertexLabel:
+    """Label of a vertex: its ancestry label in T'."""
+
+    ancestry: AncestryLabel
+
+    def bit_size(self) -> int:
+        return self.ancestry.bit_size()
+
+
+@dataclass(frozen=True)
+class EdgeLabel:
+    """Label of an edge: endpoint ancestry labels of sigma(e) plus a subtree sum.
+
+    Attributes
+    ----------
+    ancestry_upper / ancestry_lower:
+        Ancestry labels of the endpoints of the tree edge ``sigma(e)``; the
+        *lower* endpoint is the one farther from the root, so its interval is
+        contained in the upper one's.
+    outdetect_subtree_sum:
+        XOR of the outdetect labels over all vertices in the subtree of T'
+        rooted at the lower endpoint (the quantity Proposition 4 sums).
+    outdetect_bits:
+        Size of ``outdetect_subtree_sum`` in bits (recorded at construction
+        time so size accounting does not need the scheme object).
+    """
+
+    ancestry_upper: AncestryLabel
+    ancestry_lower: AncestryLabel
+    outdetect_subtree_sum: OutdetectLabel
+    outdetect_bits: int
+
+    def __post_init__(self):
+        if not self.ancestry_upper.is_ancestor_of(self.ancestry_lower):
+            raise ValueError("the upper endpoint of a tree edge must be an ancestor "
+                             "of the lower endpoint")
+
+    def bit_size(self) -> int:
+        return (self.ancestry_upper.bit_size() + self.ancestry_lower.bit_size()
+                + self.outdetect_bits)
+
+    def subtree_interval(self) -> AncestryLabel:
+        """The DFS interval of the subtree cut off by removing this edge."""
+        return self.ancestry_lower

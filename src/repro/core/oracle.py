@@ -1,0 +1,80 @@
+"""A centralized connectivity-oracle wrapper around the labeling scheme.
+
+Any f-FTC labeling scheme doubles as a centralized connectivity oracle by
+simply storing all labels (Section 1.4); this wrapper does exactly that and is
+the object the benchmarks and examples interact with.  It also exposes the
+exact recomputation answer for auditing.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.ftc import FTCLabeling
+from repro.graphs.graph import Edge, Graph
+
+Vertex = Hashable
+
+
+class FTConnectivityOracle:
+    """Answers ``connected(s, t, F)`` queries for one graph under a fault budget."""
+
+    def __init__(self, graph: Graph, max_faults: int,
+                 variant: SchemeVariant = SchemeVariant.DETERMINISTIC_NEARLINEAR,
+                 config: FTCConfig | None = None, use_fast_engine: bool = True):
+        if config is None:
+            config = FTCConfig(max_faults=max_faults, variant=variant)
+        elif config.max_faults != max_faults:
+            raise ValueError("config.max_faults (%d) disagrees with max_faults (%d)"
+                             % (config.max_faults, max_faults))
+        self.graph = graph
+        self.config = config
+        self.labeling = FTCLabeling(graph, config)
+        self.use_fast_engine = use_fast_engine
+        self._queries_answered = 0
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = ()) -> bool:
+        """Connectivity of s and t in G - F, answered from labels."""
+        self._queries_answered += 1
+        return self.labeling.connected(s, t, faults, use_fast_engine=self.use_fast_engine)
+
+    def connected_exact(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = ()) -> bool:
+        """Ground-truth answer by BFS on G - F (for auditing and tests)."""
+        return self.graph.connected(s, t, removed=list(faults))
+
+    def audit(self, queries: Iterable[tuple]) -> dict:
+        """Compare the labeling answers against ground truth for many queries.
+
+        Each query is a tuple ``(s, t, faults)``.  Returns counts of agreements
+        and disagreements — the T1-correctness experiment in EXPERIMENTS.md.
+        """
+        agree = 0
+        disagree = 0
+        failures = 0
+        for s, t, faults in queries:
+            expected = self.connected_exact(s, t, faults)
+            try:
+                answer = self.connected(s, t, faults)
+            except Exception:
+                failures += 1
+                continue
+            if answer == expected:
+                agree += 1
+            else:
+                disagree += 1
+        total = agree + disagree + failures
+        return {
+            "total": total,
+            "agree": agree,
+            "disagree": disagree,
+            "failures": failures,
+            "accuracy": agree / total if total else 1.0,
+        }
+
+    def label_size_stats(self) -> dict:
+        return self.labeling.label_size_stats()
+
+    @property
+    def queries_answered(self) -> int:
+        return self._queries_answered

@@ -1,0 +1,193 @@
+"""The basic query engine and the label-only fragment structure.
+
+Everything here operates exclusively on label objects — the ancestry labels of
+``s`` and ``t`` and the :class:`~repro.core.labels.EdgeLabel` of every faulty
+edge — mirroring the universality requirement of the decoding function
+(Section 7.1).  The graph itself is never consulted.
+
+The fragment structure implements Proposition 3: the connected components of
+``T' - F`` are identified by the DFS interval of the faulty edge directly
+above them, the component of any vertex is found by innermost-interval search
+over the fault intervals, and each component's tree boundary (the faults
+adjacent to it) comes from the nesting forest of the fault intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.labels import EdgeLabel, VertexLabel
+from repro.labeling.ancestry import AncestryLabel
+from repro.labeling.edge_ids import EdgeIdCodec
+from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
+
+#: Identifier of the fragment containing the root of T'.
+ROOT_FRAGMENT = -1
+
+
+class QueryFailure(Exception):
+    """Raised when a query cannot be answered reliably.
+
+    This can only happen for the randomized whp scheme or the heuristic
+    PRACTICAL threshold rule; the deterministic PAPER schemes never raise.
+    """
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One connected component of T' - F, as seen through labels only."""
+
+    identifier: int                  # index into the fault list, or ROOT_FRAGMENT
+    interval: AncestryLabel | None   # subtree interval (None for the root fragment)
+    boundary: frozenset              # indices of faults adjacent to this fragment
+
+
+class FragmentStructure:
+    """The component structure of ``T' - F`` derived from fault edge labels."""
+
+    def __init__(self, fault_labels: Sequence[EdgeLabel]):
+        self.fault_labels = list(fault_labels)
+        # Deduplicate faults that map to the same tree edge of T' (same subtree
+        # interval): they represent the same failure.
+        self._unique_indices: list[int] = []
+        seen_intervals: set[tuple] = set()
+        for index, label in enumerate(self.fault_labels):
+            key = (label.ancestry_lower.pre, label.ancestry_lower.post)
+            if key in seen_intervals:
+                continue
+            seen_intervals.add(key)
+            self._unique_indices.append(index)
+        self._intervals = {index: self.fault_labels[index].subtree_interval()
+                           for index in self._unique_indices}
+        self._parent_fault = self._compute_nesting()
+        self._boundaries = self._compute_boundaries()
+
+    # ------------------------------------------------------------- structure
+
+    def _compute_nesting(self) -> dict:
+        """For each fault, the innermost other fault whose interval strictly contains it."""
+        parent: dict[int, int] = {}
+        for index in self._unique_indices:
+            interval = self._intervals[index]
+            best = ROOT_FRAGMENT
+            best_pre = -1
+            for other in self._unique_indices:
+                if other == index:
+                    continue
+                other_interval = self._intervals[other]
+                if other_interval.is_strict_ancestor_of(interval) and other_interval.pre > best_pre:
+                    best = other
+                    best_pre = other_interval.pre
+            parent[index] = best
+        return parent
+
+    def _compute_boundaries(self) -> dict:
+        boundaries: dict[int, set] = {ROOT_FRAGMENT: set()}
+        for index in self._unique_indices:
+            boundaries.setdefault(index, set()).add(index)
+            boundaries.setdefault(self._parent_fault[index], set()).add(index)
+        return boundaries
+
+    # ------------------------------------------------------------- queries
+
+    def fragment_ids(self) -> list[int]:
+        """All fragment identifiers (the root fragment first)."""
+        return [ROOT_FRAGMENT] + list(self._unique_indices)
+
+    def fragment_of_vertex(self, ancestry: AncestryLabel) -> int:
+        """Fragment containing the vertex with the given ancestry label."""
+        return self.fragment_of_preorder(ancestry.pre)
+
+    def fragment_of_preorder(self, preorder: int) -> int:
+        """Fragment of a vertex identified only by its DFS preorder index."""
+        best = ROOT_FRAGMENT
+        best_pre = -1
+        for index in self._unique_indices:
+            interval = self._intervals[index]
+            if interval.contains_preorder(preorder) and interval.pre > best_pre:
+                best = index
+                best_pre = interval.pre
+        return best
+
+    def boundary_of(self, fragment_id: int) -> set:
+        """Indices of faults on the tree boundary of one fragment."""
+        return set(self._boundaries.get(fragment_id, set()))
+
+    def fragment_outdetect_label(self, fragment_id: int, outdetect: OutdetectScheme):
+        """Proposition 4: XOR the subtree sums of the boundary faults."""
+        total = outdetect.zero_label()
+        for index in self.boundary_of(fragment_id):
+            total = outdetect.combine(total, self.fault_labels[index].outdetect_subtree_sum)
+        return total
+
+    def num_fragments(self) -> int:
+        return len(self._unique_indices) + 1
+
+
+class BasicQueryEngine:
+    """The query procedure of Lemma 1: grow the fragment containing ``s``.
+
+    Parameters
+    ----------
+    outdetect:
+        The S_{f,T'}-outdetect scheme used to decode combined labels.  Only
+        its decoding machinery (field, thresholds) is used — never the graph.
+    codec:
+        The edge-identifier codec, for interpreting decoded identifiers.
+    """
+
+    def __init__(self, outdetect: OutdetectScheme, codec: EdgeIdCodec):
+        self.outdetect = outdetect
+        self.codec = codec
+
+    def connected(self, source: VertexLabel, target: VertexLabel,
+                  fault_labels: Sequence[EdgeLabel]) -> bool:
+        """Decide s-t connectivity in G - F from labels only."""
+        if source.ancestry == target.ancestry:
+            return True
+        structure = FragmentStructure(fault_labels)
+        source_fragment = structure.fragment_of_vertex(source.ancestry)
+        target_fragment = structure.fragment_of_vertex(target.ancestry)
+        if source_fragment == target_fragment:
+            return True
+
+        merged = {source_fragment}
+        combined = structure.fragment_outdetect_label(source_fragment, self.outdetect)
+        # At most one merge per fragment.
+        for _ in range(structure.num_fragments()):
+            try:
+                edge_identifiers = self.outdetect.decode(combined)
+            except OutdetectDecodeError as error:
+                raise QueryFailure(str(error)) from error
+            next_fragment = self._next_fragment(edge_identifiers, structure, merged)
+            if next_fragment is None:
+                return False
+            if next_fragment == target_fragment:
+                return True
+            merged.add(next_fragment)
+            combined = self.outdetect.combine(
+                combined, structure.fragment_outdetect_label(next_fragment, self.outdetect))
+        return False
+
+    def _next_fragment(self, edge_identifiers: Sequence[int],
+                       structure: FragmentStructure, merged: set) -> int | None:
+        """The fragment reached by the first usable outgoing edge, or ``None``."""
+        if not edge_identifiers:
+            return None
+        usable = False
+        for identifier in edge_identifiers:
+            if not self.codec.is_plausible(identifier):
+                continue
+            pre_u, pre_v = self.codec.endpoint_preorders(identifier)
+            fragment_u = structure.fragment_of_preorder(pre_u)
+            fragment_v = structure.fragment_of_preorder(pre_v)
+            if (fragment_u in merged) == (fragment_v in merged):
+                # Not an outgoing edge of the current union; with deterministic
+                # labels this cannot happen, with sketches it can.
+                continue
+            usable = True
+            return fragment_v if fragment_u in merged else fragment_u
+        if not usable:
+            raise QueryFailure("decoded edge identifiers do not yield an outgoing edge")
+        return None  # pragma: no cover - unreachable

@@ -1,0 +1,88 @@
+"""The tree-edge f-FTC labeling scheme (Lemma 1).
+
+Vertices receive their ancestry label; every tree edge of ``T'`` receives the
+ancestry labels of its endpoints plus the XOR of the outdetect labels over the
+subtree hanging below it.  Proposition 4 then lets the decoder reconstruct the
+outdetect label of any union of fragments purely from the labels of the faulty
+edges bounding it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.labels import EdgeLabel, VertexLabel
+from repro.core.transform import TransformedInstance
+from repro.graphs.graph import Edge, canonical_edge
+from repro.outdetect.base import OutdetectScheme
+
+Vertex = Hashable
+
+
+class TreeEdgeLabeling:
+    """Vertex and tree-edge labels of the tree-edge scheme.
+
+    Parameters
+    ----------
+    instance:
+        The transformed instance (auxiliary graph, ancestry labels, ...).
+    outdetect:
+        The S_{f,T'}-outdetect scheme over the non-tree edges of G'.
+    """
+
+    def __init__(self, instance: TransformedInstance, outdetect: OutdetectScheme):
+        self.instance = instance
+        self.outdetect = outdetect
+        self._vertex_labels: dict[Vertex, VertexLabel] = {}
+        self._edge_labels: dict[Edge, EdgeLabel] = {}
+        self._build()
+
+    def _build(self) -> None:
+        ancestry = self.instance.ancestry
+        tree = self.instance.auxiliary.tree_prime
+        for vertex in tree.vertices():
+            self._vertex_labels[vertex] = VertexLabel(ancestry=ancestry.label(vertex))
+
+        # Subtree XOR sums of the outdetect labels, bottom-up (Proposition 4's
+        # per-edge quantity L_out(V_{T'(e)})).
+        subtree_sum: dict[Vertex, object] = {}
+        for vertex in tree.postorder():
+            total = self.outdetect.label_of(vertex)
+            for child in tree.children(vertex):
+                total = self.outdetect.combine(total, subtree_sum[child])
+            subtree_sum[vertex] = total
+
+        for vertex in tree.vertices():
+            parent = tree.parent(vertex)
+            if parent is None:
+                continue
+            edge = canonical_edge(vertex, parent)
+            label_sum = subtree_sum[vertex]
+            self._edge_labels[edge] = EdgeLabel(
+                ancestry_upper=ancestry.label(parent),
+                ancestry_lower=ancestry.label(vertex),
+                outdetect_subtree_sum=label_sum,
+                outdetect_bits=self.outdetect.label_bit_size(label_sum),
+            )
+
+    # ------------------------------------------------------------- accessors
+
+    def vertex_label(self, vertex: Vertex) -> VertexLabel:
+        return self._vertex_labels[vertex]
+
+    def tree_edge_label(self, u: Vertex, v: Vertex) -> EdgeLabel:
+        return self._edge_labels[canonical_edge(u, v)]
+
+    def all_vertex_labels(self) -> dict:
+        return dict(self._vertex_labels)
+
+    def all_edge_labels(self) -> dict:
+        return dict(self._edge_labels)
+
+    def max_vertex_label_bits(self) -> int:
+        return max(label.bit_size() for label in self._vertex_labels.values())
+
+    def max_edge_label_bits(self) -> int:
+        if not self._edge_labels:
+            return 0
+        return max(label.bit_size() for label in self._edge_labels.values())

@@ -1,0 +1,109 @@
+"""The near-linear deterministic epsilon-net of Lemma 12 (``NetFind``).
+
+``NetFind`` is a divide-and-conquer over the x-axis.  At every node it splits
+the point set at a median vertical line and adds the *slab net* of Lemma 11
+for that line: group the points by y-coordinate into blocks, and from every
+block keep the point closest to the line from the left and from the right.
+Any axis-aligned rectangle containing enough points must either avoid the
+median line (and is handled by a recursive call) or cross it (and then some
+block is fully covered by the rectangle's y-range, so one of its two kept
+points is inside the rectangle).
+
+The functions work on point *indices* so callers can carry arbitrary payloads
+(for the hierarchy: edges) alongside the points without worrying about
+coordinate collisions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+Point = tuple
+
+
+def slab_net(points: Sequence[Point], indices: Sequence[int], group_size: int,
+             line_x: float) -> list[int]:
+    """The slab construction of Lemma 11 for the vertical line ``x = line_x``.
+
+    Splits the points (given by ``indices`` into ``points``) into blocks of
+    ``group_size`` consecutive points in y-order and keeps, per block, the
+    point with the largest x-coordinate not exceeding ``line_x`` and the point
+    with the smallest x-coordinate exceeding it.
+
+    Guarantee: every axis-aligned rectangle that crosses the line and contains
+    at least ``3 * group_size`` of the points contains a selected point.  The
+    output has at most ``2 * ceil(len(indices) / group_size)`` points.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be positive, got %d" % group_size)
+    by_y = sorted(indices, key=lambda index: (points[index][1], points[index][0], index))
+    selected: list[int] = []
+    for start in range(0, len(by_y), group_size):
+        block = by_y[start:start + group_size]
+        left_candidates = [index for index in block if points[index][0] <= line_x]
+        right_candidates = [index for index in block if points[index][0] > line_x]
+        if left_candidates:
+            selected.append(max(left_candidates, key=lambda index: (points[index][0], -index)))
+        if right_candidates:
+            selected.append(min(right_candidates, key=lambda index: (points[index][0], index)))
+    return selected
+
+
+def net_find(points: Sequence[Point], capacity: int | None = None,
+             leaf_threshold: float | None = None) -> list[int]:
+    """The ``NetFind`` algorithm of Lemma 12.
+
+    Parameters
+    ----------
+    points:
+        The point set P (2-D tuples).
+    capacity:
+        The parameter ``N`` of the lemma (an upper bound on ``|P|``); defaults
+        to ``len(points)``.
+    leaf_threshold:
+        Recursion stops (returning the empty set) below this size; defaults to
+        the lemma's ``12 * log2(N)``.
+
+    Returns
+    -------
+    list[int]
+        Indices of the selected points.  The selection is a
+        ``(12 log2 N / |P|)``-net for axis-aligned rectangles of size at most
+        ``|P| * log2(|P|) / (2 log2 N)`` — in particular at most ``|P| / 2``
+        when ``capacity == len(points)``, which is what drives the
+        logarithmic depth of the sparsification hierarchy.
+    """
+    total = len(points)
+    if total == 0:
+        return []
+    if capacity is None:
+        capacity = total
+    if capacity < total:
+        raise ValueError("capacity %d is smaller than the point count %d" % (capacity, total))
+    log_capacity = max(math.log2(capacity), 1.0)
+    if leaf_threshold is None:
+        leaf_threshold = 12.0 * log_capacity
+    group_size = max(int(math.ceil(4.0 * log_capacity)), 1)
+    all_indices = list(range(total))
+    selected = _net_find_recursive(points, all_indices, leaf_threshold, group_size)
+    return sorted(set(selected))
+
+
+def hitting_threshold(capacity: int) -> int:
+    """The rectangle size guaranteed to be hit by :func:`net_find` (``12 log2 N``)."""
+    return int(math.ceil(12.0 * max(math.log2(max(capacity, 2)), 1.0)))
+
+
+def _net_find_recursive(points: Sequence[Point], indices: list[int],
+                        leaf_threshold: float, group_size: int) -> list[int]:
+    if len(indices) < leaf_threshold:
+        return []
+    by_x = sorted(indices, key=lambda index: (points[index][0], points[index][1], index))
+    half = len(by_x) // 2
+    median_x = points[by_x[half]][0]
+    left, right = by_x[:half], by_x[half:]
+    selected = slab_net(points, indices, group_size, median_x)
+    selected.extend(_net_find_recursive(points, left, leaf_threshold, group_size))
+    selected.extend(_net_find_recursive(points, right, leaf_threshold, group_size))
+    return selected

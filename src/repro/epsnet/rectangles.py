@@ -1,0 +1,69 @@
+"""Axis-aligned rectangles and point utilities for the epsilon-net machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+Point = tuple
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """A closed axis-aligned rectangle ``[x_low, x_high] x [y_low, y_high]``."""
+
+    x_low: float
+    x_high: float
+    y_low: float
+    y_high: float
+
+    def __post_init__(self):
+        if self.x_low > self.x_high or self.y_low > self.y_high:
+            raise ValueError("degenerate rectangle: %r" % (self,))
+
+    def contains(self, point: Point) -> bool:
+        x, y = point
+        return self.x_low <= x <= self.x_high and self.y_low <= y <= self.y_high
+
+    def crosses_vertical_line(self, x: float) -> bool:
+        """Whether the rectangle intersects the vertical line at abscissa ``x``."""
+        return self.x_low <= x <= self.x_high
+
+    def intersects(self, other: "Rectangle") -> bool:
+        return not (self.x_high < other.x_low or other.x_high < self.x_low
+                    or self.y_high < other.y_low or other.y_high < self.y_low)
+
+    @classmethod
+    def bounding(cls, points: Sequence[Point]) -> "Rectangle":
+        """The bounding rectangle of a non-empty point set."""
+        if not points:
+            raise ValueError("cannot bound an empty point set")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return cls(min(xs), max(xs), min(ys), max(ys))
+
+
+def points_in_rectangle(points: Iterable[Point], rectangle: Rectangle) -> list[Point]:
+    """All points of the iterable lying inside the rectangle."""
+    return [point for point in points if rectangle.contains(point)]
+
+
+def canonical_rectangles(points: Sequence[Point]) -> list[Rectangle]:
+    """A canonical family of rectangles spanned by point coordinates.
+
+    Every axis-aligned rectangle can be shrunk, without changing which of the
+    given points it contains, until its four sides pass through point
+    coordinates.  The family of such "canonical" rectangles therefore captures
+    every distinct point subset an arbitrary rectangle can cut out; it has
+    O(N^4) members.  It is used by the greedy net construction and by the
+    exhaustive validators in the test-suite (on small inputs only).
+    """
+    xs = sorted({p[0] for p in points})
+    ys = sorted({p[1] for p in points})
+    rectangles = []
+    for i, x_low in enumerate(xs):
+        for x_high in xs[i:]:
+            for j, y_low in enumerate(ys):
+                for y_high in ys[j:]:
+                    rectangles.append(Rectangle(x_low, x_high, y_low, y_high))
+    return rectangles

@@ -1,0 +1,93 @@
+"""The H_{2f} shape family of Section 4.3.
+
+A cut set ``∂_{E'}(S)`` for ``S`` with at most ``f`` faulty tree edges maps,
+under the Euler-tour embedding, to the points lying in the symmetric
+difference of at most ``2f`` horizontal half-planes and the corresponding
+``2f`` vertical half-planes (Lemma 3).  Such a "checkered" region decomposes
+into at most ``(2f + 1)^2 / 2`` axis-aligned rectangles, which is the
+reduction that turns rectangle epsilon-nets into nets for cut sets (and hence
+into good sparsification hierarchies, Lemma 5).
+
+The class here provides exact membership tests and the rectangle
+decomposition; it is used by the hierarchy validator and by the Figure-2
+benchmark, not by the construction hot path (which only needs the rectangle
+net itself).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.epsnet.rectangles import Rectangle
+
+Point = tuple
+
+
+class SymmetricDifferenceShape:
+    """The symmetric difference of half-planes ``{x >= a}`` and ``{y >= a}``.
+
+    Parameters
+    ----------
+    cut_positions:
+        The multiset of threshold coordinates ``a`` — in the paper these are
+        the Euler-tour positions of the directed tree edges crossing the cut.
+        Each position contributes both a vertical and a horizontal half-plane.
+    """
+
+    def __init__(self, cut_positions: Iterable[int]):
+        self.cut_positions = sorted(cut_positions)
+
+    def contains(self, point: Point) -> bool:
+        """Membership: the point lies in an odd number of the half-planes."""
+        x, y = point
+        count = 0
+        for position in self.cut_positions:
+            if x >= position:
+                count += 1
+            if y >= position:
+                count += 1
+        return count % 2 == 1
+
+    def filter_points(self, points: Sequence[Point]) -> list[Point]:
+        return [point for point in points if self.contains(point)]
+
+    def rectangle_decomposition(self, bound: int) -> list[Rectangle]:
+        """Decompose the shape (clipped to ``[0, bound]^2``) into rectangles.
+
+        The thresholds split each axis into at most ``2f + 1`` intervals; the
+        shape is a union of cells of the resulting grid, and each cell is an
+        axis-aligned rectangle.  Adjacent cells in the same row are merged so
+        the output size matches the paper's ``(2f + 1)^2 / 2`` bound up to
+        constants.
+        """
+        boundaries = [0] + [p for p in self.cut_positions if 0 < p <= bound] + [bound + 1]
+        boundaries = sorted(set(boundaries))
+        intervals = [(boundaries[i], boundaries[i + 1] - 1)
+                     for i in range(len(boundaries) - 1)
+                     if boundaries[i] <= boundaries[i + 1] - 1]
+        rectangles: list[Rectangle] = []
+        for y_low, y_high in intervals:
+            run_start = None
+            for x_low, x_high in intervals:
+                cell_point = (x_low, y_low)
+                if self.contains(cell_point):
+                    if run_start is None:
+                        run_start = x_low
+                    run_end = x_high
+                else:
+                    if run_start is not None:
+                        rectangles.append(Rectangle(run_start, run_end, y_low, y_high))
+                        run_start = None
+            if run_start is not None:
+                rectangles.append(Rectangle(run_start, run_end, y_low, y_high))
+        return rectangles
+
+    def max_rectangles_bound(self) -> int:
+        """The paper's bound on the number of rectangles: (q + 1)^2 / 2 for q thresholds."""
+        q = len(self.cut_positions)
+        return max((q + 1) * (q + 1) // 2, 1)
+
+
+def shape_from_cut_positions(cut_positions: Iterable[int]) -> SymmetricDifferenceShape:
+    """Convenience constructor mirroring Lemma 3's notation."""
+    return SymmetricDifferenceShape(cut_positions)

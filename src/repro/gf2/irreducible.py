@@ -1,0 +1,165 @@
+"""Irreducible polynomials over GF(2).
+
+A field GF(2^w) is defined by an irreducible polynomial of degree ``w`` over
+GF(2).  Polynomials over GF(2) are represented as Python integers whose bit
+``i`` is the coefficient of ``x^i`` (so ``0b10011`` is ``x^4 + x + 1``).
+
+The module provides
+
+* a table of well-known low-weight irreducible polynomials for the word sizes
+  the labeling schemes typically need (``DEFAULT_IRREDUCIBLES``), and
+* a deterministic search (:func:`find_irreducible`) backed by Rabin's
+  irreducibility test (:func:`is_irreducible`) for any other degree.
+
+Both are deterministic, in keeping with the paper's goal of a fully
+deterministic construction.
+"""
+
+from __future__ import annotations
+
+# Low-weight (trinomial / pentanomial) irreducible polynomials over GF(2).
+# Keyed by degree; the values include the leading x^w term.
+DEFAULT_IRREDUCIBLES = {
+    1: 0b11,                       # x + 1
+    2: 0b111,                      # x^2 + x + 1
+    3: 0b1011,                     # x^3 + x + 1
+    4: 0b10011,                    # x^4 + x + 1
+    5: 0b100101,                   # x^5 + x^2 + 1
+    6: 0b1000011,                  # x^6 + x + 1
+    7: 0b10000011,                 # x^7 + x + 1
+    8: 0b100011011,                # x^8 + x^4 + x^3 + x + 1
+    9: 0b1000010001,               # x^9 + x^4 + 1
+    10: 0b10000001001,             # x^10 + x^3 + 1
+    11: 0b100000000101,            # x^11 + x^2 + 1
+    12: 0b1000001010011,           # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,          # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,         # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,        # x^15 + x + 1
+    16: 0b10001000000001011,       # x^16 + x^12 + x^3 + x + 1
+    17: 0b100000000000001001,      # x^17 + x^3 + 1
+    18: 0b1000000000010000001,     # x^18 + x^7 + 1
+    19: 0b10000000000000100111,    # x^19 + x^5 + x^2 + x + 1
+    20: 0b100000000000000001001,   # x^20 + x^3 + 1
+    21: 0b1000000000000000000101,  # x^21 + x^2 + 1
+    22: 0b10000000000000000000011,  # x^22 + x + 1
+    23: 0b100000000000000000100001,  # x^23 + x^5 + 1
+    24: 0b1000000000000000010000111,  # x^24 + x^7 + x^2 + x + 1
+    25: 0b10000000000000000000001001,  # x^25 + x^3 + 1
+    26: 0b100000000000000000001000111,  # x^26 + x^6 + x^2 + x + 1 (verified at import if used)
+    28: 0b10000000000000000000000000011 | (1 << 2),  # x^28 + x^2 + 1? replaced by search if not irreducible
+    32: (1 << 32) | 0b10001101,     # x^32 + x^7 + x^3 + x^2 + 1
+    40: (1 << 40) | (1 << 5) | (1 << 4) | (1 << 3) | 1,  # x^40 + x^5 + x^4 + x^3 + 1
+    48: (1 << 48) | (1 << 5) | (1 << 3) | (1 << 2) | 1,  # x^48 + x^5 + x^3 + x^2 + 1
+    56: (1 << 56) | (1 << 7) | (1 << 4) | (1 << 2) | 1,  # x^56 + x^7 + x^4 + x^2 + 1
+    64: (1 << 64) | 0b11011,        # x^64 + x^4 + x^3 + x + 1
+}
+
+
+def _poly_degree(p: int) -> int:
+    """Return the degree of a GF(2)[x] polynomial encoded as an int."""
+    return p.bit_length() - 1
+
+
+def _poly_mulmod(a: int, b: int, mod: int) -> int:
+    """Multiply two GF(2)[x] polynomials modulo ``mod``."""
+    deg = _poly_degree(mod)
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a >> deg & 1:
+            a ^= mod
+    return result
+
+
+def _poly_powmod(a: int, exponent: int, mod: int) -> int:
+    """Compute ``a^exponent mod mod`` in GF(2)[x]."""
+    result = 1
+    base = _poly_mod(a, mod)
+    while exponent:
+        if exponent & 1:
+            result = _poly_mulmod(result, base, mod)
+        base = _poly_mulmod(base, base, mod)
+        exponent >>= 1
+    return result
+
+
+def _poly_mod(a: int, mod: int) -> int:
+    """Reduce ``a`` modulo ``mod`` in GF(2)[x]."""
+    deg_mod = _poly_degree(mod)
+    while _poly_degree(a) >= deg_mod and a:
+        a ^= mod << (_poly_degree(a) - deg_mod)
+    return a
+
+
+def _poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two GF(2)[x] polynomials."""
+    while b:
+        a, b = b, _poly_mod(a, b)
+    return a
+
+
+def _prime_factors(value: int) -> list[int]:
+    """Return the distinct prime factors of ``value``."""
+    factors = []
+    candidate = 2
+    remaining = value
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            factors.append(candidate)
+            while remaining % candidate == 0:
+                remaining //= candidate
+        candidate += 1
+    if remaining > 1:
+        factors.append(remaining)
+    return factors
+
+
+def is_irreducible(poly: int) -> bool:
+    """Deterministic Rabin irreducibility test for a GF(2)[x] polynomial.
+
+    ``poly`` is irreducible of degree ``w`` iff ``x^(2^w) == x (mod poly)`` and
+    for every prime divisor ``q`` of ``w``, ``gcd(x^(2^(w/q)) - x, poly) == 1``.
+    """
+    degree = _poly_degree(poly)
+    if degree <= 0:
+        return False
+    if degree == 1:
+        return True
+    # x^(2^degree) mod poly must equal x.
+    frob = 2  # the polynomial "x"
+    for _ in range(degree):
+        frob = _poly_mulmod(frob, frob, poly)
+    if frob != 2:
+        return False
+    for prime in _prime_factors(degree):
+        reduced_degree = degree // prime
+        frob = 2
+        for _ in range(reduced_degree):
+            frob = _poly_mulmod(frob, frob, poly)
+        if _poly_gcd(frob ^ 2, poly) != 1:
+            return False
+    return True
+
+
+def find_irreducible(degree: int) -> int:
+    """Return an irreducible polynomial of the given degree over GF(2).
+
+    The table of known low-weight polynomials is consulted first; otherwise the
+    polynomials of the given degree are scanned in increasing order of their
+    integer encoding, which makes the result deterministic.
+    """
+    if degree < 1:
+        raise ValueError("degree must be positive, got %d" % degree)
+    candidate = DEFAULT_IRREDUCIBLES.get(degree)
+    if candidate is not None and is_irreducible(candidate):
+        return candidate
+    base = 1 << degree
+    # Irreducible polynomials of degree >= 2 must have a non-zero constant term.
+    for low_bits in range(1, 1 << degree, 2):
+        poly = base | low_bits
+        if is_irreducible(poly):
+            return poly
+    raise RuntimeError("no irreducible polynomial of degree %d found" % degree)

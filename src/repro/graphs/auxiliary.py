@@ -1,0 +1,115 @@
+"""The auxiliary graph G' of Section 3.2 (Figure 1).
+
+Every non-tree edge ``e = (u, v)`` of the input graph is subdivided by a new
+vertex; one half (attached to ``u``) joins the spanning tree ``T'`` and keeps
+the name of ``e``, while the other half stays a non-tree edge.  The mapping
+``sigma`` sends every original edge to a tree edge of ``T'``; a query
+``(s, t, F)`` on ``G`` becomes ``(s, t, sigma(F))`` on ``G'``, and
+connectivity is preserved (Proposition 1).  This reduction is what lets the
+whole scheme assume that only tree edges fail.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.spanning_tree import RootedTree, non_tree_edges
+
+Vertex = Hashable
+
+
+class SubdivisionVertex:
+    """A vertex introduced by subdividing a non-tree edge.
+
+    Instances compare equal iff they subdivide the same original edge, and are
+    orderable alongside ordinary vertices through their string key, which keeps
+    spanning-tree and Euler-tour orders deterministic.
+    """
+
+    __slots__ = ("edge",)
+
+    def __init__(self, edge: Edge):
+        self.edge = edge
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SubdivisionVertex) and other.edge == self.edge
+
+    def __hash__(self) -> int:
+        return hash(("subdivision", self.edge))
+
+    def __repr__(self) -> str:
+        return "sub(%r,%r)" % self.edge
+
+
+class AuxiliaryGraph:
+    """The transformed instance ``(G', T', sigma)`` of Proposition 1."""
+
+    def __init__(self, graph: Graph, tree: RootedTree):
+        self.original_graph = graph
+        self.original_tree = tree
+        self.graph_prime = Graph()
+        self._sigma: dict[Edge, Edge] = {}
+        self._subdivision_of: dict[Edge, Vertex] = {}
+        parent_map: dict[Vertex, Vertex] = {}
+
+        for vertex in graph.vertices():
+            self.graph_prime.add_vertex(vertex)
+        for vertex in tree.vertices():
+            parent = tree.parent(vertex)
+            if parent is not None:
+                parent_map[vertex] = parent
+                self.graph_prime.add_edge(vertex, parent)
+                edge = canonical_edge(vertex, parent)
+                self._sigma[edge] = edge
+
+        for edge in non_tree_edges(graph, tree):
+            u, v = edge
+            midpoint = SubdivisionVertex(edge)
+            self._subdivision_of[edge] = midpoint
+            self.graph_prime.add_edge(u, midpoint)
+            self.graph_prime.add_edge(midpoint, v)
+            # The half incident to the canonical first endpoint joins T'.
+            parent_map[midpoint] = u
+            self._sigma[edge] = canonical_edge(u, midpoint)
+
+        self.tree_prime = RootedTree(tree.root, parent_map)
+
+    # ------------------------------------------------------------- accessors
+
+    def sigma(self, u: Vertex, v: Vertex) -> Edge:
+        """Image of an original edge under the mapping sigma (a T' edge)."""
+        edge = canonical_edge(u, v)
+        if edge not in self._sigma:
+            raise KeyError("edge %r is not an edge of the original graph" % (edge,))
+        return self._sigma[edge]
+
+    def map_faults(self, faults: Iterable[Edge]) -> list[Edge]:
+        """Map a fault set of original edges onto tree edges of T'."""
+        return [self.sigma(u, v) for u, v in faults]
+
+    def subdivision_vertex(self, u: Vertex, v: Vertex) -> Vertex:
+        """The subdivision vertex of a non-tree original edge."""
+        edge = canonical_edge(u, v)
+        if edge not in self._subdivision_of:
+            raise KeyError("edge %r is not a non-tree edge" % (edge,))
+        return self._subdivision_of[edge]
+
+    def non_tree_edges_prime(self) -> list[Edge]:
+        """The non-tree edges of G' (the 'second halves' of subdivided edges)."""
+        edges = []
+        for edge, midpoint in self._subdivision_of.items():
+            _, v = edge
+            edges.append(canonical_edge(midpoint, v))
+        return edges
+
+    def statistics(self) -> dict:
+        """Size accounting used by the Figure-1 benchmark."""
+        return {
+            "n": self.original_graph.num_vertices(),
+            "m": self.original_graph.num_edges(),
+            "n_prime": self.graph_prime.num_vertices(),
+            "m_prime": self.graph_prime.num_edges(),
+            "tree_edges_prime": len(self.tree_prime.tree_edges()),
+            "non_tree_edges_prime": len(self.non_tree_edges_prime()),
+        }

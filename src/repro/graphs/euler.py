@@ -1,0 +1,142 @@
+"""Euler tours, DFS intervals, and the geometric embedding of Section 4.3.
+
+The deterministic sparsification of the paper maps every non-tree edge to a
+point in the plane: replace every tree edge by two directed arcs, order all
+arcs by an Euler tour starting at the root, give every non-root vertex the
+coordinate ``c(v)`` equal to the position of the arc entering it from its
+parent, and map a non-tree edge ``(u, v)`` to the point ``(c(u), c(v))`` with
+the smaller coordinate first.  Lemma 3 then characterizes every cut set
+``∂_{E'}(S)`` as the set of points inside a symmetric difference of
+axis-aligned half-planes, which is what lets ε-net machinery build the
+sparsification hierarchy deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.spanning_tree import RootedTree
+
+Vertex = Hashable
+
+
+class EulerTour:
+    """Euler tour of a rooted tree with the paper's vertex coordinates.
+
+    Attributes
+    ----------
+    arcs:
+        The sequence of directed arcs ``(parent, child)`` / ``(child, parent)``
+        visited by the tour, 1-indexed positions (position 0 is unused so the
+        coordinates live in ``[1, 2n - 2]`` as in the paper).
+    """
+
+    __slots__ = ("tree", "arcs", "_coordinate", "_arc_position", "_pre", "_post")
+
+    def __init__(self, tree: RootedTree):
+        self.tree = tree
+        self.arcs: list[tuple] = []
+        self._coordinate: dict[Vertex, int] = {tree.root: 0}
+        self._arc_position: dict[tuple, int] = {}
+        self._pre: dict[Vertex, int] = {}
+        self._post: dict[Vertex, int] = {}
+        self._run_tour()
+
+    def _run_tour(self) -> None:
+        tree = self.tree
+        counter = 0
+        pre_counter = 0
+        # Iterative DFS that records both downward and upward arcs.
+        stack: list[tuple] = [(tree.root, iter(tree.children(tree.root)))]
+        self._pre[tree.root] = pre_counter
+        pre_counter += 1
+        while stack:
+            vertex, child_iterator = stack[-1]
+            child = next(child_iterator, None)
+            if child is None:
+                stack.pop()
+                self._post[vertex] = pre_counter
+                pre_counter += 1
+                if stack:
+                    parent = stack[-1][0]
+                    counter += 1
+                    arc = (vertex, parent)
+                    self.arcs.append(arc)
+                    self._arc_position[arc] = counter
+                continue
+            counter += 1
+            arc = (vertex, child)
+            self.arcs.append(arc)
+            self._arc_position[arc] = counter
+            self._coordinate[child] = counter
+            self._pre[child] = pre_counter
+            pre_counter += 1
+            stack.append((child, iter(tree.children(child))))
+
+    # ------------------------------------------------------------- accessors
+
+    def coordinate(self, vertex: Vertex) -> int:
+        """The 1-D coordinate ``c(v)`` (0 for the root)."""
+        return self._coordinate[vertex]
+
+    def arc_position(self, tail: Vertex, head: Vertex) -> int:
+        """Position of the directed arc ``tail -> head`` in the tour (1-based)."""
+        return self._arc_position[(tail, head)]
+
+    def directed_arcs_of_edge(self, u: Vertex, v: Vertex) -> tuple[int, int]:
+        """Positions of the two arcs corresponding to the undirected tree edge."""
+        return (self._arc_position[(u, v)], self._arc_position[(v, u)])
+
+    def num_arcs(self) -> int:
+        return len(self.arcs)
+
+    def point_of_edge(self, u: Vertex, v: Vertex) -> tuple[int, int]:
+        """The 2-D point of a non-tree edge: coordinates sorted ascending."""
+        cu, cv = self._coordinate[u], self._coordinate[v]
+        return (cu, cv) if cu <= cv else (cv, cu)
+
+    def embed_edges(self, edges: Iterable[Edge]) -> dict[Edge, tuple[int, int]]:
+        """Map every given (non-tree) edge to its 2-D point."""
+        return {canonical_edge(u, v): self.point_of_edge(u, v) for u, v in edges}
+
+    # ------------------------------------------------------ cut characterization
+
+    def directed_cut_positions(self, vertex_set: set) -> list[int]:
+        """Positions of all directed arcs crossing the cut ``(S, V \\ S)``.
+
+        This is the paper's ``∂_{vec T}(S)``: both orientations of every tree
+        edge with exactly one endpoint in ``S``.
+        """
+        positions = []
+        for (tail, head), position in self._arc_position.items():
+            if (tail in vertex_set) != (head in vertex_set):
+                positions.append(position)
+        return sorted(positions)
+
+    def point_in_symmetric_difference(self, point: tuple[int, int],
+                                      cut_positions: Iterable[int]) -> bool:
+        """Membership test of Lemma 3.
+
+        A point lies in the symmetric difference of the half-planes
+        ``{x >= a}`` and ``{y >= a}`` over all cut positions ``a`` iff the
+        total number of half-planes containing it is odd.
+        """
+        x, y = point
+        count = 0
+        for position in cut_positions:
+            if x >= position:
+                count += 1
+            if y >= position:
+                count += 1
+        return count % 2 == 1
+
+    # ---------------------------------------------------------- DFS intervals
+
+    def preorder_index(self, vertex: Vertex) -> int:
+        """DFS preorder index (used by the ancestry labeling)."""
+        return self._pre[vertex]
+
+    def postorder_index(self, vertex: Vertex) -> int:
+        """DFS post index; the interval [pre, post] contains all descendants."""
+        return self._post[vertex]

@@ -1,0 +1,77 @@
+"""Ground-truth fragment decomposition of ``T - F``.
+
+Removing a set ``F`` of tree edges splits a rooted spanning tree into
+``|F| + 1`` connected subtrees whose vertex sets the paper calls *fragments*
+(Section 3.1).  The query decoder reconstructs fragments purely from ancestry
+labels (see :mod:`repro.core.query`); the functions here compute them from the
+actual tree structure and are used for construction-time validation and as a
+test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.spanning_tree import RootedTree
+
+Vertex = Hashable
+
+
+def tree_fragments(tree: RootedTree, faults: Iterable[Edge]) -> list[set]:
+    """Return the vertex sets of the connected components of ``T - F``.
+
+    The fragment containing the root is always first; the remaining fragments
+    are ordered by the (deterministic) preorder of their topmost vertex.
+    """
+    fault_set = {canonical_edge(u, v) for u, v in faults}
+    for edge in fault_set:
+        if not tree.is_tree_edge(*edge):
+            raise ValueError("fault %r is not a tree edge" % (edge,))
+
+    fragment_of: dict[Vertex, int] = {}
+    fragment_sets: list[set] = [set()]
+    fragment_of[tree.root] = 0
+    fragment_sets[0].add(tree.root)
+    for vertex in tree.preorder():
+        if vertex == tree.root:
+            continue
+        parent = tree.parent(vertex)
+        if canonical_edge(vertex, parent) in fault_set:
+            fragment_of[vertex] = len(fragment_sets)
+            fragment_sets.append({vertex})
+        else:
+            index = fragment_of[parent]
+            fragment_of[vertex] = index
+            fragment_sets[index].add(vertex)
+    return fragment_sets
+
+
+def fragment_index_of(tree: RootedTree, faults: Iterable[Edge]) -> dict:
+    """Map every vertex to the index of its fragment in :func:`tree_fragments`."""
+    fragments = tree_fragments(tree, faults)
+    index_of = {}
+    for index, fragment in enumerate(fragments):
+        for vertex in fragment:
+            index_of[vertex] = index
+    return index_of
+
+
+def fragment_boundaries(tree: RootedTree, faults: Iterable[Edge]) -> list[set]:
+    """For each fragment, the set of fault edges on its tree boundary.
+
+    This is ``∂_T(C_i) ⊆ F`` for each fragment ``C_i`` — the quantity
+    Proposition 4 sums over to obtain the fragment's outdetect label.
+    """
+    fault_set = {canonical_edge(u, v) for u, v in faults}
+    fragments = tree_fragments(tree, faults)
+    index_of = {}
+    for index, fragment in enumerate(fragments):
+        for vertex in fragment:
+            index_of[vertex] = index
+    boundaries: list[set] = [set() for _ in fragments]
+    for edge in fault_set:
+        u, v = edge
+        boundaries[index_of[u]].add(edge)
+        boundaries[index_of[v]].add(edge)
+    return boundaries

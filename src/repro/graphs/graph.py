@@ -1,0 +1,205 @@
+"""A minimal undirected simple-graph type with canonical edge identities.
+
+The labeling schemes need stable, hashable edge identities ("the edge between
+u and v"), cheap adjacency iteration, and conversion to/from networkx for
+workload generation and cross-validation.  Vertices can be any hashable,
+orderable objects (ints, strings, tuples); edges are canonicalized as sorted
+pairs so ``(u, v)`` and ``(v, u)`` refer to the same edge.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Vertex = Hashable
+Edge = tuple
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) representation of the undirected edge {u, v}."""
+    if u == v:
+        raise ValueError("self-loops are not supported: %r" % (u,))
+    # Sort by (type name, repr) so heterogeneous vertex types stay orderable.
+    if _vertex_key(u) <= _vertex_key(v):
+        return (u, v)
+    return (v, u)
+
+
+def _vertex_key(v: Vertex) -> tuple:
+    return (type(v).__name__, repr(v))
+
+
+class Graph:
+    """An undirected simple graph."""
+
+    __slots__ = ("_adjacency", "_edges")
+
+    def __init__(self, edges: Iterable[tuple] = (), vertices: Iterable[Vertex] = ()):
+        self._adjacency: dict[Vertex, set] = {}
+        self._edges: set[Edge] = set()
+        for vertex in vertices:
+            self.add_vertex(vertex)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -------------------------------------------------------------- mutation
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        self._adjacency.setdefault(vertex, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> Edge:
+        """Add the undirected edge {u, v}, creating endpoints as needed."""
+        edge = canonical_edge(u, v)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._edges.add(edge)
+        return edge
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge {u, v}; raises ``KeyError`` if absent."""
+        edge = canonical_edge(u, v)
+        if edge not in self._edges:
+            raise KeyError("edge %r not in graph" % (edge,))
+        self._edges.remove(edge)
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+
+    # ------------------------------------------------------------- inspection
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all canonical edges."""
+        return iter(self._edges)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        if u not in self._adjacency:
+            return False
+        return v in self._adjacency[u]
+
+    def neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        """Iterate over neighbors of a vertex."""
+        return iter(self._adjacency[vertex])
+
+    def degree(self, vertex: Vertex) -> int:
+        return len(self._adjacency[vertex])
+
+    def num_vertices(self) -> int:
+        return len(self._adjacency)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def incident_edges(self, vertex: Vertex) -> list[Edge]:
+        """Canonical edges incident to a vertex."""
+        return [canonical_edge(vertex, other) for other in self._adjacency[vertex]]
+
+    # ------------------------------------------------------------- operations
+
+    def copy(self) -> "Graph":
+        clone = Graph()
+        for vertex in self.vertices():
+            clone.add_vertex(vertex)
+        for u, v in self.edges():
+            clone.add_edge(u, v)
+        return clone
+
+    def without_edges(self, removed: Iterable[Edge]) -> "Graph":
+        """Return a copy of the graph with the given edges removed."""
+        removed_set = {canonical_edge(u, v) for u, v in removed}
+        clone = Graph()
+        for vertex in self.vertices():
+            clone.add_vertex(vertex)
+        for u, v in self.edges():
+            if canonical_edge(u, v) not in removed_set:
+                clone.add_edge(u, v)
+        return clone
+
+    def subgraph_with_edges(self, kept: Iterable[Edge]) -> "Graph":
+        """Return a graph with all original vertices and only ``kept`` edges."""
+        clone = Graph()
+        for vertex in self.vertices():
+            clone.add_vertex(vertex)
+        for u, v in kept:
+            clone.add_edge(u, v)
+        return clone
+
+    def connected_components(self) -> list[set]:
+        """Return the vertex sets of the connected components."""
+        seen: set = set()
+        components = []
+        for start in self._adjacency:
+            if start in seen:
+                continue
+            stack = [start]
+            component = {start}
+            seen.add(start)
+            while stack:
+                current = stack.pop()
+                for neighbor in self._adjacency[current]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        if not self._adjacency:
+            return True
+        return len(self.connected_components()) == 1
+
+    def connected(self, s: Vertex, t: Vertex, removed: Iterable[Edge] = ()) -> bool:
+        """BFS connectivity query between ``s`` and ``t`` avoiding ``removed`` edges."""
+        if s == t:
+            return True
+        removed_set = {canonical_edge(u, v) for u, v in removed}
+        frontier = [s]
+        seen = {s}
+        while frontier:
+            next_frontier = []
+            for current in frontier:
+                for neighbor in self._adjacency[current]:
+                    if neighbor in seen:
+                        continue
+                    if canonical_edge(current, neighbor) in removed_set:
+                        continue
+                    if neighbor == t:
+                        return True
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return False
+
+    # ------------------------------------------------------------ conversion
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph (edges only, no data)."""
+        graph = cls()
+        for vertex in nx_graph.nodes():
+            graph.add_vertex(vertex)
+        for u, v in nx_graph.edges():
+            if u != v:
+                graph.add_edge(u, v)
+        return graph
+
+    def to_networkx(self):
+        """Convert to a networkx ``Graph`` (imported lazily)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self.vertices())
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Graph(n=%d, m=%d)" % (self.num_vertices(), self.num_edges())

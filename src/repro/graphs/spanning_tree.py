@@ -1,0 +1,179 @@
+"""Rooted spanning trees.
+
+The whole construction of the paper is parameterized by an arbitrary rooted
+spanning tree T of the input graph (Section 3).  :class:`RootedTree` stores
+the parent/children structure, depths, and a deterministic DFS order; it can
+be built by BFS or DFS over a :class:`~repro.graphs.graph.Graph`, or directly
+from an explicit parent map (used by the auxiliary-graph transformation, which
+must extend an existing tree rather than recompute one).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+Vertex = Hashable
+
+
+class RootedTree:
+    """A rooted tree over a set of vertices.
+
+    The tree is immutable after construction.  Children are kept in a
+    deterministic order (sorted by string key) so that Euler tours, DFS
+    intervals, and therefore every label in the scheme are reproducible.
+    """
+
+    __slots__ = ("root", "_parent", "_children", "_depth", "_order")
+
+    def __init__(self, root: Vertex, parent: dict):
+        self.root = root
+        self._parent = dict(parent)
+        self._parent[root] = None
+        self._children: dict[Vertex, list] = {vertex: [] for vertex in self._parent}
+        for vertex, par in self._parent.items():
+            if par is not None:
+                if par not in self._children:
+                    raise ValueError("parent %r of %r is not a tree vertex" % (par, vertex))
+                self._children[par].append(vertex)
+        for vertex in self._children:
+            self._children[vertex].sort(key=_vertex_sort_key)
+        self._depth: dict[Vertex, int] = {}
+        self._order: list[Vertex] = []
+        self._compute_depths_and_order()
+
+    def _compute_depths_and_order(self) -> None:
+        stack = [(self.root, 0)]
+        while stack:
+            vertex, depth = stack.pop()
+            self._depth[vertex] = depth
+            self._order.append(vertex)
+            for child in reversed(self._children[vertex]):
+                stack.append((child, depth + 1))
+        if len(self._order) != len(self._parent):
+            unreachable = set(self._parent) - set(self._order)
+            raise ValueError("parent map does not describe a tree rooted at %r; "
+                             "unreachable vertices: %r" % (self.root, sorted(map(repr, unreachable))[:5]))
+
+    # ------------------------------------------------------------- accessors
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._parent)
+
+    def num_vertices(self) -> int:
+        return len(self._parent)
+
+    def parent(self, vertex: Vertex):
+        """Parent of a vertex (``None`` for the root)."""
+        return self._parent[vertex]
+
+    def children(self, vertex: Vertex) -> list:
+        """Children of a vertex, in deterministic order."""
+        return list(self._children[vertex])
+
+    def depth(self, vertex: Vertex) -> int:
+        return self._depth[vertex]
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._parent
+
+    def preorder(self) -> list:
+        """Vertices in DFS preorder (deterministic)."""
+        return list(self._order)
+
+    def postorder(self) -> list:
+        """Vertices in DFS postorder (deterministic)."""
+        result: list = []
+        stack: list[tuple] = [(self.root, False)]
+        while stack:
+            vertex, expanded = stack.pop()
+            if expanded:
+                result.append(vertex)
+                continue
+            stack.append((vertex, True))
+            for child in reversed(self._children[vertex]):
+                stack.append((child, False))
+        return result
+
+    def tree_edges(self) -> list[Edge]:
+        """Canonical edges of the tree."""
+        return [canonical_edge(vertex, parent)
+                for vertex, parent in self._parent.items() if parent is not None]
+
+    def is_tree_edge(self, u: Vertex, v: Vertex) -> bool:
+        if u not in self._parent or v not in self._parent:
+            return False
+        return self._parent.get(u) == v or self._parent.get(v) == u
+
+    def lower_endpoint(self, u: Vertex, v: Vertex) -> Vertex:
+        """The endpoint farther from the root (the paper's "lower vertex")."""
+        if self._parent.get(u) == v:
+            return u
+        if self._parent.get(v) == u:
+            return v
+        raise ValueError("(%r, %r) is not a tree edge" % (u, v))
+
+    def subtree_vertices(self, vertex: Vertex) -> list:
+        """All vertices in the subtree rooted at ``vertex`` (inclusive)."""
+        result = []
+        stack = [vertex]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self._children[current])
+        return result
+
+    def path_to_root(self, vertex: Vertex) -> list:
+        """Vertices on the path from ``vertex`` up to (and including) the root."""
+        path = [vertex]
+        while self._parent[path[-1]] is not None:
+            path.append(self._parent[path[-1]])
+        return path
+
+    def is_ancestor(self, ancestor: Vertex, descendant: Vertex) -> bool:
+        """Ground-truth ancestry test by walking parent pointers."""
+        current = descendant
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self._parent[current]
+        return False
+
+
+def bfs_spanning_tree(graph: Graph, root: Vertex) -> RootedTree:
+    """Build a BFS spanning tree of a connected graph rooted at ``root``."""
+    return _spanning_tree(graph, root, breadth_first=True)
+
+
+def dfs_spanning_tree(graph: Graph, root: Vertex) -> RootedTree:
+    """Build a DFS spanning tree of a connected graph rooted at ``root``."""
+    return _spanning_tree(graph, root, breadth_first=False)
+
+
+def _spanning_tree(graph: Graph, root: Vertex, breadth_first: bool) -> RootedTree:
+    if not graph.has_vertex(root):
+        raise ValueError("root %r is not a vertex of the graph" % (root,))
+    parent: dict = {root: None}
+    frontier = [root]
+    while frontier:
+        current = frontier.pop(0) if breadth_first else frontier.pop()
+        for neighbor in sorted(graph.neighbors(current), key=_vertex_sort_key):
+            if neighbor not in parent:
+                parent[neighbor] = current
+                frontier.append(neighbor)
+    if len(parent) != graph.num_vertices():
+        raise ValueError("graph is not connected; spanning tree covers %d of %d vertices"
+                         % (len(parent), graph.num_vertices()))
+    return RootedTree(root, parent)
+
+
+def non_tree_edges(graph: Graph, tree: RootedTree) -> list[Edge]:
+    """Canonical edges of the graph that are not edges of the tree."""
+    tree_set = set(tree.tree_edges())
+    return sorted((edge for edge in graph.edges() if edge not in tree_set),
+                  key=lambda edge: (_vertex_sort_key(edge[0]), _vertex_sort_key(edge[1])))
+
+
+def _vertex_sort_key(vertex: Vertex) -> tuple:
+    return (type(vertex).__name__, repr(vertex))

@@ -1,0 +1,77 @@
+"""Configuration of sparsification hierarchies: threshold rules and presets.
+
+The decoding threshold ``k`` of each level governs both correctness (it must
+dominate the residual cut size the hierarchy can leave at that level) and the
+label size (each level contributes ``2k`` field elements per vertex).  Two
+presets are provided:
+
+``ThresholdRule.PAPER``
+    The proven constants of Lemma 5: ``k_i = 6 (2f + 1)^2 log2 |E_i|`` (capped
+    at ``|E_i|``, which never weakens the guarantee).  Labels are large but
+    correctness is unconditional — this is the deterministic scheme of
+    Theorem 1/2.
+
+``ThresholdRule.PRACTICAL``
+    The empirically sufficient ``k_i = 5 f log2 |E_i|`` (the randomized bound
+    of Proposition 5).  Smaller labels; relies on the decoder's failure
+    detection, and the layered scheme reports (rather than hides) the rare
+    case where a residual cut exceeds the threshold.  Used by the larger
+    benchmark instances and measured in the hierarchy ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ThresholdRule(Enum):
+    """How the per-level decoding threshold is derived from f and |E_i|."""
+
+    PAPER = "paper"
+    PRACTICAL = "practical"
+
+    def threshold(self, max_faults: int, level_size: int) -> int:
+        """The decoding threshold for one hierarchy level of ``level_size`` edges."""
+        if level_size <= 0:
+            return 1
+        log_term = max(math.log2(max(level_size, 2)), 1.0)
+        if self is ThresholdRule.PAPER:
+            raw = 6 * (2 * max_faults + 1) ** 2 * log_term
+        else:
+            raw = 5 * max_faults * log_term
+        threshold = int(math.ceil(raw))
+        threshold = max(threshold, 1)
+        return min(threshold, level_size)
+
+
+class NetAlgorithm(Enum):
+    """Which deterministic epsilon-net construction sparsifies each level."""
+
+    NETFIND = "netfind"          # near-linear, Lemma 12 (the default)
+    GREEDY = "greedy"            # polynomial greedy net (stands in for MDG18)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Parameters of a hierarchy construction."""
+
+    max_faults: int
+    rule: ThresholdRule = ThresholdRule.PAPER
+    net_algorithm: NetAlgorithm = NetAlgorithm.NETFIND
+    max_levels: int | None = None
+    random_seed: int = 0
+
+    def __post_init__(self):
+        if self.max_faults < 1:
+            raise ValueError("max_faults must be at least 1, got %d" % self.max_faults)
+
+    def threshold_for(self, level_size: int) -> int:
+        return self.rule.threshold(self.max_faults, level_size)
+
+    def level_cap(self, num_edges: int) -> int:
+        """A generous cap on the number of levels (O(log m) plus slack)."""
+        if self.max_levels is not None:
+            return self.max_levels
+        return 4 * max(int(math.ceil(math.log2(max(num_edges, 2)))), 1) + 4

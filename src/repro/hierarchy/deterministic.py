@@ -1,0 +1,96 @@
+"""Deterministic construction of (S_{f,T}, k)-good hierarchies (Lemma 5).
+
+Each level is sparsified by a deterministic epsilon-net for axis-aligned
+rectangles computed on the Euler-tour embedding of the level's edges:
+
+* every cut set of a vertex set with at most ``f`` faulty tree edges is a
+  union of at most ``(2f + 1)^2 / 2`` rectangles (Lemma 3 + Section 4.3), so
+* hitting every rectangle with at least ``12 log2 |E_i|`` points hits every
+  cut set with at least ``6 (2f + 1)^2 log2 |E_i|`` edges, which is exactly
+  the level's decoding threshold under the PAPER rule, and
+* the net has at most half the points, so the hierarchy has O(log m) levels.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.epsnet.greedy_net import greedy_rectangle_net
+from repro.epsnet.netfind import hitting_threshold, net_find
+from repro.graphs.euler import EulerTour
+from repro.graphs.graph import Edge
+from repro.hierarchy.base import EdgeHierarchy
+from repro.hierarchy.config import HierarchyConfig, NetAlgorithm
+
+Vertex = Hashable
+
+
+def build_deterministic_hierarchy(edges: Sequence[Edge], tour: EulerTour,
+                                  config: HierarchyConfig) -> EdgeHierarchy:
+    """Build the deterministic hierarchy for the given non-tree edges.
+
+    Parameters
+    ----------
+    edges:
+        The non-tree edges ``E_0 = E_{G'} - E_{T'}`` (canonical pairs).
+    tour:
+        The Euler tour of the spanning tree, providing the 2-D embedding.
+    config:
+        Threshold rule, net algorithm, and level cap.
+    """
+    hierarchy = EdgeHierarchy()
+    current = sorted(edges, key=_edge_sort_key)
+    level_cap = config.level_cap(len(current))
+    for _ in range(level_cap):
+        if not current:
+            break
+        hierarchy.levels.append(list(current))
+        hierarchy.thresholds.append(config.threshold_for(len(current)))
+        points = [tour.point_of_edge(u, v) for u, v in current]
+        selected_indices = _select_net(points, config)
+        next_level = [current[index] for index in selected_indices]
+        if len(next_level) >= len(current):
+            # Defensive: force progress so the hierarchy always terminates.
+            next_level = next_level[: len(current) - 1]
+        current = next_level
+    else:
+        if current:
+            # The level cap was hit with edges remaining; absorb the remainder
+            # into a final level whose threshold covers everything.
+            hierarchy.levels.append(list(current))
+            hierarchy.thresholds.append(len(current))
+    _finalize_thresholds(hierarchy, config)
+    hierarchy.validate_nesting()
+    return hierarchy
+
+
+def _select_net(points: list[tuple], config: HierarchyConfig) -> list[int]:
+    if config.net_algorithm is NetAlgorithm.GREEDY:
+        threshold = hitting_threshold(len(points))
+        return greedy_rectangle_net(points, threshold)
+    return net_find(points)
+
+
+def _finalize_thresholds(hierarchy: EdgeHierarchy, config: HierarchyConfig) -> None:
+    """Make the deepest level unconditionally decodable.
+
+    The level following the deepest non-empty level is empty, so a query whose
+    cut survives down there has no further fallback; raising that level's
+    threshold to its full size keeps the scheme correct regardless of the
+    threshold rule (for the PAPER rule this is a no-op whenever the last level
+    is already smaller than its threshold).
+    """
+    if not hierarchy.levels:
+        return
+    last = len(hierarchy.levels) - 1
+    hierarchy.thresholds[last] = max(hierarchy.thresholds[last], len(hierarchy.levels[last]))
+    if config.rule is not None:  # keep the cap at the level size for all levels
+        for index, level in enumerate(hierarchy.levels):
+            hierarchy.thresholds[index] = min(max(hierarchy.thresholds[index], 1), max(len(level), 1))
+    # Ensure the deepest level again after capping.
+    hierarchy.thresholds[last] = max(hierarchy.thresholds[last], len(hierarchy.levels[last]))
+
+
+def _edge_sort_key(edge: Edge) -> tuple:
+    u, v = edge
+    return (type(u).__name__, repr(u), type(v).__name__, repr(v))

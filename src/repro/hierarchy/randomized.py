@@ -1,0 +1,55 @@
+"""Randomized sub-sampling hierarchy (Proposition 5, Appendix A).
+
+Each level keeps every edge of the previous level independently with
+probability 1/2.  With high probability this yields an
+``(S_{f,T}, 5 f log n)``-good hierarchy, which is the ingredient the original
+Dory--Parter scheme (and our randomized full-support variant in Table 1) uses
+in place of the deterministic epsilon-net construction.  The randomness is
+driven by an explicit seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.graphs.graph import Edge
+from repro.hierarchy.base import EdgeHierarchy
+from repro.hierarchy.config import HierarchyConfig, ThresholdRule
+
+
+def build_randomized_hierarchy(edges: Sequence[Edge],
+                               config: HierarchyConfig) -> EdgeHierarchy:
+    """Build the sub-sampling hierarchy of Proposition 5."""
+    rng = random.Random(config.random_seed)
+    hierarchy = EdgeHierarchy()
+    current = sorted(edges, key=_edge_sort_key)
+    level_cap = config.level_cap(len(current))
+    rule = ThresholdRule.PRACTICAL if config.rule is ThresholdRule.PRACTICAL else ThresholdRule.PRACTICAL
+    for _ in range(level_cap):
+        if not current:
+            break
+        threshold = rule.threshold(config.max_faults, len(current))
+        hierarchy.levels.append(list(current))
+        hierarchy.thresholds.append(threshold)
+        if len(current) <= threshold:
+            # Every remaining cut fits under the threshold; stop here.
+            current = []
+            break
+        sampled = [edge for edge in current if rng.random() < 0.5]
+        if len(sampled) >= len(current):
+            sampled = sampled[: len(current) - 1]
+        current = sampled
+    if current:
+        hierarchy.levels.append(list(current))
+        hierarchy.thresholds.append(len(current))
+    if hierarchy.levels:
+        last = len(hierarchy.levels) - 1
+        hierarchy.thresholds[last] = max(hierarchy.thresholds[last], len(hierarchy.levels[last]))
+    hierarchy.validate_nesting()
+    return hierarchy
+
+
+def _edge_sort_key(edge: Edge) -> tuple:
+    u, v = edge
+    return (type(u).__name__, repr(u), type(v).__name__, repr(v))

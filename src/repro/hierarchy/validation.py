@@ -1,0 +1,107 @@
+"""Validation of the (S_{f,T}, k)-goodness property (Definition 1).
+
+Used by the test-suite (exhaustively on small trees) and by the hierarchy
+ablation benchmark (on sampled vertex sets).  The property checked is the one
+the layered outdetect scheme actually relies on:
+
+    for every vertex set S with |∂_T(S)| <= f and ∂_{E_0}(S) nonempty, the
+    deepest level i with ∂_{E_i}(S) nonempty satisfies
+    |∂_{E_i}(S)| <= thresholds[i].
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Hashable, Iterable, Sequence
+
+from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.spanning_tree import RootedTree
+from repro.graphs.fragments import tree_fragments
+from repro.hierarchy.base import EdgeHierarchy
+
+Vertex = Hashable
+
+
+def outgoing_edges(vertex_set: set, edges: Iterable[Edge]) -> list[Edge]:
+    """Edges with exactly one endpoint inside ``vertex_set``."""
+    return [edge for edge in edges if (edge[0] in vertex_set) != (edge[1] in vertex_set)]
+
+
+def goodness_violations(hierarchy: EdgeHierarchy, vertex_sets: Iterable[set]) -> list[dict]:
+    """Return one record per vertex set violating the decodability property."""
+    violations = []
+    for vertex_set in vertex_sets:
+        boundary_sizes = [len(outgoing_edges(vertex_set, level)) for level in hierarchy.levels]
+        deepest = None
+        for index in range(len(boundary_sizes) - 1, -1, -1):
+            if boundary_sizes[index] > 0:
+                deepest = index
+                break
+        if deepest is None:
+            continue
+        if boundary_sizes[deepest] > hierarchy.thresholds[deepest]:
+            violations.append({
+                "vertex_set_size": len(vertex_set),
+                "deepest_level": deepest,
+                "boundary_size": boundary_sizes[deepest],
+                "threshold": hierarchy.thresholds[deepest],
+            })
+    return violations
+
+
+def fault_induced_vertex_sets(tree: RootedTree, max_faults: int,
+                              exhaustive_limit: int = 2000,
+                              sample_size: int = 200,
+                              seed: int = 0) -> list[set]:
+    """Vertex sets of S_{f,T} arising as unions of fragments of T - F.
+
+    The query algorithm only ever queries unions of fragments, so these are
+    the vertex sets whose decodability matters.  Small instances are
+    enumerated exhaustively; larger ones are sampled deterministically.
+    """
+    tree_edges = tree.tree_edges()
+    vertex_sets: list[set] = []
+    fault_combinations = _fault_combinations(tree_edges, max_faults, exhaustive_limit,
+                                             sample_size, seed)
+    for faults in fault_combinations:
+        fragments = tree_fragments(tree, faults)
+        # All unions of a subset of fragments (bounded) — the sets the decoder grows.
+        if len(fragments) <= 6:
+            index_subsets = itertools.chain.from_iterable(
+                itertools.combinations(range(len(fragments)), size)
+                for size in range(1, len(fragments)))
+        else:
+            rng = random.Random(seed)
+            index_subsets = [tuple(sorted(rng.sample(range(len(fragments)),
+                                                     rng.randint(1, len(fragments) - 1))))
+                             for _ in range(10)]
+        for subset in index_subsets:
+            union: set = set()
+            for index in subset:
+                union |= fragments[index]
+            vertex_sets.append(union)
+    return vertex_sets
+
+
+def _fault_combinations(tree_edges: Sequence[Edge], max_faults: int,
+                        exhaustive_limit: int, sample_size: int, seed: int) -> list[tuple]:
+    total = 0
+    combos: list[tuple] = []
+    for size in range(1, max_faults + 1):
+        for combination in itertools.combinations(tree_edges, size):
+            combos.append(combination)
+            total += 1
+            if total > exhaustive_limit:
+                break
+        if total > exhaustive_limit:
+            break
+    if total <= exhaustive_limit:
+        return combos
+    rng = random.Random(seed)
+    sampled = []
+    for _ in range(sample_size):
+        size = rng.randint(1, max_faults)
+        sampled.append(tuple(canonical_edge(u, v)
+                             for u, v in rng.sample(list(tree_edges), min(size, len(tree_edges)))))
+    return sampled

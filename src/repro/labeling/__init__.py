@@ -1,0 +1,19 @@
+"""Ancestry labels and edge identifiers.
+
+* :mod:`repro.labeling.ancestry` — the Kannan--Naor--Rudich interval labeling
+  (Lemma 7): O(log n)-bit vertex labels from which ancestry in the spanning
+  tree is decided with no access to the tree.
+* :mod:`repro.labeling.edge_ids` — packing a pair of ancestry labels into a
+  single non-zero element of GF(2^w), which serves as the edge identifier fed
+  to the Reed--Solomon outdetect labels (Section 7.2).
+"""
+
+from repro.labeling.ancestry import AncestryLabel, AncestryLabeling, ancestry_relation
+from repro.labeling.edge_ids import EdgeIdCodec
+
+__all__ = [
+    "AncestryLabel",
+    "AncestryLabeling",
+    "ancestry_relation",
+    "EdgeIdCodec",
+]

@@ -1,0 +1,28 @@
+"""Outgoing-edge detection ("outdetect") labeling schemes.
+
+An S-outdetect labeling assigns every vertex a short label such that the XOR
+of the labels over a vertex set S reveals an outgoing edge of S (or certifies
+that there is none).  The paper's central contribution is a *deterministic*
+such scheme; the randomized graph-sketch version underlying Dory--Parter is
+also provided as a baseline.
+
+* :mod:`repro.outdetect.base` — the common interface.
+* :mod:`repro.outdetect.rs_threshold` — the deterministic k-threshold scheme
+  built on Reed--Solomon syndromes (Proposition 2).
+* :mod:`repro.outdetect.layered` — the S_{f,T}-outdetect scheme layered over a
+  sparsification hierarchy (Lemma 2).
+* :mod:`repro.outdetect.sketch` — the randomized AGM-style graph sketch.
+"""
+
+from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
+from repro.outdetect.rs_threshold import RSThresholdOutdetect
+from repro.outdetect.layered import LayeredOutdetect
+from repro.outdetect.sketch import SketchOutdetect
+
+__all__ = [
+    "OutdetectScheme",
+    "OutdetectDecodeError",
+    "RSThresholdOutdetect",
+    "LayeredOutdetect",
+    "SketchOutdetect",
+]

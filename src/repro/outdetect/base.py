@@ -1,0 +1,75 @@
+"""Common interface of outdetect labeling schemes.
+
+A scheme assigns every vertex a label; labels form a group under ``combine``
+(XOR), and decoding the combined label of a vertex set S yields identifiers of
+outgoing edges of S.  The identifiers are opaque integers here — the FTC
+scheme interprets them through its edge-ID codec.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+Vertex = Hashable
+Label = Any
+
+
+class OutdetectDecodeError(Exception):
+    """Raised when an outdetect decode is detectably inconsistent.
+
+    With the paper's (PAPER preset) constants this never happens; with the
+    heuristic PRACTICAL preset or the randomized sketch it signals that the
+    scheme's sparsity/validity promise was violated for this query, so the
+    caller can report an explicit failure instead of a silently wrong answer.
+    """
+
+
+class OutdetectScheme(ABC):
+    """Abstract base class of all outdetect labelings."""
+
+    #: Whether the scheme (construction and decoding) is deterministic.
+    deterministic: bool = True
+
+    @abstractmethod
+    def label_of(self, vertex: Vertex) -> Label:
+        """The label assigned to one vertex."""
+
+    @abstractmethod
+    def zero_label(self) -> Label:
+        """The identity element of the label group (label of the empty set)."""
+
+    @abstractmethod
+    def combine(self, first: Label, second: Label) -> Label:
+        """XOR-combine two labels."""
+
+    @abstractmethod
+    def decode(self, label: Label) -> list[int]:
+        """Edge identifiers of outgoing edges encoded by a combined label.
+
+        Returns the empty list when the label certifies an empty outgoing edge
+        set, and raises :class:`OutdetectDecodeError` when the label is
+        detectably inconsistent.
+        """
+
+    @abstractmethod
+    def label_bit_size(self, label: Label) -> int:
+        """Size of one label in bits (for the experiment harness)."""
+
+    # ------------------------------------------------------------ conveniences
+
+    def combine_all(self, labels) -> Label:
+        """Combine an iterable of labels."""
+        total = self.zero_label()
+        for label in labels:
+            total = self.combine(total, label)
+        return total
+
+    def label_of_set(self, vertices) -> Label:
+        """The combined label of an explicit vertex set (testing helper)."""
+        return self.combine_all(self.label_of(vertex) for vertex in vertices)
+
+    def max_label_bits(self, vertices) -> int:
+        """Maximum label size over a collection of vertices."""
+        sizes = [self.label_bit_size(self.label_of(vertex)) for vertex in vertices]
+        return max(sizes) if sizes else 0

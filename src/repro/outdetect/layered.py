@@ -1,0 +1,71 @@
+"""The S_{f,T}-outdetect labeling scheme layered over a hierarchy (Lemma 2).
+
+A vertex label is the concatenation of its per-level k-threshold labels.  To
+decode, the levels are scanned from the deepest (sparsest) upwards: the first
+level whose syndrome is non-zero is decoded, and by the goodness of the
+hierarchy the outgoing edge count at that level is within the level's
+threshold, so the decode succeeds and returns genuine outgoing edges.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
+
+Vertex = Hashable
+Label = tuple
+
+
+class LayeredOutdetect(OutdetectScheme):
+    """Concatenation of per-level outdetect schemes over a hierarchy."""
+
+    def __init__(self, level_schemes: Sequence[OutdetectScheme]):
+        if not level_schemes:
+            raise ValueError("a layered scheme needs at least one level")
+        self.level_schemes = list(level_schemes)
+        self.deterministic = all(scheme.deterministic for scheme in level_schemes)
+
+    # ------------------------------------------------------------ OutdetectScheme
+
+    def label_of(self, vertex: Vertex) -> Label:
+        return tuple(scheme.label_of(vertex) for scheme in self.level_schemes)
+
+    def zero_label(self) -> Label:
+        return tuple(scheme.zero_label() for scheme in self.level_schemes)
+
+    def combine(self, first: Label, second: Label) -> Label:
+        if len(first) != len(second):
+            raise ValueError("layered labels of different depths cannot be combined")
+        return tuple(scheme.combine(a, b)
+                     for scheme, a, b in zip(self.level_schemes, first, second))
+
+    def decode(self, label: Label) -> list[int]:
+        deepest_nonzero = None
+        for index in range(len(self.level_schemes) - 1, -1, -1):
+            if label[index] != self.level_schemes[index].zero_label():
+                deepest_nonzero = index
+                break
+        if deepest_nonzero is None:
+            return []
+        try:
+            edges = self.level_schemes[deepest_nonzero].decode(label[deepest_nonzero])
+        except OutdetectDecodeError as error:
+            raise OutdetectDecodeError(
+                "level %d of the layered outdetect failed to decode: %s"
+                % (deepest_nonzero, error)) from error
+        if not edges:
+            raise OutdetectDecodeError(
+                "level %d has a non-zero syndrome but decoded to the empty set"
+                % deepest_nonzero)
+        return edges
+
+    def label_bit_size(self, label: Label) -> int:
+        return sum(scheme.label_bit_size(part)
+                   for scheme, part in zip(self.level_schemes, label))
+
+    # ------------------------------------------------------------------ misc
+
+    def depth(self) -> int:
+        """Number of hierarchy levels."""
+        return len(self.level_schemes)

@@ -1,0 +1,96 @@
+"""The deterministic k-threshold outdetect labeling scheme (Proposition 2).
+
+Every edge ``e`` of the (sub)graph is identified by a non-zero field element
+``x_e``; its parity-check row is ``g(e) = (x_e, x_e^2, ..., x_e^{2k})``, and a
+vertex label is the XOR of the rows of its incident edges.  XOR-ing the labels
+over a vertex set S cancels internal edges and leaves the syndrome of the
+outgoing edge set, from which up to ``k`` edge identifiers are recovered by
+syndrome decoding — deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.coding.rs_decoder import DecodeFailure, SparseRecoveryDecoder
+from repro.coding.syndrome import SyndromeEncoder
+from repro.gf2.field import GF2m
+from repro.graphs.graph import Edge, canonical_edge
+from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
+
+Vertex = Hashable
+Label = tuple
+
+
+class RSThresholdOutdetect(OutdetectScheme):
+    """k-threshold outdetect labels for one edge set over a fixed vertex set.
+
+    Parameters
+    ----------
+    field:
+        The GF(2^w) field edge identifiers live in.
+    threshold:
+        The decoding threshold ``k`` (labels are ``2k`` field elements).
+    vertices:
+        All vertices that may be queried (isolated ones get the zero label).
+    edge_ids:
+        Mapping from canonical edges of this level to non-zero field elements.
+    adaptive:
+        Whether decoding uses geometrically growing prefixes (Appendix B),
+        making its cost depend on the actual outgoing-edge count.
+    """
+
+    deterministic = True
+
+    def __init__(self, field: GF2m, threshold: int, vertices: Iterable[Vertex],
+                 edge_ids: Mapping[Edge, int], adaptive: bool = True):
+        self.field = field
+        self.threshold = threshold
+        self.adaptive = adaptive
+        self._encoder = SyndromeEncoder(field, threshold)
+        self._decoder = SparseRecoveryDecoder(field, threshold)
+        self._labels: dict[Vertex, list[int]] = {vertex: self._encoder.zero()
+                                                 for vertex in vertices}
+        self.edge_ids = dict(edge_ids)
+        for (u, v), identifier in self.edge_ids.items():
+            row = self._encoder.encode(identifier)
+            self._xor_into(u, row)
+            self._xor_into(v, row)
+
+    def _xor_into(self, vertex: Vertex, row: Sequence[int]) -> None:
+        if vertex not in self._labels:
+            raise KeyError("edge endpoint %r is not among the scheme's vertices" % (vertex,))
+        label = self._labels[vertex]
+        for index, value in enumerate(row):
+            label[index] ^= value
+
+    # ------------------------------------------------------------ OutdetectScheme
+
+    def label_of(self, vertex: Vertex) -> Label:
+        return tuple(self._labels[vertex])
+
+    def zero_label(self) -> Label:
+        return tuple(self._encoder.zero())
+
+    def combine(self, first: Label, second: Label) -> Label:
+        if len(first) != len(second):
+            raise ValueError("labels of different lengths cannot be combined")
+        return tuple(a ^ b for a, b in zip(first, second))
+
+    def decode(self, label: Label) -> list[int]:
+        try:
+            if self.adaptive:
+                return self._decoder.decode_adaptive(list(label))
+            return self._decoder.decode(list(label))
+        except DecodeFailure as error:
+            raise OutdetectDecodeError(str(error)) from error
+
+    def label_bit_size(self, label: Label) -> int:
+        return len(label) * self.field.width
+
+    # ------------------------------------------------------------------ misc
+
+    def syndrome_of_edge_set(self, edges: Iterable[Edge]) -> Label:
+        """Syndrome of an explicit edge set (testing and validation helper)."""
+        identifiers = [self.edge_ids[canonical_edge(u, v)] for u, v in edges]
+        return tuple(self._encoder.syndrome_of(identifiers))

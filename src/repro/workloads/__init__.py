@@ -1,0 +1,20 @@
+"""Workload generation: graphs, fault sets, and query batches.
+
+The paper has no system evaluation of its own, so the benchmark harness needs
+reproducible synthetic workloads.  This package wraps networkx generators into
+the library's graph type and provides fault-set samplers (random, tree-edge
+biased, bridge-heavy adversarial) and query-batch generators with fixed seeds.
+"""
+
+from repro.workloads.graphs import GraphFamily, make_graph
+from repro.workloads.faults import FaultModel, sample_fault_sets
+from repro.workloads.queries import QueryWorkload, make_query_workload
+
+__all__ = [
+    "GraphFamily",
+    "make_graph",
+    "FaultModel",
+    "sample_fault_sets",
+    "QueryWorkload",
+    "make_query_workload",
+]

@@ -1,0 +1,87 @@
+"""Fault-set samplers.
+
+The interesting regime for a fault-tolerant connectivity scheme is when faults
+actually change connectivity, which uniformly random edge faults rarely do on
+dense graphs.  Three fault models are therefore provided: uniform random
+edges, faults biased towards spanning-tree edges (each tree edge fault splits
+the tree and must be repaired by the sketch/outdetect machinery), and a
+bridge-heavy adversarial model that preferentially removes cut edges.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import Iterable
+
+import networkx as nx
+
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.spanning_tree import bfs_spanning_tree
+
+
+class FaultModel(Enum):
+    """How fault sets are drawn."""
+
+    UNIFORM = "uniform"        # uniformly random edges
+    TREE_BIASED = "tree"       # random spanning-tree edges
+    ADVERSARIAL = "adversarial"  # bridges / low-connectivity edges first
+
+
+def sample_fault_sets(graph: Graph, num_sets: int, faults_per_set: int,
+                      model: FaultModel = FaultModel.TREE_BIASED,
+                      seed: int = 0) -> list[list[Edge]]:
+    """Draw ``num_sets`` fault sets of exactly ``faults_per_set`` edges each."""
+    if faults_per_set < 0:
+        raise ValueError("faults_per_set must be non-negative")
+    rng = random.Random(seed)
+    edges = sorted(graph.edges())
+    faults_per_set = min(faults_per_set, len(edges))
+    pool = _candidate_pool(graph, model)
+    fault_sets = []
+    for _ in range(num_sets):
+        if len(pool) >= faults_per_set:
+            chosen = rng.sample(pool, faults_per_set)
+        else:
+            chosen = list(pool)
+            remaining = [edge for edge in edges if edge not in set(chosen)]
+            chosen.extend(rng.sample(remaining, faults_per_set - len(chosen)))
+        fault_sets.append(chosen)
+    return fault_sets
+
+
+def _candidate_pool(graph: Graph, model: FaultModel) -> list[Edge]:
+    edges = sorted(graph.edges())
+    if model is FaultModel.UNIFORM:
+        return edges
+    if model is FaultModel.TREE_BIASED:
+        root = min(graph.vertices(), key=lambda v: (type(v).__name__, repr(v)))
+        tree = bfs_spanning_tree(graph, root)
+        return sorted(tree.tree_edges())
+    # ADVERSARIAL: bridges first, then edges of low edge-connectivity regions.
+    nx_graph = graph.to_networkx()
+    bridges = [tuple(sorted(edge, key=repr)) for edge in nx.bridges(nx_graph)]
+    if bridges:
+        return sorted(set(bridges) & set(edges)) or edges
+    # No bridges: fall back to the edges incident to minimum-degree vertices.
+    min_degree = min(graph.degree(v) for v in graph.vertices())
+    pool = [edge for edge in edges
+            if graph.degree(edge[0]) == min_degree or graph.degree(edge[1]) == min_degree]
+    return pool or edges
+
+
+def disconnecting_fraction(graph: Graph, fault_sets: Iterable[list]) -> float:
+    """Fraction of fault sets that disconnect at least one vertex pair.
+
+    Reported alongside benchmark results so the reader can tell how adversarial
+    a workload actually is.
+    """
+    fault_sets = list(fault_sets)
+    if not fault_sets:
+        return 0.0
+    disconnecting = 0
+    for faults in fault_sets:
+        reduced = graph.without_edges(faults)
+        if len(reduced.connected_components()) > 1:
+            disconnecting += 1
+    return disconnecting / len(fault_sets)

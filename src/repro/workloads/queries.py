@@ -1,0 +1,100 @@
+"""Query-batch generation for the benchmark harness and audits."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.graphs.graph import Edge, Graph
+from repro.workloads.faults import FaultModel, sample_fault_sets
+
+
+@dataclass
+class QueryWorkload:
+    """A reproducible batch of (s, t, F) queries plus ground-truth answers."""
+
+    queries: list = field(default_factory=list)          # list of (s, t, faults)
+    ground_truth: list = field(default_factory=list)     # list of bool
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def pairs(self) -> Iterable[tuple]:
+        """Iterate (query, expected_answer) pairs."""
+        return zip(self.queries, self.ground_truth)
+
+    def disconnected_fraction(self) -> float:
+        """Fraction of queries whose ground-truth answer is 'not connected'."""
+        if not self.ground_truth:
+            return 0.0
+        return sum(1 for answer in self.ground_truth if not answer) / len(self.ground_truth)
+
+
+def make_query_workload(graph: Graph, num_queries: int, max_faults: int,
+                        model: FaultModel = FaultModel.TREE_BIASED,
+                        exact_fault_count: bool = True,
+                        seed: int = 0) -> QueryWorkload:
+    """Build a query batch with ground truth computed by BFS.
+
+    Parameters
+    ----------
+    graph:
+        The graph to query.
+    num_queries:
+        Number of (s, t, F) triples.
+    max_faults:
+        Fault budget; each query uses ``max_faults`` faults when
+        ``exact_fault_count`` is true, otherwise a uniform count in
+        ``[0, max_faults]``.
+    model:
+        Fault model (see :class:`~repro.workloads.faults.FaultModel`).
+    seed:
+        Seed controlling vertices, fault sets, and fault counts.
+    """
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        raise ValueError("query workloads need at least two vertices")
+    fault_sets = sample_fault_sets(graph, num_queries, max_faults, model=model, seed=seed)
+    workload = QueryWorkload()
+    for faults in fault_sets:
+        if not exact_fault_count:
+            count = rng.randint(0, max_faults)
+            faults = faults[:count]
+        s, t = rng.sample(vertices, 2)
+        workload.queries.append((s, t, list(faults)))
+        workload.ground_truth.append(graph.connected(s, t, removed=faults))
+    return workload
+
+
+def audit_scheme(connected_fn, workload: QueryWorkload) -> dict:
+    """Run a scheme's ``connected(s, t, F)`` callable over a workload.
+
+    Returns agreement statistics; used by the correctness benchmark (Table 1's
+    "correctness" column) for every scheme variant.
+    """
+    agree = 0
+    wrong = 0
+    failed = 0
+    for (s, t, faults), expected in workload.pairs():
+        try:
+            answer = connected_fn(s, t, faults)
+        except Exception:
+            failed += 1
+            continue
+        if answer == expected:
+            agree += 1
+        else:
+            wrong += 1
+    total = len(workload)
+    return {
+        "total": total,
+        "agree": agree,
+        "wrong": wrong,
+        "failed": failed,
+        "accuracy": agree / total if total else 1.0,
+    }

@@ -1,0 +1,149 @@
+"""Tests for the applications: covers, distance labeling, compact routing."""
+
+import networkx as nx
+import pytest
+
+from repro.applications import (FaultTolerantDistanceLabeling, ForbiddenSetRoutingScheme,
+                                build_scale_covers)
+from repro.applications.covers import build_cover
+from repro.applications.distance_labeling import UNREACHABLE
+from repro.graphs import Graph
+from repro.workloads import FaultModel, GraphFamily, make_graph, make_query_workload
+
+
+def small_graph(seed=1, n=18, m=36):
+    nx_graph = nx.gnm_random_graph(n, m, seed=seed)
+    if not nx.is_connected(nx_graph):
+        nx_graph = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=seed)
+    return Graph.from_networkx(nx_graph)
+
+
+# --------------------------------------------------------------------- covers
+
+def test_cover_covers_every_ball():
+    graph = small_graph(seed=2)
+    cover = build_cover(graph, radius=2, stretch_parameter=2)
+    assert cover.covers_all_balls(graph)
+    assert cover.max_membership() >= 1
+    for cluster in cover.clusters:
+        assert cluster <= set(graph.vertices())
+
+
+def test_cover_radius_zero_and_validation():
+    graph = small_graph(seed=3)
+    cover = build_cover(graph, radius=0, stretch_parameter=2)
+    assert cover.covers_all_balls(graph)
+    with pytest.raises(ValueError):
+        build_cover(graph, radius=-1)
+    with pytest.raises(ValueError):
+        build_cover(graph, radius=1, stretch_parameter=0)
+
+
+def test_scale_covers_reach_whole_graph():
+    graph = small_graph(seed=4)
+    covers = build_scale_covers(graph, stretch_parameter=2)
+    assert covers
+    last = covers[-1]
+    assert any(len(cluster) == graph.num_vertices() for cluster in last.clusters)
+
+
+# ----------------------------------------------------------- distance labeling
+
+def test_distance_labeling_zero_and_unreachable():
+    graph = Graph([(0, 1), (1, 2), (2, 3)])
+    scheme = FaultTolerantDistanceLabeling(graph, max_faults=1)
+    assert scheme.estimate_distance(1, 1) == 0.0
+    assert scheme.estimate_distance(0, 3, faults=[(1, 2)]) == UNREACHABLE
+
+
+def test_distance_labeling_estimates_upper_bound_like():
+    graph = make_graph(GraphFamily.GRID, n=16, seed=5)
+    scheme = FaultTolerantDistanceLabeling(graph, max_faults=2, stretch_parameter=2)
+    nx_graph = graph.to_networkx()
+    vertices = sorted(graph.vertices())
+    for s, t in [(vertices[0], vertices[-1]), (vertices[1], vertices[-2])]:
+        estimate = scheme.estimate_distance(s, t)
+        true_distance = nx.shortest_path_length(nx_graph, s, t)
+        assert estimate != UNREACHABLE
+        assert estimate >= 1.0
+        # The certificate is at most the O(|F| k)-style blow-up of the truth.
+        assert estimate <= 4 * scheme.stretch_parameter * max(true_distance, 1) + 4
+
+
+def test_distance_labeling_stretch_report():
+    graph = small_graph(seed=6, n=14, m=26)
+    scheme = FaultTolerantDistanceLabeling(graph, max_faults=2)
+    workload = make_query_workload(graph, num_queries=15, max_faults=2,
+                                   model=FaultModel.TREE_BIASED, seed=7)
+    report = scheme.stretch_report(workload.queries)
+    assert report["total"] == 15
+    assert report["finite_queries"] + report["unreachable_agreements"] <= 15
+    if report["finite_queries"]:
+        assert report["max_stretch"] >= 1.0 or report["mean_stretch"] > 0
+
+
+def test_distance_labeling_label_sizes():
+    graph = small_graph(seed=8, n=12, m=22)
+    scheme = FaultTolerantDistanceLabeling(graph, max_faults=1)
+    stats = scheme.label_size_stats()
+    assert stats["scales"] >= 1
+    assert stats["max_vertex_label_bits"] > 0
+
+
+# ------------------------------------------------------------------- routing
+
+def test_routing_without_faults_reaches_target():
+    graph = small_graph(seed=9)
+    scheme = ForbiddenSetRoutingScheme(graph, max_faults=2)
+    vertices = sorted(graph.vertices())
+    result = scheme.route(vertices[0], vertices[-1])
+    assert result.delivered
+    assert result.path[0] == vertices[0]
+    assert result.path[-1] == vertices[-1]
+    assert result.hops == len(result.path) - 1
+
+
+def test_routing_avoids_faulty_edges():
+    graph = small_graph(seed=10)
+    scheme = ForbiddenSetRoutingScheme(graph, max_faults=2)
+    workload = make_query_workload(graph, num_queries=20, max_faults=2,
+                                   model=FaultModel.TREE_BIASED, seed=11)
+    nx_graph = graph.to_networkx()
+    for (s, t, faults), expected in workload.pairs():
+        result = scheme.route(s, t, faults)
+        if expected:
+            assert result.delivered, (s, t, faults)
+            fault_set = {tuple(sorted(edge, key=repr)) for edge in faults}
+            for u, v in zip(result.path, result.path[1:]):
+                assert graph.has_edge(u, v)
+                assert tuple(sorted((u, v), key=repr)) not in fault_set
+        else:
+            assert not result.delivered
+
+
+def test_routing_rejects_too_many_faults():
+    graph = small_graph(seed=12)
+    scheme = ForbiddenSetRoutingScheme(graph, max_faults=1)
+    edges = sorted(graph.edges())[:2]
+    with pytest.raises(ValueError):
+        scheme.route(0, 1, edges)
+
+
+def test_routing_self_delivery_and_tables():
+    graph = small_graph(seed=13)
+    scheme = ForbiddenSetRoutingScheme(graph, max_faults=1)
+    result = scheme.route(3, 3)
+    assert result.delivered and result.hops == 0
+    tables = scheme.table_size_stats()
+    assert tables["max_table_bits"] > 0
+    assert tables["total_table_bits"] >= tables["max_table_bits"]
+
+
+def test_routing_stretch_report():
+    graph = small_graph(seed=14, n=16, m=32)
+    scheme = ForbiddenSetRoutingScheme(graph, max_faults=2)
+    workload = make_query_workload(graph, num_queries=15, max_faults=2, seed=15)
+    report = scheme.stretch_report(workload.queries)
+    assert report["total"] == 15
+    if report["delivered"]:
+        assert report["mean_stretch"] >= 1.0

@@ -1,0 +1,102 @@
+"""Tests for the baseline oracles and schemes."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (CycleSpaceCutLabeling, DoryParterScheme,
+                             ExactConnectivityOracle, UnionFindConnectivityOracle)
+from repro.graphs import Graph, bfs_spanning_tree
+from repro.graphs.spanning_tree import non_tree_edges
+from repro.workloads import make_query_workload
+
+
+def random_connected_graph(n, m, seed):
+    nx_graph = nx.gnm_random_graph(n, m, seed=seed)
+    if not nx.is_connected(nx_graph):
+        nx_graph = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=seed)
+    return Graph.from_networkx(nx_graph)
+
+
+# ---------------------------------------------------------------- exact oracles
+
+def test_exact_and_union_find_oracles_agree():
+    graph = random_connected_graph(15, 35, seed=1)
+    exact = ExactConnectivityOracle(graph)
+    union_find = UnionFindConnectivityOracle(graph)
+    rng = random.Random(2)
+    edges = sorted(graph.edges())
+    vertices = sorted(graph.vertices())
+    for _ in range(80):
+        faults = rng.sample(edges, rng.randint(0, 3))
+        s, t = rng.sample(vertices, 2)
+        assert exact.connected(s, t, faults) == union_find.connected(s, t, faults)
+    assert union_find.cache_size() >= 1
+
+
+def test_union_find_cache_reuse():
+    graph = random_connected_graph(10, 20, seed=3)
+    oracle = UnionFindConnectivityOracle(graph)
+    faults = sorted(graph.edges())[:2]
+    oracle.connected(0, 1, faults)
+    oracle.connected(2, 3, faults)
+    assert oracle.cache_size() == 1
+
+
+# ----------------------------------------------------------------- Dory--Parter
+
+def test_dory_parter_whp_and_full_label_sizes():
+    graph = random_connected_graph(20, 45, seed=4)
+    whp = DoryParterScheme(graph, max_faults=3, full_query_support=False, seed=1)
+    full = DoryParterScheme(graph, max_faults=3, full_query_support=True, seed=1)
+    whp_bits = whp.label_size_stats()["max_edge_label_bits"]
+    full_bits = full.label_size_stats()["max_edge_label_bits"]
+    # Full query support pays roughly a factor f in label size.
+    assert full_bits > whp_bits
+
+
+def test_dory_parter_error_rate_low_on_small_instance():
+    graph = random_connected_graph(14, 30, seed=5)
+    scheme = DoryParterScheme(graph, max_faults=2, full_query_support=True, seed=7)
+    workload = make_query_workload(graph, num_queries=40, max_faults=2, seed=6)
+    report = scheme.error_rate(workload.queries)
+    assert report["total"] == 40
+    assert report["error_rate"] <= 0.1
+
+
+# ------------------------------------------------------------------ cycle space
+
+def test_cycle_space_cuts_xor_to_zero():
+    graph = random_connected_graph(12, 26, seed=8)
+    tree = bfs_spanning_tree(graph, 0)
+    labeling = CycleSpaceCutLabeling(graph, tree, width=40, seed=3)
+    vertices = sorted(graph.vertices())
+    for size in (1, 2, 3):
+        for subset in itertools.combinations(vertices, size):
+            assert labeling.cut_consistent(set(subset))
+
+
+def test_cycle_space_verifies_real_cuts():
+    graph = random_connected_graph(12, 24, seed=9)
+    tree = bfs_spanning_tree(graph, 0)
+    labeling = CycleSpaceCutLabeling(graph, tree, width=40, seed=4)
+    for vertex in sorted(graph.vertices())[:6]:
+        subset = set(tree.subtree_vertices(vertex))
+        boundary_tree = [edge for edge in tree.tree_edges()
+                         if (edge[0] in subset) != (edge[1] in subset)]
+        boundary_non_tree = [edge for edge in non_tree_edges(graph, tree)
+                             if (edge[0] in subset) != (edge[1] in subset)]
+        assert labeling.verify_cut_candidate(boundary_tree, boundary_non_tree)
+
+
+def test_cycle_space_incomplete_cut_rejected():
+    graph = random_connected_graph(12, 24, seed=10)
+    tree = bfs_spanning_tree(graph, 0)
+    labeling = CycleSpaceCutLabeling(graph, tree, width=40, seed=5)
+    # A covered tree edge on its own is not a full cut: the XOR is non-zero whp.
+    single_edges = [edge for edge in tree.tree_edges()
+                    if labeling.edge_label(*edge) != 0]
+    assert single_edges, "expected at least one covered tree edge"
+    assert not labeling.xor_is_zero([single_edges[0]])

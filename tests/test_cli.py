@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_edge_list, main, parse_fault
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "network.txt"
+    path.write_text(
+        "# a small ring with a chord\n"
+        "a b\n"
+        "b c\n"
+        "c d\n"
+        "d a\n"
+        "b d\n"
+        "\n")
+    return path
+
+
+def test_load_edge_list(edge_file):
+    graph = load_edge_list(edge_file)
+    assert graph.num_vertices() == 4
+    assert graph.num_edges() == 5
+
+
+def test_load_edge_list_rejects_bad_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("a\n")
+    with pytest.raises(ValueError):
+        load_edge_list(path)
+
+
+def test_parse_fault():
+    assert parse_fault("a-b") == ("a", "b")
+    assert parse_fault("a, b") == ("a", "b")
+    with pytest.raises(ValueError):
+        parse_fault("ab")
+
+
+def test_cli_stats(edge_file, capsys):
+    exit_code = main(["stats", "--edges", str(edge_file), "--max-faults", "2"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n"] == 4
+    assert payload["max_edge_label_bits"] > 0
+
+
+def test_cli_query_connected(edge_file, capsys):
+    exit_code = main(["query", "--edges", str(edge_file), "--max-faults", "2",
+                      "--source", "a", "--target", "c",
+                      "--fault", "b-c", "--fault", "c-d"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1 or payload["connected"] == payload["ground_truth"]
+    assert payload["connected"] is False  # c is cut off from a
+
+
+def test_cli_query_unknown_fault(edge_file, capsys):
+    exit_code = main(["query", "--edges", str(edge_file), "--max-faults", "1",
+                      "--source", "a", "--target", "c", "--fault", "a-z"])
+    assert exit_code == 2
+
+
+def test_cli_audit(edge_file, capsys):
+    exit_code = main(["audit", "--edges", str(edge_file), "--max-faults", "2",
+                      "--queries", "25"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 25
+    assert payload["wrong"] == 0
+
+
+def test_cli_audit_sketch_variant(edge_file, capsys):
+    exit_code = main(["audit", "--edges", str(edge_file), "--max-faults", "1",
+                      "--variant", "sketch-full", "--queries", "10"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 10
+    assert exit_code in (0, 1)

@@ -1,0 +1,182 @@
+"""Tests for syndromes, Berlekamp-Massey, root finding, and sparse recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding import (DecodeFailure, SparseRecoveryDecoder, SyndromeEncoder,
+                          berlekamp_massey, find_roots, xor_vectors)
+from repro.gf2 import GF2m, Gf2Poly
+
+
+@pytest.fixture(scope="module")
+def field():
+    return GF2m(16)
+
+
+@pytest.fixture(scope="module")
+def big_field():
+    return GF2m(40)
+
+
+# --------------------------------------------------------------------- syndromes
+
+def test_syndrome_length_and_zero(field):
+    encoder = SyndromeEncoder(field, threshold=5)
+    assert encoder.length == 10
+    assert encoder.zero() == [0] * 10
+    assert encoder.syndrome_of([]) == encoder.zero()
+
+
+def test_encode_rejects_zero(field):
+    encoder = SyndromeEncoder(field, threshold=3)
+    with pytest.raises(ValueError):
+        encoder.encode(0)
+
+
+def test_encode_powers(field):
+    encoder = SyndromeEncoder(field, threshold=3)
+    row = encoder.encode(7)
+    assert row == [field.pow(7, j) for j in range(1, 7)]
+
+
+def test_syndrome_xor_cancellation(field):
+    encoder = SyndromeEncoder(field, threshold=4)
+    a = encoder.syndrome_of([3, 9, 12])
+    b = encoder.syndrome_of([9])
+    combined = xor_vectors(a, b)
+    assert combined == encoder.syndrome_of([3, 12])
+
+
+def test_xor_vectors_length_mismatch():
+    with pytest.raises(ValueError):
+        xor_vectors([1, 2], [1, 2, 3])
+
+
+# ------------------------------------------------------------- Berlekamp-Massey
+
+def test_berlekamp_massey_degree_matches_support(field):
+    encoder = SyndromeEncoder(field, threshold=6)
+    support = [2, 5, 17, 300]
+    syndrome = encoder.syndrome_of(support)
+    locator = berlekamp_massey(field, syndrome)
+    assert locator.degree == len(support)
+    # Lambda(z) = prod (1 - x z) vanishes at z = x^{-1}.
+    for element in support:
+        assert locator.evaluate(field.inv(element)) == 0
+
+
+def test_berlekamp_massey_zero_sequence(field):
+    locator = berlekamp_massey(field, [0] * 8)
+    assert locator.degree == 0
+
+
+# ------------------------------------------------------------------ root finding
+
+def test_find_roots_known_polynomial(field):
+    roots = [1, 2, 77, 4096]
+    poly = Gf2Poly.from_roots(field, roots)
+    assert find_roots(poly) == sorted(roots)
+
+
+def test_find_roots_with_zero_root(field):
+    roots = [0, 5, 9]
+    poly = Gf2Poly.from_roots(field, roots)
+    assert find_roots(poly) == sorted(roots)
+
+
+def test_find_roots_irreducible_quadratic(field):
+    # x^2 + x + c has no roots when Tr(c) = 1; construct one by brute force.
+    for constant in range(1, field.order):
+        candidate = Gf2Poly(field, [constant, 1, 1])
+        has_root = any(candidate.evaluate(v) == 0 for v in range(0, 50))
+        if field.trace(constant) == 1:
+            assert find_roots(candidate) == []
+            break
+    else:  # pragma: no cover - there is always an element of trace 1
+        pytest.fail("no trace-one constant found")
+
+
+def test_find_roots_large_field(big_field):
+    roots = [1, 123456789 % big_field.order, (1 << 35) + 7, 999999937 % big_field.order]
+    poly = Gf2Poly.from_roots(big_field, roots)
+    assert find_roots(poly) == sorted(set(roots))
+
+
+def test_find_roots_zero_polynomial_raises(field):
+    with pytest.raises(ValueError):
+        find_roots(Gf2Poly.zero(field))
+
+
+# --------------------------------------------------------------- sparse recovery
+
+def test_decode_empty_support(field):
+    decoder = SparseRecoveryDecoder(field, threshold=4)
+    encoder = SyndromeEncoder(field, threshold=4)
+    assert decoder.decode(encoder.zero()) == []
+
+
+def test_decode_roundtrip_various_sizes(field):
+    threshold = 6
+    decoder = SparseRecoveryDecoder(field, threshold)
+    encoder = SyndromeEncoder(field, threshold)
+    supports = [[1], [2, 3], [10, 20, 30], [7, 77, 777, 7777], list(range(1, 7))]
+    for support in supports:
+        syndrome = encoder.syndrome_of(support)
+        assert decoder.decode(syndrome) == sorted(support)
+
+
+def test_decode_adaptive_matches_full(field):
+    threshold = 8
+    decoder = SparseRecoveryDecoder(field, threshold)
+    encoder = SyndromeEncoder(field, threshold)
+    support = [11, 222, 3333]
+    syndrome = encoder.syndrome_of(support)
+    assert decoder.decode_adaptive(syndrome) == sorted(support)
+
+
+def test_decode_detects_overfull_support(field):
+    threshold = 3
+    decoder = SparseRecoveryDecoder(field, threshold)
+    encoder = SyndromeEncoder(field, threshold)
+    # 6 > threshold elements: the decoder must not silently return garbage.
+    support = [2, 4, 8, 16, 32, 64]
+    syndrome = encoder.syndrome_of(support)
+    with pytest.raises(DecodeFailure):
+        decoder.decode(syndrome)
+
+
+def test_decode_rejects_wrong_length(field):
+    decoder = SparseRecoveryDecoder(field, threshold=3)
+    with pytest.raises(ValueError):
+        decoder.decode([0] * 5)
+
+
+def test_decode_large_field_roundtrip(big_field):
+    threshold = 4
+    decoder = SparseRecoveryDecoder(big_field, threshold)
+    encoder = SyndromeEncoder(big_field, threshold)
+    support = [5, (1 << 30) + 1, (1 << 39) + 123, 987654321]
+    syndrome = encoder.syndrome_of(support)
+    assert decoder.decode(syndrome) == sorted(support)
+    assert decoder.decode_adaptive(syndrome) == sorted(support)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(min_value=1, max_value=(1 << 16) - 1), min_size=0, max_size=5))
+def test_sparse_recovery_property(support):
+    field = GF2m(16)
+    threshold = 5
+    decoder = SparseRecoveryDecoder(field, threshold)
+    encoder = SyndromeEncoder(field, threshold)
+    syndrome = encoder.syndrome_of(support)
+    assert decoder.decode(syndrome) == sorted(support)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(st.integers(min_value=1, max_value=(1 << 16) - 1), min_size=1, max_size=5))
+def test_adaptive_recovery_property(support):
+    field = GF2m(16)
+    decoder = SparseRecoveryDecoder(field, threshold=8)
+    encoder = SyndromeEncoder(field, threshold=8)
+    syndrome = encoder.syndrome_of(support)
+    assert decoder.decode_adaptive(syndrome) == sorted(support)

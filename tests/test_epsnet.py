@@ -1,0 +1,176 @@
+"""Tests for the epsilon-net constructions and the H_{2f} shape machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.epsnet import (Rectangle, SymmetricDifferenceShape, greedy_rectangle_net,
+                          net_find, points_in_rectangle, shape_from_cut_positions, slab_net)
+from repro.epsnet.netfind import hitting_threshold
+from repro.epsnet.rectangles import canonical_rectangles
+from repro.epsnet.greedy_net import greedy_net_size_bound
+
+
+def random_points(count, seed, bound=1000):
+    rng = random.Random(seed)
+    points = set()
+    while len(points) < count:
+        points.add((rng.randint(0, bound), rng.randint(0, bound)))
+    return sorted(points)
+
+
+# ------------------------------------------------------------------ rectangles
+
+def test_rectangle_contains_and_intersects():
+    rect = Rectangle(0, 10, 0, 5)
+    assert rect.contains((0, 0)) and rect.contains((10, 5))
+    assert not rect.contains((11, 3))
+    assert rect.intersects(Rectangle(5, 20, 4, 9))
+    assert not rect.intersects(Rectangle(11, 20, 6, 9))
+
+
+def test_rectangle_rejects_degenerate():
+    with pytest.raises(ValueError):
+        Rectangle(5, 4, 0, 1)
+
+
+def test_bounding_rectangle():
+    points = [(1, 5), (4, 2), (3, 9)]
+    rect = Rectangle.bounding(points)
+    assert (rect.x_low, rect.x_high, rect.y_low, rect.y_high) == (1, 4, 2, 9)
+    assert points_in_rectangle(points, rect) == points
+
+
+# --------------------------------------------------------------------- slab net
+
+def test_slab_net_hits_crossing_rectangles():
+    points = random_points(120, seed=1)
+    group_size = 5
+    line_x = sorted(p[0] for p in points)[60]
+    selected = slab_net(points, list(range(len(points))), group_size, line_x)
+    selected_points = {points[i] for i in selected}
+    assert len(selected) <= 2 * ((len(points) + group_size - 1) // group_size)
+    # Every canonical rectangle crossing the line with >= 3*group_size points is hit.
+    for rect in canonical_rectangles(points[::7]):
+        if not rect.crosses_vertical_line(line_x):
+            continue
+        inside = points_in_rectangle(points, rect)
+        if len(inside) >= 3 * group_size:
+            assert any(p in selected_points for p in inside)
+
+
+def test_slab_net_rejects_bad_group_size():
+    with pytest.raises(ValueError):
+        slab_net([(0, 0)], [0], 0, 0)
+
+
+# ---------------------------------------------------------------------- NetFind
+
+def test_net_find_empty_and_small():
+    assert net_find([]) == []
+    # Below the leaf threshold nothing is selected.
+    assert net_find(random_points(10, seed=2)) == []
+
+
+def test_net_find_constant_fraction():
+    points = random_points(400, seed=3)
+    selected = net_find(points)
+    assert 0 < len(selected) <= len(points) // 2
+
+
+def test_net_find_hits_heavy_rectangles():
+    points = random_points(300, seed=4, bound=200)
+    selected = set(net_find(points))
+    threshold = hitting_threshold(len(points))
+    selected_points = {points[i] for i in selected}
+    rng = random.Random(9)
+    # Sample random rectangles; every heavy one must contain a net point.
+    for _ in range(300):
+        xs = sorted(rng.randint(0, 200) for _ in range(2))
+        ys = sorted(rng.randint(0, 200) for _ in range(2))
+        rect = Rectangle(xs[0], xs[1], ys[0], ys[1])
+        inside = points_in_rectangle(points, rect)
+        if len(inside) >= threshold:
+            assert any(p in selected_points for p in inside)
+
+
+def test_net_find_capacity_validation():
+    points = random_points(50, seed=5)
+    with pytest.raises(ValueError):
+        net_find(points, capacity=10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       count=st.integers(min_value=80, max_value=250))
+def test_net_find_property(seed, count):
+    points = random_points(count, seed=seed, bound=500)
+    selected = set(net_find(points))
+    assert len(selected) <= max(len(points) // 2, 1)
+    threshold = hitting_threshold(len(points))
+    selected_points = {points[i] for i in selected}
+    rng = random.Random(seed + 1)
+    for _ in range(50):
+        xs = sorted(rng.randint(0, 500) for _ in range(2))
+        ys = sorted(rng.randint(0, 500) for _ in range(2))
+        inside = points_in_rectangle(points, Rectangle(xs[0], xs[1], ys[0], ys[1]))
+        if len(inside) >= threshold:
+            assert any(p in selected_points for p in inside)
+
+
+# ------------------------------------------------------------------- greedy net
+
+def test_greedy_net_hits_all_heavy_rectangles():
+    points = random_points(60, seed=6, bound=60)
+    threshold = 8
+    selected = set(greedy_rectangle_net(points, threshold))
+    selected_points = {points[i] for i in selected}
+    for rect in canonical_rectangles(points):
+        inside = points_in_rectangle(points, rect)
+        if len(inside) >= threshold:
+            assert any(p in selected_points for p in inside)
+
+
+def test_greedy_net_size_reasonable():
+    points = random_points(80, seed=7, bound=100)
+    threshold = 10
+    selected = greedy_rectangle_net(points, threshold)
+    assert len(selected) <= greedy_net_size_bound(len(points), threshold)
+
+
+def test_greedy_net_trivial_cases():
+    assert greedy_rectangle_net([], 3) == []
+    assert greedy_rectangle_net([(1, 1)], 3) == []
+    with pytest.raises(ValueError):
+        greedy_rectangle_net([(1, 1)], 0)
+
+
+# ----------------------------------------------------------------------- shapes
+
+def test_shape_membership_parity():
+    shape = shape_from_cut_positions([3, 10])
+    # (x, y) with x >= 3, x < 10, y < 3: exactly one half-plane -> inside.
+    assert shape.contains((5, 1))
+    # (x, y) with x >= 3 and y >= 3 but both < 10: two half-planes -> outside.
+    assert not shape.contains((5, 5))
+    # All four half-planes: outside.
+    assert not shape.contains((12, 12))
+
+
+def test_shape_rectangle_decomposition_matches_membership():
+    shape = SymmetricDifferenceShape([4, 9, 15])
+    bound = 20
+    rectangles = shape.rectangle_decomposition(bound)
+    assert len(rectangles) <= shape.max_rectangles_bound()
+    for x in range(bound + 1):
+        for y in range(bound + 1):
+            in_shape = shape.contains((x, y))
+            in_rects = any(rect.contains((x, y)) for rect in rectangles)
+            assert in_shape == in_rects, (x, y)
+
+
+def test_shape_filter_points():
+    shape = SymmetricDifferenceShape([5])
+    points = [(1, 1), (6, 1), (6, 6)]
+    assert shape.filter_points(points) == [(6, 1)]

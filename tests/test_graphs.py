@@ -1,0 +1,267 @@
+"""Tests for the graph, spanning-tree, Euler-tour, auxiliary-graph, and fragment substrates."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (AuxiliaryGraph, EulerTour, Graph, RootedTree,
+                          bfs_spanning_tree, canonical_edge, dfs_spanning_tree,
+                          tree_fragments)
+from repro.graphs.fragments import fragment_boundaries, fragment_index_of
+from repro.graphs.spanning_tree import non_tree_edges
+
+
+def small_graph():
+    graph = Graph()
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (2, 4), (4, 5), (5, 2)]:
+        graph.add_edge(u, v)
+    return graph
+
+
+# -------------------------------------------------------------------- Graph
+
+def test_canonical_edge_order_independent():
+    assert canonical_edge(3, 1) == canonical_edge(1, 3)
+
+
+def test_canonical_edge_rejects_self_loop():
+    with pytest.raises(ValueError):
+        canonical_edge(2, 2)
+
+
+def test_graph_basic_counts():
+    graph = small_graph()
+    assert graph.num_vertices() == 6
+    assert graph.num_edges() == 8
+    assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+    assert not graph.has_edge(0, 5)
+    assert graph.degree(2) == 4
+
+
+def test_graph_remove_edge():
+    graph = small_graph()
+    graph.remove_edge(0, 1)
+    assert not graph.has_edge(0, 1)
+    with pytest.raises(KeyError):
+        graph.remove_edge(0, 1)
+
+
+def test_without_edges_preserves_vertices():
+    graph = small_graph()
+    reduced = graph.without_edges([(2, 4), (4, 5)])
+    assert reduced.num_vertices() == 6
+    assert reduced.num_edges() == 6
+    assert not reduced.has_edge(2, 4)
+
+
+def test_connected_components_and_connectivity():
+    graph = small_graph()
+    assert graph.is_connected()
+    assert graph.connected(0, 5)
+    assert not graph.connected(0, 5, removed=[(2, 4), (5, 2)])
+    cut = graph.without_edges([(2, 4), (5, 2)])
+    components = cut.connected_components()
+    assert len(components) == 2
+
+
+def test_networkx_roundtrip():
+    nx_graph = nx.erdos_renyi_graph(20, 0.3, seed=7)
+    graph = Graph.from_networkx(nx_graph)
+    assert graph.num_vertices() == nx_graph.number_of_nodes()
+    assert graph.num_edges() == nx_graph.number_of_edges()
+    back = graph.to_networkx()
+    assert set(map(frozenset, back.edges())) == set(map(frozenset, nx_graph.edges()))
+
+
+# --------------------------------------------------------------- RootedTree
+
+def test_bfs_spanning_tree_structure():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    assert tree.root == 0
+    assert tree.parent(0) is None
+    assert tree.num_vertices() == 6
+    assert len(tree.tree_edges()) == 5
+    # Every tree edge is an edge of the graph.
+    for u, v in tree.tree_edges():
+        assert graph.has_edge(u, v)
+
+
+def test_dfs_spanning_tree_covers_graph():
+    graph = small_graph()
+    tree = dfs_spanning_tree(graph, 2)
+    assert sorted(tree.vertices()) == sorted(graph.vertices())
+    assert len(tree.tree_edges()) == graph.num_vertices() - 1
+
+
+def test_spanning_tree_disconnected_raises():
+    graph = Graph([(0, 1)], vertices=[0, 1, 2])
+    with pytest.raises(ValueError):
+        bfs_spanning_tree(graph, 0)
+
+
+def test_tree_ancestry_and_subtree():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    for vertex in tree.vertices():
+        assert tree.is_ancestor(0, vertex)
+        subtree = tree.subtree_vertices(vertex)
+        assert vertex in subtree
+        for descendant in subtree:
+            assert tree.is_ancestor(vertex, descendant)
+
+
+def test_lower_endpoint():
+    tree = bfs_spanning_tree(small_graph(), 0)
+    for u, v in tree.tree_edges():
+        lower = tree.lower_endpoint(u, v)
+        upper = v if lower == u else u
+        assert tree.parent(lower) == upper
+
+
+def test_non_tree_edges_partition():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    extra = non_tree_edges(graph, tree)
+    assert len(extra) == graph.num_edges() - (graph.num_vertices() - 1)
+    assert set(extra).isdisjoint(set(tree.tree_edges()))
+
+
+# ---------------------------------------------------------------- EulerTour
+
+def test_euler_tour_arc_count_and_coordinates():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    tour = EulerTour(tree)
+    n = tree.num_vertices()
+    assert tour.num_arcs() == 2 * (n - 1)
+    assert tour.coordinate(tree.root) == 0
+    coordinates = [tour.coordinate(v) for v in tree.vertices() if v != tree.root]
+    assert len(set(coordinates)) == n - 1
+    assert all(1 <= c <= 2 * n - 2 for c in coordinates)
+
+
+def test_euler_tour_downward_arc_precedes_upward():
+    tree = bfs_spanning_tree(small_graph(), 0)
+    tour = EulerTour(tree)
+    for u, v in tree.tree_edges():
+        lower = tree.lower_endpoint(u, v)
+        upper = v if lower == u else u
+        down = tour.arc_position(upper, lower)
+        up = tour.arc_position(lower, upper)
+        assert down < up
+
+
+def test_lemma3_cut_characterization():
+    """Lemma 3: the cut set equals the symmetric-difference region membership."""
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    tour = EulerTour(tree)
+    non_tree = non_tree_edges(graph, tree)
+    points = tour.embed_edges(non_tree)
+    import itertools
+    vertices = sorted(graph.vertices())
+    for size in (1, 2, 3):
+        for subset in itertools.combinations(vertices, size):
+            vertex_set = set(subset) | {tree.root} if tree.root not in subset else set(subset)
+            cut_positions = tour.directed_cut_positions(vertex_set)
+            for edge in non_tree:
+                u, v = edge
+                in_cut = (u in vertex_set) != (v in vertex_set)
+                in_region = tour.point_in_symmetric_difference(points[edge], cut_positions)
+                assert in_cut == in_region, (vertex_set, edge)
+
+
+# ------------------------------------------------------------ AuxiliaryGraph
+
+def test_auxiliary_graph_sizes():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    aux = AuxiliaryGraph(graph, tree)
+    stats = aux.statistics()
+    extra = graph.num_edges() - (graph.num_vertices() - 1)
+    assert stats["n_prime"] == graph.num_vertices() + extra
+    assert stats["m_prime"] == graph.num_edges() + extra
+    assert stats["non_tree_edges_prime"] == extra
+    assert aux.tree_prime.num_vertices() == stats["n_prime"]
+
+
+def test_auxiliary_sigma_maps_to_tree_edges():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    aux = AuxiliaryGraph(graph, tree)
+    tree_edge_set = set(aux.tree_prime.tree_edges())
+    for u, v in graph.edges():
+        assert aux.sigma(u, v) in tree_edge_set
+
+
+def test_auxiliary_connectivity_equivalence():
+    """Proposition 1: connectivity in G - F matches G' - sigma(F)."""
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    aux = AuxiliaryGraph(graph, tree)
+    import itertools
+    edges = sorted(graph.edges())
+    vertices = sorted(graph.vertices())
+    for faults in itertools.combinations(edges, 2):
+        mapped = aux.map_faults(faults)
+        for s, t in itertools.combinations(vertices, 2):
+            original = graph.connected(s, t, removed=faults)
+            transformed = aux.graph_prime.connected(s, t, removed=mapped)
+            assert original == transformed, (faults, s, t)
+
+
+# ---------------------------------------------------------------- fragments
+
+def test_tree_fragments_partition():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    faults = tree.tree_edges()[:2]
+    fragments = tree_fragments(tree, faults)
+    assert len(fragments) == len(faults) + 1
+    union = set().union(*fragments)
+    assert union == set(tree.vertices())
+    assert sum(len(f) for f in fragments) == tree.num_vertices()
+
+
+def test_tree_fragments_rejects_non_tree_edge():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    bad = non_tree_edges(graph, tree)[0]
+    with pytest.raises(ValueError):
+        tree_fragments(tree, [bad])
+
+
+def test_fragment_boundaries_match_definition():
+    graph = small_graph()
+    tree = bfs_spanning_tree(graph, 0)
+    faults = tree.tree_edges()[:3]
+    fragments = tree_fragments(tree, faults)
+    boundaries = fragment_boundaries(tree, faults)
+    index_of = fragment_index_of(tree, faults)
+    for fragment, boundary in zip(fragments, boundaries):
+        expected = set()
+        for u, v in faults:
+            if (u in fragment) != (v in fragment):
+                expected.add(canonical_edge(u, v))
+        assert boundary == expected
+    assert set(index_of) == set(tree.vertices())
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), extra=st.integers(min_value=0, max_value=15))
+def test_fragments_match_components_random(seed, extra):
+    nx_graph = nx.gnm_random_graph(12, 11 + extra, seed=seed)
+    if not nx.is_connected(nx_graph):
+        return
+    graph = Graph.from_networkx(nx_graph)
+    tree = bfs_spanning_tree(graph, 0)
+    import random
+    rng = random.Random(seed)
+    tree_edges = tree.tree_edges()
+    faults = rng.sample(tree_edges, min(3, len(tree_edges)))
+    fragments = tree_fragments(tree, faults)
+    forest = Graph(vertices=tree.vertices(),
+                   edges=[e for e in tree_edges if e not in set(faults)])
+    components = {frozenset(c) for c in forest.connected_components()}
+    assert {frozenset(f) for f in fragments} == components

@@ -1,0 +1,141 @@
+"""Tests for the sparsification hierarchies (Definition 1, Lemma 5, Proposition 5)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import EulerTour, Graph, bfs_spanning_tree
+from repro.graphs.spanning_tree import non_tree_edges
+from repro.hierarchy import (EdgeHierarchy, HierarchyConfig, ThresholdRule,
+                             build_deterministic_hierarchy, build_randomized_hierarchy)
+from repro.hierarchy.base import check_strictly_decreasing
+from repro.hierarchy.config import NetAlgorithm
+from repro.hierarchy.validation import (fault_induced_vertex_sets, goodness_violations,
+                                        outgoing_edges)
+
+
+def make_instance(n, m, seed):
+    nx_graph = nx.gnm_random_graph(n, m, seed=seed)
+    if not nx.is_connected(nx_graph):
+        nx_graph = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=seed)
+    graph = Graph.from_networkx(nx_graph)
+    tree = bfs_spanning_tree(graph, 0)
+    tour = EulerTour(tree)
+    extra = non_tree_edges(graph, tree)
+    return graph, tree, tour, extra
+
+
+# ---------------------------------------------------------------- configuration
+
+def test_threshold_rules_monotone_in_f():
+    for size in (10, 100, 1000):
+        paper = [ThresholdRule.PAPER.threshold(f, size) for f in (1, 2, 4)]
+        practical = [ThresholdRule.PRACTICAL.threshold(f, size) for f in (1, 2, 4)]
+        assert paper == sorted(paper)
+        assert practical == sorted(practical)
+        assert all(p <= size for p in paper + practical)
+
+
+def test_hierarchy_config_rejects_bad_f():
+    with pytest.raises(ValueError):
+        HierarchyConfig(max_faults=0)
+
+
+def test_edge_hierarchy_validation():
+    hierarchy = EdgeHierarchy(levels=[[(0, 1), (1, 2)], [(0, 1)]], thresholds=[2, 1])
+    hierarchy.validate_nesting()
+    bad = EdgeHierarchy(levels=[[(0, 1)], [(1, 2)]], thresholds=[1, 1])
+    with pytest.raises(ValueError):
+        bad.validate_nesting()
+    assert check_strictly_decreasing([5, 3, 1])
+    assert not check_strictly_decreasing([5, 5])
+
+
+# ------------------------------------------------------------ deterministic build
+
+def test_deterministic_hierarchy_structure():
+    _, _, tour, extra = make_instance(40, 120, seed=1)
+    config = HierarchyConfig(max_faults=2, rule=ThresholdRule.PAPER)
+    hierarchy = build_deterministic_hierarchy(extra, tour, config)
+    sizes = hierarchy.level_sizes()
+    assert sizes[0] == len(extra)
+    assert check_strictly_decreasing(sizes) or len(sizes) == 1
+    assert hierarchy.depth() <= config.level_cap(len(extra))
+    # The deepest level is unconditionally decodable.
+    assert hierarchy.thresholds[-1] >= len(hierarchy.levels[-1])
+    hierarchy.validate_nesting()
+
+
+def test_deterministic_hierarchy_empty_input():
+    _, _, tour, _ = make_instance(10, 9, seed=2)
+    config = HierarchyConfig(max_faults=1)
+    hierarchy = build_deterministic_hierarchy([], tour, config)
+    assert hierarchy.depth() == 0
+
+
+def test_deterministic_hierarchy_greedy_net_small():
+    _, _, tour, extra = make_instance(20, 45, seed=3)
+    config = HierarchyConfig(max_faults=1, net_algorithm=NetAlgorithm.GREEDY)
+    hierarchy = build_deterministic_hierarchy(extra, tour, config)
+    assert hierarchy.level_sizes()[0] == len(extra)
+    hierarchy.validate_nesting()
+
+
+def test_deterministic_hierarchy_goodness_small_graph():
+    """Exhaustive check of the decodability property on a small instance."""
+    _, tree, tour, extra = make_instance(12, 26, seed=4)
+    config = HierarchyConfig(max_faults=2, rule=ThresholdRule.PAPER)
+    hierarchy = build_deterministic_hierarchy(extra, tour, config)
+    vertex_sets = fault_induced_vertex_sets(tree, max_faults=2, exhaustive_limit=300)
+    violations = goodness_violations(hierarchy, vertex_sets)
+    assert violations == []
+
+
+# --------------------------------------------------------------- randomized build
+
+def test_randomized_hierarchy_structure():
+    _, _, _, extra = make_instance(40, 120, seed=5)
+    config = HierarchyConfig(max_faults=2, random_seed=7)
+    hierarchy = build_randomized_hierarchy(extra, config)
+    assert hierarchy.level_sizes()[0] == len(extra)
+    assert hierarchy.thresholds[-1] >= len(hierarchy.levels[-1])
+    hierarchy.validate_nesting()
+
+
+def test_randomized_hierarchy_reproducible():
+    _, _, _, extra = make_instance(30, 80, seed=6)
+    config = HierarchyConfig(max_faults=2, random_seed=11)
+    first = build_randomized_hierarchy(extra, config)
+    second = build_randomized_hierarchy(extra, config)
+    assert first.level_sizes() == second.level_sizes()
+    assert first.levels == second.levels
+
+
+def test_randomized_hierarchy_goodness_small_graph():
+    _, tree, _, extra = make_instance(12, 26, seed=8)
+    config = HierarchyConfig(max_faults=2, random_seed=3)
+    hierarchy = build_randomized_hierarchy(extra, config)
+    vertex_sets = fault_induced_vertex_sets(tree, max_faults=2, exhaustive_limit=300)
+    violations = goodness_violations(hierarchy, vertex_sets)
+    assert violations == []
+
+
+# ------------------------------------------------------------------- validation
+
+def test_outgoing_edges_helper():
+    edges = [(0, 1), (1, 2), (2, 3)]
+    assert outgoing_edges({0, 1}, edges) == [(1, 2)]
+    assert outgoing_edges({1, 2}, edges) == [(0, 1), (2, 3)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_hierarchy_goodness_property_random(seed):
+    graph, tree, tour, extra = make_instance(14, 30, seed=seed)
+    if not extra:
+        return
+    config = HierarchyConfig(max_faults=2, rule=ThresholdRule.PAPER)
+    hierarchy = build_deterministic_hierarchy(extra, tour, config)
+    vertex_sets = fault_induced_vertex_sets(tree, max_faults=2, exhaustive_limit=150,
+                                            sample_size=60, seed=seed)
+    assert goodness_violations(hierarchy, vertex_sets) == []

@@ -1,0 +1,71 @@
+"""Cross-family integration tests: every scheme variant on every graph family.
+
+These tests exercise the full pipeline (workload generation, labeling
+construction, both query engines, auditing) the way the benchmark harness
+does, but with correctness assertions instead of timing.
+"""
+
+import pytest
+
+from repro.core import FTCConfig, FTCLabeling, FTConnectivityOracle, SchemeVariant
+from repro.workloads import FaultModel, GraphFamily, make_graph, make_query_workload
+from repro.workloads.queries import audit_scheme
+
+FAMILIES = [GraphFamily.ERDOS_RENYI, GraphFamily.BARABASI_ALBERT, GraphFamily.GRID,
+            GraphFamily.TREE_PLUS_CHORDS, GraphFamily.RANDOM_REGULAR]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_deterministic_scheme_on_every_family(family):
+    graph = make_graph(family, n=30, seed=41, density=1.8)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    workload = make_query_workload(graph, num_queries=25, max_faults=2,
+                                   model=FaultModel.TREE_BIASED, seed=42)
+    report = audit_scheme(lambda s, t, F: labeling.connected(s, t, F), workload)
+    assert report["accuracy"] == 1.0, (family, report)
+
+
+@pytest.mark.parametrize("variant", [SchemeVariant.RANDOMIZED_FULL,
+                                     SchemeVariant.SKETCH_FULL])
+def test_randomized_variants_on_grid(variant):
+    graph = make_graph(GraphFamily.GRID, n=25, seed=43)
+    oracle = FTConnectivityOracle(graph, max_faults=2, variant=variant)
+    workload = make_query_workload(graph, num_queries=25, max_faults=2,
+                                   model=FaultModel.ADVERSARIAL, seed=44)
+    report = oracle.audit(workload.queries)
+    # Full-query-support variants should be perfect; tolerate at most one whp miss.
+    assert report["disagree"] + report["failures"] <= 1
+
+
+@pytest.mark.parametrize("family", [GraphFamily.GRID, GraphFamily.TREE_PLUS_CHORDS])
+def test_both_engines_agree_across_families(family):
+    graph = make_graph(family, n=36, seed=45, density=1.5)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=3))
+    workload = make_query_workload(graph, num_queries=20, max_faults=3,
+                                   model=FaultModel.TREE_BIASED, seed=46)
+    for (s, t, faults), expected in workload.pairs():
+        assert labeling.connected(s, t, faults, use_fast_engine=True) == expected
+        assert labeling.connected(s, t, faults, use_fast_engine=False) == expected
+
+
+def test_adversarial_workload_on_sparse_graph_has_disconnections():
+    """The integration workloads must actually exercise the 'disconnected' branch."""
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=40, seed=47, density=1.2)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    workload = make_query_workload(graph, num_queries=40, max_faults=2,
+                                   model=FaultModel.ADVERSARIAL, seed=48)
+    assert workload.disconnected_fraction() > 0
+    report = audit_scheme(lambda s, t, F: labeling.connected(s, t, F), workload)
+    assert report["accuracy"] == 1.0
+
+
+def test_oracle_label_stats_consistent_across_variants():
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=40, seed=49)
+    sizes = {}
+    for variant in (SchemeVariant.DETERMINISTIC_NEARLINEAR, SchemeVariant.SKETCH_WHP):
+        oracle = FTConnectivityOracle(graph, max_faults=2, variant=variant)
+        stats = oracle.label_size_stats()
+        sizes[variant] = stats["max_edge_label_bits"]
+        assert stats["n"] == 40
+        assert stats["max_vertex_label_bits"] <= 4 * (2 * 80).bit_length()
+    assert all(bits > 0 for bits in sizes.values())

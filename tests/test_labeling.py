@@ -1,0 +1,131 @@
+"""Tests for the ancestry labeling scheme and the edge-identifier codec."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, bfs_spanning_tree, dfs_spanning_tree
+from repro.labeling import AncestryLabel, AncestryLabeling, EdgeIdCodec, ancestry_relation
+
+
+def sample_tree(n=15, seed=3):
+    nx_tree = nx.random_labeled_tree(n, seed=seed)
+    graph = Graph.from_networkx(nx_tree)
+    return bfs_spanning_tree(graph, 0)
+
+
+# ----------------------------------------------------------------- ancestry
+
+def test_ancestry_matches_tree_ground_truth():
+    tree = sample_tree()
+    labeling = AncestryLabeling(tree)
+    for u in tree.vertices():
+        for v in tree.vertices():
+            expected = tree.is_ancestor(u, v)
+            assert labeling.is_ancestor(u, v) == expected
+
+
+def test_ancestry_relation_decoder():
+    tree = sample_tree(n=10, seed=5)
+    labeling = AncestryLabeling(tree)
+    for u in tree.vertices():
+        for v in tree.vertices():
+            relation = ancestry_relation(labeling.label(u), labeling.label(v))
+            if u == v:
+                assert relation == 0
+            elif tree.is_ancestor(u, v):
+                assert relation == 1
+            elif tree.is_ancestor(v, u):
+                assert relation == -1
+            else:
+                assert relation == 0
+
+
+def test_ancestry_labels_unique_and_bounded():
+    tree = sample_tree(n=30, seed=11)
+    labeling = AncestryLabeling(tree)
+    labels = list(labeling.labels().values())
+    assert len({(l.pre, l.post) for l in labels}) == tree.num_vertices()
+    bound = labeling.max_value()
+    for label in labels:
+        assert 0 <= label.pre < bound
+        assert 0 <= label.post < bound
+        assert label.pre < label.post
+    # O(log n) bits: generously, at most 2 * ceil(log2(2n)) + 2.
+    assert labeling.max_bit_size() <= 2 * (bound.bit_length() + 1)
+
+
+def test_ancestry_label_pack_unpack():
+    label = AncestryLabel(pre=13, post=57)
+    packed = label.pack(100)
+    assert AncestryLabel.unpack(packed, 100) == label
+
+
+def test_ancestry_dfs_vs_bfs_trees_consistent():
+    nx_graph = nx.erdos_renyi_graph(25, 0.2, seed=2)
+    if not nx.is_connected(nx_graph):
+        nx_graph = nx.path_graph(25)
+    graph = Graph.from_networkx(nx_graph)
+    for builder in (bfs_spanning_tree, dfs_spanning_tree):
+        tree = builder(graph, 0)
+        labeling = AncestryLabeling(tree)
+        for vertex in tree.vertices():
+            assert labeling.is_ancestor(0, vertex)
+
+
+# ------------------------------------------------------------ edge-id codec
+
+@pytest.mark.parametrize("mode", ["compact", "full"])
+def test_edge_id_roundtrip(mode):
+    codec = EdgeIdCodec(max_label_value=64, mode=mode)
+    label_u = AncestryLabel(pre=10, post=20)
+    label_v = AncestryLabel(pre=33, post=40)
+    identifier = codec.encode(label_u, label_v)
+    assert identifier > 0
+    assert codec.field.contains(identifier)
+    assert codec.endpoint_preorders(identifier) == (10, 33)
+    if mode == "full":
+        assert codec.decode(identifier) == (label_u, label_v)
+
+
+@pytest.mark.parametrize("mode", ["compact", "full"])
+def test_edge_id_injective(mode):
+    codec = EdgeIdCodec(max_label_value=12, mode=mode)
+    seen = set()
+    for pre_u in range(0, 12, 3):
+        for pre_v in range(0, 12, 3):
+            identifier = codec.encode(AncestryLabel(pre_u, 11), AncestryLabel(pre_v, 11))
+            assert identifier not in seen
+            seen.add(identifier)
+
+
+def test_edge_id_rejects_out_of_range():
+    codec = EdgeIdCodec(max_label_value=16)
+    with pytest.raises(ValueError):
+        codec.encode(AncestryLabel(20, 5), AncestryLabel(1, 2))
+
+
+def test_edge_id_plausibility():
+    codec = EdgeIdCodec(max_label_value=8, mode="compact")
+    identifier = codec.encode(AncestryLabel(3, 4), AncestryLabel(5, 6))
+    assert codec.is_plausible(identifier)
+    assert not codec.is_plausible(0)
+    assert not codec.is_plausible(codec.field.order + 5)
+
+
+def test_edge_id_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        EdgeIdCodec(max_label_value=8, mode="mystery")
+
+
+@settings(max_examples=50, deadline=None)
+@given(pre_u=st.integers(min_value=0, max_value=199),
+       pre_v=st.integers(min_value=0, max_value=199),
+       post_u=st.integers(min_value=0, max_value=199),
+       post_v=st.integers(min_value=0, max_value=199))
+def test_edge_id_roundtrip_property(pre_u, pre_v, post_u, post_v):
+    codec = EdgeIdCodec(max_label_value=200, mode="full")
+    identifier = codec.encode(AncestryLabel(pre_u, post_u), AncestryLabel(pre_v, post_v))
+    decoded_u, decoded_v = codec.decode(identifier)
+    assert (decoded_u.pre, decoded_u.post) == (pre_u, post_u)
+    assert (decoded_v.pre, decoded_v.post) == (pre_v, post_v)

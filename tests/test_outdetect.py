@@ -1,0 +1,190 @@
+"""Tests for the outdetect labeling schemes (RS threshold, layered, sketch)."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.gf2 import GF2m
+from repro.graphs import EulerTour, Graph, bfs_spanning_tree, canonical_edge
+from repro.graphs.spanning_tree import non_tree_edges
+from repro.hierarchy import HierarchyConfig, build_deterministic_hierarchy
+from repro.outdetect import (LayeredOutdetect, OutdetectDecodeError, RSThresholdOutdetect,
+                             SketchOutdetect)
+
+
+def line_graph_scheme(field_width=16, threshold=3, adaptive=True):
+    """A path 0-1-2-3-4 plus chords, with simple integer edge ids."""
+    graph = Graph()
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (1, 3), (2, 4), (0, 4)]
+    for u, v in edges:
+        graph.add_edge(u, v)
+    field = GF2m(field_width)
+    edge_ids = {canonical_edge(u, v): index + 1 for index, (u, v) in enumerate(sorted(graph.edges()))}
+    scheme = RSThresholdOutdetect(field, threshold, graph.vertices(), edge_ids, adaptive=adaptive)
+    return graph, scheme, edge_ids
+
+
+# ------------------------------------------------------------------ RS threshold
+
+def test_rs_outdetect_single_vertex():
+    graph, scheme, edge_ids = line_graph_scheme()
+    for vertex in graph.vertices():
+        incident = {edge_ids[canonical_edge(vertex, w)] for w in graph.neighbors(vertex)}
+        if len(incident) <= scheme.threshold:
+            assert set(scheme.decode(scheme.label_of(vertex))) == incident
+
+
+def test_rs_outdetect_vertex_sets():
+    graph, scheme, edge_ids = line_graph_scheme(threshold=4)
+    for size in (2, 3):
+        for subset in itertools.combinations(sorted(graph.vertices()), size):
+            vertex_set = set(subset)
+            outgoing = {edge_ids[canonical_edge(u, v)] for u, v in graph.edges()
+                        if (u in vertex_set) != (v in vertex_set)}
+            combined = scheme.label_of_set(vertex_set)
+            if len(outgoing) <= scheme.threshold:
+                assert set(scheme.decode(combined)) == outgoing
+
+
+def test_rs_outdetect_whole_graph_is_zero():
+    graph, scheme, _ = line_graph_scheme()
+    combined = scheme.label_of_set(graph.vertices())
+    assert combined == scheme.zero_label()
+    assert scheme.decode(combined) == []
+
+
+def test_rs_outdetect_label_bits():
+    _, scheme, _ = line_graph_scheme(field_width=16, threshold=3)
+    assert scheme.label_bit_size(scheme.zero_label()) == 2 * 3 * 16
+
+
+def test_rs_outdetect_overfull_is_unspecified_but_safe():
+    """Proposition 2: above the threshold the output is unspecified.
+
+    The decoder must either detect the inconsistency (raise) or return some
+    list without crashing; it must never be trusted blindly, which is why the
+    layered scheme only queries levels whose cut fits under the threshold.
+    """
+    graph, scheme, _ = line_graph_scheme(threshold=1, adaptive=False)
+    # Vertex 2 has 4 incident edges > threshold 1.
+    try:
+        result = scheme.decode(scheme.label_of(2))
+    except OutdetectDecodeError:
+        return
+    assert isinstance(result, list)
+
+
+def test_rs_outdetect_rejects_unknown_endpoint():
+    field = GF2m(12)
+    with pytest.raises(KeyError):
+        RSThresholdOutdetect(field, 2, [0, 1], {canonical_edge(0, 5): 3})
+
+
+def test_rs_outdetect_syndrome_of_edge_set():
+    graph, scheme, edge_ids = line_graph_scheme(threshold=4)
+    subset = {0, 1}
+    outgoing = [(u, v) for u, v in graph.edges() if (u in subset) != (v in subset)]
+    assert scheme.syndrome_of_edge_set(outgoing) == scheme.label_of_set(subset)
+
+
+# ----------------------------------------------------------------------- layered
+
+def build_layered(n=20, m=45, f=2, seed=1):
+    nx_graph = nx.gnm_random_graph(n, m, seed=seed)
+    if not nx.is_connected(nx_graph):
+        nx_graph = nx.connected_watts_strogatz_graph(n, 4, 0.2, seed=seed)
+    graph = Graph.from_networkx(nx_graph)
+    tree = bfs_spanning_tree(graph, 0)
+    tour = EulerTour(tree)
+    extra = non_tree_edges(graph, tree)
+    field = GF2m(20)
+    edge_ids = {edge: index + 1 for index, edge in enumerate(extra)}
+    hierarchy = build_deterministic_hierarchy(extra, tour, HierarchyConfig(max_faults=f))
+    levels = []
+    for level_edges, threshold in zip(hierarchy.levels, hierarchy.thresholds):
+        ids = {edge: edge_ids[edge] for edge in level_edges}
+        levels.append(RSThresholdOutdetect(field, threshold, graph.vertices(), ids))
+    scheme = LayeredOutdetect(levels)
+    return graph, tree, extra, edge_ids, scheme
+
+
+def test_layered_outdetect_decodes_outgoing_edges():
+    graph, tree, extra, edge_ids, scheme = build_layered()
+    # Vertex sets arising from removing tree edges (the sets the decoder uses).
+    tree_edges = tree.tree_edges()
+    for fault in tree_edges[:8]:
+        lower = tree.lower_endpoint(*fault)
+        vertex_set = set(tree.subtree_vertices(lower))
+        outgoing = {edge_ids[e] for e in extra
+                    if (e[0] in vertex_set) != (e[1] in vertex_set)}
+        combined = scheme.label_of_set(vertex_set)
+        decoded = set(scheme.decode(combined))
+        if not outgoing:
+            assert decoded == set()
+        else:
+            assert decoded
+            assert decoded.issubset(outgoing)
+
+
+def test_layered_outdetect_empty_cut_returns_empty():
+    graph, tree, extra, edge_ids, scheme = build_layered()
+    combined = scheme.label_of_set(set(graph.vertices()))
+    assert scheme.decode(combined) == []
+
+
+def test_layered_requires_levels():
+    with pytest.raises(ValueError):
+        LayeredOutdetect([])
+
+
+def test_layered_label_bits_additive():
+    _, _, _, _, scheme = build_layered()
+    label = scheme.zero_label()
+    assert scheme.label_bit_size(label) == sum(
+        level.label_bit_size(part) for level, part in zip(scheme.level_schemes, label))
+
+
+def test_layered_combine_depth_mismatch():
+    _, _, _, _, scheme = build_layered()
+    with pytest.raises(ValueError):
+        scheme.combine(scheme.zero_label(), scheme.zero_label()[:-1] if scheme.depth() > 1
+                       else tuple())
+
+
+# ------------------------------------------------------------------------ sketch
+
+def test_sketch_outdetect_finds_outgoing_edge():
+    graph, _, edge_ids = line_graph_scheme()
+    scheme = SketchOutdetect(graph.vertices(), edge_ids, repetitions=12, seed=5)
+    failures = 0
+    for size in (1, 2, 3):
+        for subset in itertools.combinations(sorted(graph.vertices()), size):
+            vertex_set = set(subset)
+            outgoing = {edge_ids[canonical_edge(u, v)] for u, v in graph.edges()
+                        if (u in vertex_set) != (v in vertex_set)}
+            combined = scheme.label_of_set(vertex_set)
+            if not outgoing:
+                assert scheme.decode(combined) == []
+                continue
+            try:
+                decoded = scheme.decode(combined)
+            except OutdetectDecodeError:
+                failures += 1
+                continue
+            assert any(identifier in outgoing for identifier in decoded)
+    # whp scheme: a small number of failures is tolerated, silent lies are not.
+    assert failures <= 2
+
+
+def test_sketch_zero_label_for_whole_graph():
+    graph, _, edge_ids = line_graph_scheme()
+    scheme = SketchOutdetect(graph.vertices(), edge_ids, repetitions=6, seed=1)
+    assert scheme.decode(scheme.label_of_set(graph.vertices())) == []
+
+
+def test_sketch_is_marked_randomized():
+    graph, _, edge_ids = line_graph_scheme()
+    scheme = SketchOutdetect(graph.vertices(), edge_ids)
+    assert scheme.deterministic is False
+    assert scheme.label_bit_size(scheme.zero_label()) > 0

@@ -1,0 +1,85 @@
+"""Tests for the transformed instance (spanning tree, auxiliary graph, edge identifiers)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.transform import build_transformed_instance
+from repro.graphs import Graph
+from repro.labeling.ancestry import AncestryLabel
+
+
+def sample_graph(n=20, m=45, seed=2):
+    nx_graph = nx.gnm_random_graph(n, m, seed=seed)
+    if not nx.is_connected(nx_graph):
+        nx_graph = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=seed)
+    return Graph.from_networkx(nx_graph)
+
+
+def test_transform_rejects_empty_graph():
+    with pytest.raises(ValueError):
+        build_transformed_instance(Graph())
+
+
+def test_transform_default_root_is_smallest_vertex():
+    graph = sample_graph()
+    instance = build_transformed_instance(graph)
+    assert instance.tree.root == min(graph.vertices())
+
+
+def test_transform_edge_ids_are_injective_and_nonzero():
+    graph = sample_graph(seed=3)
+    instance = build_transformed_instance(graph)
+    identifiers = list(instance.edge_ids.values())
+    assert len(identifiers) == len(set(identifiers))
+    assert all(identifier > 0 for identifier in identifiers)
+    assert all(instance.codec.field.contains(identifier) for identifier in identifiers)
+
+
+def test_transform_edge_ids_decode_to_endpoint_preorders():
+    graph = sample_graph(seed=4)
+    instance = build_transformed_instance(graph)
+    for edge, identifier in instance.edge_ids.items():
+        u, v = edge
+        pre_u, pre_v = instance.codec.endpoint_preorders(identifier)
+        assert pre_u == instance.ancestry.label(u).pre
+        assert pre_v == instance.ancestry.label(v).pre
+
+
+def test_transform_full_mode_round_trips_ancestry_labels():
+    graph = sample_graph(seed=5)
+    instance = build_transformed_instance(graph, edge_id_mode="full")
+    for edge, identifier in instance.edge_ids.items():
+        u, v = edge
+        label_u, label_v = instance.codec.decode(identifier)
+        assert isinstance(label_u, AncestryLabel)
+        assert label_u == instance.ancestry.label(u)
+        assert label_v == instance.ancestry.label(v)
+
+
+def test_transform_sigma_covers_every_original_edge():
+    graph = sample_graph(seed=6)
+    instance = build_transformed_instance(graph)
+    tree_prime_edges = set(instance.auxiliary.tree_prime.tree_edges())
+    images = set()
+    for u, v in graph.edges():
+        image = instance.auxiliary.sigma(u, v)
+        assert image in tree_prime_edges
+        images.add(image)
+    # sigma is injective on the original edge set.
+    assert len(images) == graph.num_edges()
+
+
+def test_transform_non_tree_edge_count():
+    graph = sample_graph(seed=7)
+    instance = build_transformed_instance(graph)
+    expected = graph.num_edges() - (graph.num_vertices() - 1)
+    assert len(instance.non_tree_edges) == expected
+    assert len(instance.edge_ids) == expected
+
+
+def test_transform_explicit_root():
+    graph = sample_graph(seed=8)
+    root = sorted(graph.vertices())[3]
+    instance = build_transformed_instance(graph, root=root)
+    assert instance.tree.root == root
+    assert instance.auxiliary.tree_prime.root == root

@@ -1,0 +1,95 @@
+"""Tests for the vertex-fault-tolerant reduction and adaptive prefix decoding (Prop. 6)."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+
+from repro.applications.vertex_faults import VertexFaultTolerantLabeling
+from repro.coding import SparseRecoveryDecoder, SyndromeEncoder
+from repro.gf2 import GF2m
+from repro.graphs import Graph
+
+
+def random_connected_graph(n, m, seed):
+    nx_graph = nx.gnm_random_graph(n, m, seed=seed)
+    if not nx.is_connected(nx_graph):
+        nx_graph = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=seed)
+    return Graph.from_networkx(nx_graph)
+
+
+# ------------------------------------------------------------- vertex faults
+
+def test_vertex_fault_scheme_matches_ground_truth():
+    graph = random_connected_graph(12, 24, seed=1)
+    scheme = VertexFaultTolerantLabeling(graph, max_vertex_faults=2)
+    rng = random.Random(2)
+    vertices = sorted(graph.vertices())
+    for _ in range(60):
+        failed = rng.sample(vertices, rng.randint(0, 2))
+        alive = [v for v in vertices if v not in failed]
+        if len(alive) < 2:
+            continue
+        s, t = rng.sample(alive, 2)
+        assert scheme.connected(s, t, failed) == scheme.connected_exact(s, t, failed)
+
+
+def test_vertex_fault_failed_endpoint_is_disconnected():
+    graph = random_connected_graph(10, 18, seed=3)
+    scheme = VertexFaultTolerantLabeling(graph, max_vertex_faults=1)
+    vertices = sorted(graph.vertices())
+    assert scheme.connected(vertices[0], vertices[1], [vertices[0]]) is False
+    assert scheme.connected(vertices[0], vertices[0], []) is True
+
+
+def test_vertex_fault_cut_vertex():
+    # Two triangles sharing the articulation vertex 2.
+    graph = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+    scheme = VertexFaultTolerantLabeling(graph, max_vertex_faults=1)
+    assert scheme.connected(0, 4, [2]) is False
+    assert scheme.connected(0, 1, [2]) is True
+    assert scheme.connected(3, 4, [2]) is True
+
+
+def test_vertex_fault_budget_enforced_and_label_size():
+    graph = random_connected_graph(10, 20, seed=4)
+    scheme = VertexFaultTolerantLabeling(graph, max_vertex_faults=1)
+    with pytest.raises(ValueError):
+        scheme.connected(0, 1, [2, 3])
+    with pytest.raises(ValueError):
+        VertexFaultTolerantLabeling(graph, max_vertex_faults=0)
+    assert scheme.max_label_bits() > 0
+
+
+def test_vertex_fault_exhaustive_small_graph():
+    graph = Graph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (2, 4)])
+    scheme = VertexFaultTolerantLabeling(graph, max_vertex_faults=2)
+    vertices = sorted(graph.vertices())
+    for failed in itertools.chain([()], itertools.combinations(vertices, 1),
+                                  itertools.combinations(vertices, 2)):
+        for s, t in itertools.combinations(vertices, 2):
+            if s in failed or t in failed:
+                assert scheme.connected(s, t, failed) is False
+                continue
+            assert scheme.connected(s, t, failed) == scheme.connected_exact(s, t, failed)
+
+
+# -------------------------------------------------- Proposition 6 (prefix decoding)
+
+def test_prefix_of_syndrome_is_lower_threshold_syndrome():
+    """Proposition 6: the 2k'-prefix of a 2k syndrome is the k'-threshold syndrome."""
+    field = GF2m(16)
+    big = SyndromeEncoder(field, threshold=8)
+    small = SyndromeEncoder(field, threshold=3)
+    support = [5, 900, 12345]
+    assert big.syndrome_of(support)[:6] == small.syndrome_of(support)
+
+
+def test_prefix_decoding_recovers_small_supports():
+    field = GF2m(16)
+    big = SyndromeEncoder(field, threshold=8)
+    small_decoder = SparseRecoveryDecoder(field, threshold=2)
+    support = [7, 4242]
+    prefix = big.syndrome_of(support)[:4]
+    assert small_decoder.decode(prefix) == sorted(support)

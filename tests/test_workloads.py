@@ -1,0 +1,84 @@
+"""Tests for workload generation (graphs, faults, queries)."""
+
+import pytest
+
+from repro.baselines import ExactConnectivityOracle
+from repro.workloads import (FaultModel, GraphFamily, make_graph, make_query_workload,
+                             sample_fault_sets)
+from repro.workloads.faults import disconnecting_fraction
+from repro.workloads.graphs import graph_summary
+from repro.workloads.queries import audit_scheme
+
+
+@pytest.mark.parametrize("family", list(GraphFamily))
+def test_every_family_produces_connected_graphs(family):
+    graph = make_graph(family, n=30, seed=2)
+    assert graph.is_connected()
+    assert graph.num_vertices() >= 25
+    summary = graph_summary(graph)
+    assert summary["n"] == graph.num_vertices()
+    assert summary["avg_degree"] > 0
+
+
+def test_make_graph_rejects_tiny_n():
+    with pytest.raises(ValueError):
+        make_graph(GraphFamily.ERDOS_RENYI, n=1)
+
+
+def test_graph_generation_is_reproducible():
+    first = make_graph(GraphFamily.ERDOS_RENYI, n=40, seed=11)
+    second = make_graph(GraphFamily.ERDOS_RENYI, n=40, seed=11)
+    assert sorted(first.edges()) == sorted(second.edges())
+
+
+@pytest.mark.parametrize("model", list(FaultModel))
+def test_fault_sets_have_requested_size(model):
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=30, seed=3)
+    fault_sets = sample_fault_sets(graph, num_sets=10, faults_per_set=3, model=model, seed=4)
+    assert len(fault_sets) == 10
+    for faults in fault_sets:
+        assert len(faults) == 3
+        for edge in faults:
+            assert graph.has_edge(*edge)
+
+
+def test_fault_sets_rejects_negative():
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=20, seed=5)
+    with pytest.raises(ValueError):
+        sample_fault_sets(graph, 5, -1)
+
+
+def test_tree_biased_faults_disconnect_more_often_than_uniform():
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=60, seed=6, density=1.2)
+    tree_faults = sample_fault_sets(graph, 30, 2, model=FaultModel.TREE_BIASED, seed=7)
+    uniform_faults = sample_fault_sets(graph, 30, 2, model=FaultModel.UNIFORM, seed=7)
+    assert disconnecting_fraction(graph, tree_faults) >= disconnecting_fraction(graph, uniform_faults)
+
+
+def test_query_workload_ground_truth():
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=25, seed=8)
+    workload = make_query_workload(graph, num_queries=30, max_faults=2, seed=9)
+    assert len(workload) == 30
+    oracle = ExactConnectivityOracle(graph)
+    for (s, t, faults), expected in workload.pairs():
+        assert oracle.connected(s, t, faults) == expected
+    assert 0.0 <= workload.disconnected_fraction() <= 1.0
+
+
+def test_audit_scheme_counts():
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=20, seed=10)
+    workload = make_query_workload(graph, num_queries=20, max_faults=2, seed=11)
+    oracle = ExactConnectivityOracle(graph)
+    perfect = audit_scheme(oracle.connected, workload)
+    assert perfect["accuracy"] == 1.0
+    always_yes = audit_scheme(lambda s, t, faults: True, workload)
+    assert always_yes["agree"] + always_yes["wrong"] == len(workload)
+
+
+def test_query_workload_variable_fault_count():
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=20, seed=12)
+    workload = make_query_workload(graph, num_queries=25, max_faults=3,
+                                   exact_fault_count=False, seed=13)
+    counts = {len(faults) for (_, _, faults) in workload.queries}
+    assert counts <= {0, 1, 2, 3}
+    assert len(counts) >= 2
