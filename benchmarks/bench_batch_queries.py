@@ -1,0 +1,202 @@
+"""Experiment BATCH: single-query path versus the batched session pipeline.
+
+One fault set ``F`` supports any number of ``(s, t)`` queries against the same
+decoded component structure.  The per-call path re-derives the
+``FragmentStructure`` and re-runs the merge process for every query; the
+batched path (:class:`repro.core.batch.BatchQuerySession`, reached through
+``FTCLabeling.connected_many``) builds the decomposition once and answers
+every pair by component lookup.  The reproduced claims:
+
+* batched ``connected_many`` over a shared fault set is at least ``3x`` faster
+  per query than the per-call path on the medium workload graph;
+* the pure-Python and numpy GF(2^w) bulk backends produce bit-identical
+  outdetect labels on the cross-check corpus.
+
+Runable two ways: under pytest (``pytest benchmarks/bench_batch_queries.py``)
+with the usual benchmark fixtures, or directly with tiny parameters as a CI
+smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_batch_queries.py --n 32 --pairs 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct script runs without pytest
+    pytest = None
+
+if __package__ is None or __package__ == "":
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import cached_graph, cached_labeling, print_table
+from repro.gf2.bulk import NumpyBulkOps, PyBulkOps, numpy_available
+from repro.outdetect.rs_threshold import RSThresholdOutdetect
+from repro.outdetect.sketch import SketchOutdetect
+from repro.workloads import FaultModel
+from repro.workloads.faults import sample_fault_sets
+
+FAMILY = "erdos-renyi"
+N = 160
+SEED = 23
+MAX_FAULTS = 4
+NUM_PAIRS = 400
+MIN_SPEEDUP = 3.0
+
+
+def _shared_fault_workload(graph, fault_count, num_pairs, seed):
+    """One fault set plus many (s, t) pairs — the batched traffic shape."""
+    faults = sample_fault_sets(graph, 1, fault_count,
+                               model=FaultModel.TREE_BIASED, seed=seed)[0]
+    rng = random.Random(seed + 1)
+    vertices = sorted(graph.vertices())
+    pairs = [tuple(rng.sample(vertices, 2)) for _ in range(num_pairs)]
+    return list(faults), pairs
+
+
+def run_comparison(labeling, graph, fault_count, num_pairs, seed):
+    """Time the per-call path against the batched session on one fault set.
+
+    Returns ``(per_call_seconds_per_query, batched_seconds_per_query,
+    speedup)``; asserts both paths agree with BFS ground truth.
+    """
+    faults, pairs = _shared_fault_workload(graph, fault_count, num_pairs, seed)
+
+    start = time.perf_counter()
+    single_answers = [labeling.connected(s, t, faults) for s, t in pairs]
+    per_call = (time.perf_counter() - start) / num_pairs
+
+    labeling._session_cache.clear()  # charge the batched path for construction
+    start = time.perf_counter()
+    batched_answers = labeling.connected_many(pairs, faults)
+    batched = (time.perf_counter() - start) / num_pairs
+
+    truth = [graph.connected(s, t, removed=faults) for s, t in pairs]
+    assert single_answers == truth
+    assert batched_answers == truth
+    return per_call, batched, per_call / max(batched, 1e-12)
+
+
+def compare_backends(labeling, seed=0):
+    """Build outdetect labels with both bulk backends; labels must be
+    bit-identical.  Returns the number of label vectors compared."""
+    if not numpy_available():
+        return 0
+    instance = labeling.instance
+    vertices = list(instance.auxiliary.tree_prime.vertices())
+    edge_ids = instance.edge_ids
+    field = instance.codec.field
+    compared = 0
+
+    threshold = max(2, MAX_FAULTS)
+    py_rs = RSThresholdOutdetect(field, threshold, vertices, edge_ids,
+                                 bulk=PyBulkOps(field))
+    np_rs = RSThresholdOutdetect(field, threshold, vertices, edge_ids,
+                                 bulk=NumpyBulkOps(field, small_cutoff=0))
+    for vertex in vertices:
+        assert py_rs.label_of(vertex) == np_rs.label_of(vertex), \
+            "RS labels differ between backends at %r" % (vertex,)
+        compared += 1
+
+    id_bits = max(edge_ids.values()).bit_length() if edge_ids else 1
+    py_sketch = SketchOutdetect(vertices, edge_ids, repetitions=4, seed=seed,
+                                bulk=PyBulkOps(None))
+    np_sketch = SketchOutdetect(
+        vertices, edge_ids, repetitions=4, seed=seed,
+        bulk=NumpyBulkOps(None, max_bits=id_bits + 32, small_cutoff=0))
+    for vertex in vertices:
+        assert py_sketch.label_of(vertex) == np_sketch.label_of(vertex), \
+            "sketch labels differ between backends at %r" % (vertex,)
+        compared += 1
+    return compared
+
+
+# --------------------------------------------------------------------- pytest
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="batch-queries")
+    @pytest.mark.parametrize("fault_count", [2, MAX_FAULTS])
+    def test_batched_path_timing(benchmark, fault_count):
+        graph = cached_graph(FAMILY, N, SEED)
+        labeling = cached_labeling(FAMILY, N, SEED, MAX_FAULTS, "det-nearlinear")
+        faults, pairs = _shared_fault_workload(graph, fault_count, NUM_PAIRS, SEED)
+
+        def run():
+            labeling._session_cache.clear()
+            return labeling.connected_many(pairs, faults)
+
+        answers = benchmark(run)
+        benchmark.extra_info.update({"fault_count": fault_count, "pairs": NUM_PAIRS})
+        assert answers == [graph.connected(s, t, removed=faults) for s, t in pairs]
+
+    @pytest.mark.benchmark(group="batch-queries")
+    def test_batched_speedup_and_backend_identity(benchmark):
+        graph = cached_graph(FAMILY, N, SEED)
+        labeling = cached_labeling(FAMILY, N, SEED, MAX_FAULTS, "det-nearlinear")
+        rows = []
+        speedups = []
+        for fault_count in (2, 3, MAX_FAULTS):
+            per_call, batched, speedup = run_comparison(
+                labeling, graph, fault_count, NUM_PAIRS, SEED + fault_count)
+            speedups.append(speedup)
+            rows.append([fault_count, "%.3f" % (1000 * per_call),
+                         "%.3f" % (1000 * batched), "%.1fx" % speedup])
+        print_table("Batched vs per-call queries (ms per query, %d pairs)" % NUM_PAIRS,
+                    ["|F|", "per-call", "batched", "speedup"], rows)
+        compared = compare_backends(labeling, seed=SEED)
+        print("backend cross-check: %d label vectors bit-identical" % compared)
+        benchmark.extra_info["rows"] = rows
+        benchmark(lambda: None)
+        assert min(speedups) >= MIN_SPEEDUP, \
+            "batched path is only %.1fx faster than per-call" % min(speedups)
+
+
+# --------------------------------------------------------------------- script
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare per-call and batched query throughput")
+    parser.add_argument("--n", type=int, default=N, help="graph size")
+    parser.add_argument("--pairs", type=int, default=NUM_PAIRS,
+                        help="number of (s, t) pairs per fault set")
+    parser.add_argument("--max-faults", type=int, default=MAX_FAULTS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless the batched speedup reaches this "
+                             "(0 = report only, used by the CI smoke run)")
+    args = parser.parse_args(argv)
+
+    graph = cached_graph(FAMILY, args.n, args.seed)
+    labeling = cached_labeling(FAMILY, args.n, args.seed, args.max_faults,
+                               "det-nearlinear")
+    rows = []
+    best = 0.0
+    for fault_count in sorted({2, args.max_faults}):
+        per_call, batched, speedup = run_comparison(
+            labeling, graph, fault_count, args.pairs, args.seed + fault_count)
+        best = max(best, speedup)
+        rows.append([fault_count, "%.3f" % (1000 * per_call),
+                     "%.3f" % (1000 * batched), "%.1fx" % speedup])
+    print_table("Batched vs per-call queries (ms per query, %d pairs)" % args.pairs,
+                ["|F|", "per-call", "batched", "speedup"], rows)
+    compared = compare_backends(labeling, seed=args.seed)
+    if compared:
+        print("backend cross-check: %d label vectors bit-identical" % compared)
+    else:
+        print("backend cross-check skipped (numpy not available)")
+    if args.min_speedup and best < args.min_speedup:
+        print("FAIL: batched speedup %.1fx below required %.1fx"
+              % (best, args.min_speedup), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

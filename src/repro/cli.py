@@ -1,13 +1,19 @@
 """Command-line interface for the f-FTC labeling scheme.
 
-Three subcommands cover the typical workflow:
+Five subcommands cover the typical workflow:
 
 ``stats``
     Build labels for a graph (edge-list file) and print label-size statistics.
 ``query``
     Build labels and answer one connectivity query under faults.
+``batch-query``
+    Build labels once, fix one fault set, and answer many ``(s, t)`` pairs
+    through a shared :class:`~repro.core.batch.BatchQuerySession`.
 ``audit``
     Build labels and audit a batch of random queries against BFS ground truth.
+``export-labels``
+    Serialize every vertex and edge label to the versioned byte format
+    (hex-encoded JSON) so labels can be stored and shipped.
 
 Edge-list format: one edge per line, two whitespace-separated vertex names
 (everything is treated as a string identifier); lines starting with ``#`` are
@@ -20,18 +26,24 @@ Examples
     python -m repro.cli stats --edges network.txt --max-faults 2
     python -m repro.cli query --edges network.txt --max-faults 2 \\
         --source a --target d --fault a-b --fault c-d
+    python -m repro.cli batch-query --edges network.txt --max-faults 2 \\
+        --fault a-b --pair a-d --pair b-c
     python -m repro.cli audit --edges network.txt --max-faults 2 --queries 200
+    python -m repro.cli export-labels --edges network.txt --max-faults 2 \\
+        --output labels.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 from pathlib import Path
 
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.ftc import FTCLabeling
+from repro.core.query import QueryFailure
 from repro.graphs.graph import Graph
 from repro.workloads.queries import audit_scheme, make_query_workload
 
@@ -94,6 +106,91 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0 if answer == truth else 1
 
 
+def cmd_batch_query(args: argparse.Namespace) -> int:
+    graph, labeling = _build_labeling(args)
+    faults = [parse_fault(raw) for raw in args.fault]
+    for u, v in faults:
+        if not graph.has_edge(u, v):
+            print("error: fault edge %s-%s is not in the graph" % (u, v), file=sys.stderr)
+            return 2
+    pairs = [parse_fault(raw) for raw in args.pair]
+    if args.pairs_file:
+        text = Path(args.pairs_file).read_text()
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError("line %d of %s is not a vertex pair: %r"
+                                 % (line_number, args.pairs_file, line))
+            pairs.append((parts[0], parts[1]))
+    if args.random_pairs:
+        rng = random.Random(args.seed)
+        vertices = sorted(graph.vertices())
+        pairs.extend(tuple(rng.sample(vertices, 2)) for _ in range(args.random_pairs))
+    if not pairs:
+        print("error: no query pairs given (use --pair / --pairs-file / --random-pairs)",
+              file=sys.stderr)
+        return 2
+    for s, t in pairs:
+        for vertex in (s, t):
+            if not graph.has_vertex(vertex):
+                print("error: vertex %r is not in the graph" % (vertex,), file=sys.stderr)
+                return 2
+    answers = labeling.connected_many(pairs, faults)
+    report = {
+        "faults": ["%s-%s" % edge for edge in faults],
+        "num_pairs": len(pairs),
+        "results": [{"source": s, "target": t, "connected": answer}
+                    for (s, t), answer in zip(pairs, answers)],
+    }
+    try:
+        session = labeling.batch_session(faults)
+    except QueryFailure:
+        # Randomized / heuristic labels: the answers above came from the
+        # per-query fallback, so session statistics are unavailable.
+        report["batched"] = False
+    else:
+        report["batched"] = True
+        report["num_fragments"] = session.num_fragments()
+        report["num_components"] = session.num_components()
+    exit_code = 0
+    if args.check:
+        truth = [graph.connected(s, t, removed=faults) for s, t in pairs]
+        mismatches = sum(1 for answer, expected in zip(answers, truth)
+                         if answer != expected)
+        report["ground_truth_mismatches"] = mismatches
+        exit_code = 0 if mismatches == 0 else 1
+    print(json.dumps(report, indent=2))
+    return exit_code
+
+
+def cmd_export_labels(args: argparse.Namespace) -> int:
+    graph, labeling = _build_labeling(args)
+    payload = {
+        "format": "ftc-labels",
+        "max_faults": args.max_faults,
+        "variant": args.variant,
+        "vertex_labels": {str(vertex): labeling.vertex_label(vertex).to_bytes().hex()
+                          for vertex in graph.vertices()},
+        # A list with explicit endpoints: vertex names may themselves contain
+        # separator characters, so "u-v" strings would be ambiguous.
+        "edge_labels": [{"u": u, "v": v,
+                         "label": labeling.edge_label(u, v).to_bytes().hex()}
+                        for u, v in graph.edges()],
+    }
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(json.dumps({"written": args.output,
+                          "vertex_labels": len(payload["vertex_labels"]),
+                          "edge_labels": len(payload["edge_labels"])}, indent=2))
+    else:
+        print(text)
+    return 0
+
+
 def cmd_audit(args: argparse.Namespace) -> int:
     graph, labeling = _build_labeling(args)
     workload = make_query_workload(graph, num_queries=args.queries,
@@ -128,10 +225,32 @@ def build_parser() -> argparse.ArgumentParser:
                               help="faulty edge as u-v (repeatable)")
     query_parser.set_defaults(handler=cmd_query)
 
+    batch_parser = subparsers.add_parser(
+        "batch-query", help="answer many (s, t) pairs against one shared fault set")
+    add_common(batch_parser)
+    batch_parser.add_argument("--fault", action="append", default=[],
+                              help="faulty edge as u-v (repeatable, shared by all pairs)")
+    batch_parser.add_argument("--pair", action="append", default=[],
+                              help="query pair as s-t (repeatable)")
+    batch_parser.add_argument("--pairs-file", default=None,
+                              help="file with one whitespace-separated s t pair per line")
+    batch_parser.add_argument("--random-pairs", type=int, default=0,
+                              help="additionally sample this many random pairs")
+    batch_parser.add_argument("--check", action="store_true",
+                              help="compare every answer against BFS ground truth")
+    batch_parser.set_defaults(handler=cmd_batch_query)
+
     audit_parser = subparsers.add_parser("audit", help="audit random queries vs ground truth")
     add_common(audit_parser)
     audit_parser.add_argument("--queries", type=int, default=100)
     audit_parser.set_defaults(handler=cmd_audit)
+
+    export_parser = subparsers.add_parser(
+        "export-labels", help="serialize all labels to the versioned byte format")
+    add_common(export_parser)
+    export_parser.add_argument("--output", default=None,
+                               help="write the JSON payload here instead of stdout")
+    export_parser.set_defaults(handler=cmd_export_labels)
     return parser
 
 

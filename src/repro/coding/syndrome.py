@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.gf2.bulk import BulkOps, get_bulk_ops
 from repro.gf2.field import GF2m
 
 
@@ -41,16 +42,20 @@ class SyndromeEncoder:
     threshold:
         The sparsity threshold ``k``; syndromes have ``2k`` components, which
         is what allows recovery of up to ``k`` edges.
+    bulk:
+        Bulk arithmetic backend; defaults to the auto-selected one (numpy
+        bit-sliced when available, pure Python otherwise).
     """
 
-    __slots__ = ("field", "threshold", "length")
+    __slots__ = ("field", "threshold", "length", "bulk")
 
-    def __init__(self, field: GF2m, threshold: int):
+    def __init__(self, field: GF2m, threshold: int, bulk: BulkOps | None = None):
         if threshold < 1:
             raise ValueError("threshold must be at least 1, got %d" % threshold)
         self.field = field
         self.threshold = threshold
         self.length = 2 * threshold
+        self.bulk = bulk if bulk is not None else get_bulk_ops(field)
 
     def zero(self) -> list[int]:
         """The syndrome of the empty support."""
@@ -66,14 +71,16 @@ class SyndromeEncoder:
             raise ValueError("edge identifiers must be non-zero field elements")
         if not self.field.contains(element):
             raise ValueError("element %d is outside the field" % element)
-        row = [0] * self.length
-        multiplier = self.field.multiplier(element)
-        power = element
-        row[0] = power
-        for index in range(1, self.length):
-            power = multiplier.mul(power)
-            row[index] = power
-        return row
+        return self.bulk.pow_range(element, self.length)
+
+    def encode_many(self, elements: Sequence[int]) -> list[list[int]]:
+        """The parity-check rows of many elements, computed in one bulk call."""
+        for element in elements:
+            if element == 0:
+                raise ValueError("edge identifiers must be non-zero field elements")
+            if not self.field.contains(element):
+                raise ValueError("element %d is outside the field" % element)
+        return self.bulk.pow_range_many(elements, self.length)
 
     def encode_prefix(self, element: int, length: int) -> list[int]:
         """The first ``length`` components of ``encode(element)``.
@@ -88,10 +95,9 @@ class SyndromeEncoder:
     def syndrome_of(self, elements: Iterable[int]) -> list[int]:
         """The syndrome (power sums) of an explicit support set."""
         total = self.zero()
-        for element in elements:
-            row = self.encode(element)
-            for index in range(self.length):
-                total[index] ^= row[index]
+        support = list(elements)
+        if support:
+            self.bulk.xor_accumulate(total, self.encode_many(support))
         return total
 
     def accumulate(self, target: list[int], element: int) -> None:

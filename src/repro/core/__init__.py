@@ -16,12 +16,17 @@ Public entry points
     queries given vertex names and edge lists.
 ``FTCConfig`` / ``SchemeVariant``
     Which of the Table-1 schemes to build.
+``BatchQuerySession``
+    One fault set, many ``(s, t)`` queries: the component decomposition is
+    built once and every pair is answered by lookup (see
+    :mod:`repro.core.batch`).
 """
 
+from repro.core.batch import BatchQuerySession
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.labels import EdgeLabel, VertexLabel
 from repro.core.ftc import FTCLabeling
-from repro.core.query import BasicQueryEngine, QueryFailure
+from repro.core.query import BasicQueryEngine, QueryFailure, canonical_fault_key
 from repro.core.fast_query import FastQueryEngine
 from repro.core.oracle import FTConnectivityOracle
 
@@ -33,6 +38,8 @@ __all__ = [
     "FTCLabeling",
     "BasicQueryEngine",
     "FastQueryEngine",
+    "BatchQuerySession",
     "QueryFailure",
+    "canonical_fault_key",
     "FTConnectivityOracle",
 ]

@@ -1,0 +1,172 @@
+"""Batched query processing: one fault set, many ``(s, t)`` pairs.
+
+The scheme is designed so that everything expensive about a query depends only
+on the fault set ``F``: the fragment structure of ``T' - F`` (Proposition 3)
+and the component merge forest the engines build by repeatedly decoding
+outdetect labels.  :class:`BatchQuerySession` exploits that by materializing
+the *complete* connected-component decomposition of the fragments once —
+running the same smallest-boundary-first merge process as
+:class:`~repro.core.fast_query.FastQueryEngine`, but to completion instead of
+stopping at the first ``s``/``t`` resolution.  Afterwards every ``(s, t)``
+query is two innermost-interval lookups plus one equality check, with no
+decoding at all.
+
+Sessions are cheap to cache: :func:`~repro.core.query.canonical_fault_key`
+gives an order-insensitive key that applies the same same-tree-edge
+deduplication as :class:`~repro.core.query.FragmentStructure`, so permutations
+of one fault set (or fault lists with redundant parallel faults) share a
+session.  :class:`~repro.core.ftc.FTCLabeling` keeps an LRU of sessions keyed
+this way.
+
+Like the engines, a session sees labels only — never the graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.core.fast_query import ComponentFragment, find_partner_component
+from repro.core.labels import EdgeLabel, VertexLabel
+from repro.core.query import (FragmentStructure, QueryFailure, ROOT_FRAGMENT,
+                              canonical_fault_key)
+from repro.labeling.edge_ids import EdgeIdCodec
+from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
+
+
+class BatchQuerySession:
+    """Reusable decomposition of ``T' - F`` answering any number of queries.
+
+    Parameters
+    ----------
+    outdetect:
+        The outdetect scheme used to decode combined fragment labels (only its
+        decoding machinery is used, never the graph).
+    codec:
+        Edge-identifier codec interpreting decoded identifiers.
+    fault_labels:
+        The :class:`~repro.core.labels.EdgeLabel` of every faulty edge.
+
+    Raises
+    ------
+    QueryFailure:
+        When a component label cannot be decoded.  This can only happen for
+        randomized sketch labels or the heuristic PRACTICAL threshold rule —
+        the deterministic PAPER schemes never raise — and it happens at
+        *construction* time, because the decomposition decodes every component
+        eagerly (callers can fall back to the per-query engines).
+    """
+
+    def __init__(self, outdetect: OutdetectScheme, codec: EdgeIdCodec,
+                 fault_labels: Sequence[EdgeLabel]):
+        self.outdetect = outdetect
+        self.codec = codec
+        self.fault_labels = list(fault_labels)
+        #: Canonical (deduplicated, order-insensitive) key of this fault set.
+        self.key = canonical_fault_key(self.fault_labels)
+        self.structure = FragmentStructure(self.fault_labels)
+        #: fragment id -> final connected-component identifier.
+        self._component_of: dict[int, int] = self._decompose()
+        self._queries_answered = 0
+
+    # ------------------------------------------------------------ construction
+
+    def _decompose(self) -> dict[int, int]:
+        """Run the smallest-boundary-first merge process to completion."""
+        structure = self.structure
+        components: dict[int, ComponentFragment] = {}
+        owner: dict[int, int] = {}
+        heap: list[tuple] = []
+        for key, fragment_id in enumerate(structure.fragment_ids()):
+            component = ComponentFragment(
+                key=key,
+                members={fragment_id},
+                boundary=structure.boundary_of(fragment_id),
+                label=structure.fragment_outdetect_label(fragment_id, self.outdetect),
+            )
+            components[key] = component
+            owner[fragment_id] = key
+            heapq.heappush(heap, (len(component.boundary), key))
+        next_key = len(components)
+        alive_count = len(components)
+        final: dict[int, int] = {}
+
+        while heap and alive_count > 1:
+            _, key = heapq.heappop(heap)
+            component = components.get(key)
+            if component is None or not component.alive:
+                continue
+            try:
+                edge_identifiers = self.outdetect.decode(component.label)
+            except OutdetectDecodeError as error:
+                raise QueryFailure(str(error)) from error
+            partner_key = find_partner_component(self.codec, edge_identifiers,
+                                                 structure, owner, component,
+                                                 components)
+            if partner_key is None:
+                # No outgoing edge: a maximal connected component is finalized.
+                for fragment_id in component.members:
+                    final[fragment_id] = component.key
+                component.alive = False
+                del components[key]
+                alive_count -= 1
+                continue
+            partner = components[partner_key]
+            merged = ComponentFragment(
+                key=next_key,
+                members=component.members | partner.members,
+                boundary=component.boundary ^ partner.boundary,
+                label=self.outdetect.combine(component.label, partner.label),
+            )
+            next_key += 1
+            component.alive = False
+            partner.alive = False
+            del components[key]
+            del components[partner_key]
+            components[merged.key] = merged
+            alive_count -= 1
+            for fragment_id in merged.members:
+                owner[fragment_id] = merged.key
+            heapq.heappush(heap, (len(merged.boundary), merged.key))
+
+        # Whatever is still alive (exactly one component when the residual
+        # graph is connected) is maximal by construction.
+        for component in components.values():
+            if component.alive:
+                for fragment_id in component.members:
+                    final[fragment_id] = component.key
+        return final
+
+    # ---------------------------------------------------------------- queries
+
+    def connected(self, source: VertexLabel, target: VertexLabel) -> bool:
+        """Connectivity of two labeled vertices under this session's faults."""
+        self._queries_answered += 1
+        if source.ancestry == target.ancestry:
+            return True
+        source_fragment = self.structure.fragment_of_vertex(source.ancestry)
+        target_fragment = self.structure.fragment_of_vertex(target.ancestry)
+        if source_fragment == target_fragment:
+            return True
+        return self._component_of[source_fragment] == self._component_of[target_fragment]
+
+    def connected_many(self, pairs: Sequence[tuple]) -> list[bool]:
+        """Answer many ``(source_label, target_label)`` pairs."""
+        return [self.connected(source, target) for source, target in pairs]
+
+    # ------------------------------------------------------------- statistics
+
+    @property
+    def queries_answered(self) -> int:
+        """Number of pair queries answered by this session."""
+        return self._queries_answered
+
+    def num_components(self) -> int:
+        """Number of connected components the fragments collapse into."""
+        return len(set(self._component_of.values())) if self._component_of else 1
+
+    def num_fragments(self) -> int:
+        return self.structure.num_fragments()
+
+
+__all__ = ["BatchQuerySession", "canonical_fault_key", "ROOT_FRAGMENT"]

@@ -20,8 +20,12 @@ from repro.labeling.edge_ids import EdgeIdCodec
 from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
 
 
-class _ComponentFragment:
-    """A union of fragments, tracked by the refined engine."""
+class ComponentFragment:
+    """A union of fragments in the merge forest.
+
+    Shared by the refined engine here and the batched decomposition of
+    :mod:`repro.core.batch`.
+    """
 
     __slots__ = ("key", "members", "boundary", "label", "alive")
 
@@ -31,6 +35,37 @@ class _ComponentFragment:
         self.boundary = boundary
         self.label = label
         self.alive = True
+
+
+def find_partner_component(codec: EdgeIdCodec, edge_identifiers: Sequence[int],
+                           structure: FragmentStructure, owner: dict,
+                           component: ComponentFragment,
+                           components: dict) -> int | None:
+    """The component reached by the first usable decoded outgoing edge.
+
+    Returns ``None`` when the identifier list certifies an empty outgoing edge
+    set (the component is maximal) and raises :class:`QueryFailure` when the
+    identifiers are non-empty but none of them crosses the component boundary
+    into a live component (possible only for randomized / heuristic labels).
+    """
+    if not edge_identifiers:
+        return None
+    for identifier in edge_identifiers:
+        if not codec.is_plausible(identifier):
+            continue
+        pre_u, pre_v = codec.endpoint_preorders(identifier)
+        key_u = owner.get(structure.fragment_of_preorder(pre_u))
+        key_v = owner.get(structure.fragment_of_preorder(pre_v))
+        if key_u is None or key_v is None:
+            continue
+        in_u = key_u == component.key
+        in_v = key_v == component.key
+        if in_u == in_v:
+            continue
+        partner_key = key_v if in_u else key_u
+        if partner_key in components and components[partner_key].alive:
+            return partner_key
+    raise QueryFailure("decoded edge identifiers do not yield an outgoing edge")
 
 
 class FastQueryEngine:
@@ -51,11 +86,11 @@ class FastQueryEngine:
         if source_fragment == target_fragment:
             return True
 
-        components: dict[int, _ComponentFragment] = {}
+        components: dict[int, ComponentFragment] = {}
         owner: dict[int, int] = {}
         heap: list[tuple] = []
         for key, fragment_id in enumerate(structure.fragment_ids()):
-            component = _ComponentFragment(
+            component = ComponentFragment(
                 key=key,
                 members={fragment_id},
                 boundary=structure.boundary_of(fragment_id),
@@ -65,20 +100,24 @@ class FastQueryEngine:
             owner[fragment_id] = key
             heapq.heappush(heap, (len(component.boundary), key))
         next_key = len(components)
+        # Number of live components, maintained incrementally: merges reduce it
+        # by one, finalized maximal components by one.  (A scan over
+        # ``components`` here would make large fault sets quadratic.)
+        alive_count = len(components)
 
         while heap:
             _, key = heapq.heappop(heap)
             component = components.get(key)
             if component is None or not component.alive:
                 continue
-            if len([c for c in components.values() if c.alive]) <= 1:
+            if alive_count <= 1:
                 return False
             try:
                 edge_identifiers = self.outdetect.decode(component.label)
             except OutdetectDecodeError as error:
                 raise QueryFailure(str(error)) from error
-            partner_key = self._partner_component(edge_identifiers, structure, owner,
-                                                  component, components)
+            partner_key = find_partner_component(self.codec, edge_identifiers,
+                                                 structure, owner, component, components)
             if partner_key is None:
                 # No outgoing edge: this component is a maximal connected piece.
                 contains_source = source_fragment in component.members
@@ -87,9 +126,10 @@ class FastQueryEngine:
                     return contains_source and contains_target
                 component.alive = False
                 del components[key]
+                alive_count -= 1
                 continue
             partner = components[partner_key]
-            merged = _ComponentFragment(
+            merged = ComponentFragment(
                 key=next_key,
                 members=component.members | partner.members,
                 boundary=component.boundary ^ partner.boundary,
@@ -103,31 +143,8 @@ class FastQueryEngine:
             del components[key]
             del components[partner_key]
             components[merged.key] = merged
+            alive_count -= 1
             for fragment_id in merged.members:
                 owner[fragment_id] = merged.key
             heapq.heappush(heap, (len(merged.boundary), merged.key))
         return False
-
-    def _partner_component(self, edge_identifiers: Sequence[int],
-                           structure: FragmentStructure, owner: dict,
-                           component: _ComponentFragment,
-                           components: dict) -> int | None:
-        """The component reached by the first usable decoded edge."""
-        if not edge_identifiers:
-            return None
-        for identifier in edge_identifiers:
-            if not self.codec.is_plausible(identifier):
-                continue
-            pre_u, pre_v = self.codec.endpoint_preorders(identifier)
-            key_u = owner.get(structure.fragment_of_preorder(pre_u))
-            key_v = owner.get(structure.fragment_of_preorder(pre_v))
-            if key_u is None or key_v is None:
-                continue
-            in_u = key_u == component.key
-            in_v = key_v == component.key
-            if in_u == in_v:
-                continue
-            partner_key = key_v if in_u else key_u
-            if partner_key in components and components[partner_key].alive:
-                return partner_key
-        raise QueryFailure("decoded edge identifiers do not yield an outgoing edge")

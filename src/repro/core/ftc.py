@@ -16,12 +16,14 @@ Queries are answered by :class:`FTCDecoder`, which sees labels only.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Hashable, Iterable, Sequence
 
+from repro.core.batch import BatchQuerySession
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.fast_query import FastQueryEngine
 from repro.core.labels import EdgeLabel, VertexLabel
-from repro.core.query import BasicQueryEngine
+from repro.core.query import BasicQueryEngine, QueryFailure, canonical_fault_key
 from repro.core.transform import TransformedInstance, build_transformed_instance
 from repro.core.tree_scheme import TreeEdgeLabeling
 from repro.graphs.graph import Edge, Graph, canonical_edge
@@ -45,6 +47,8 @@ class FTCDecoder:
     """
 
     def __init__(self, outdetect: OutdetectScheme, codec, use_fast_engine: bool = True):
+        self.outdetect = outdetect
+        self.codec = codec
         self._basic = BasicQueryEngine(outdetect, codec)
         self._fast = FastQueryEngine(outdetect, codec)
         self.use_fast_engine = use_fast_engine
@@ -54,9 +58,26 @@ class FTCDecoder:
         engine = self._fast if self.use_fast_engine else self._basic
         return engine.connected(source_label, target_label, fault_labels)
 
+    def session(self, fault_labels: Sequence[EdgeLabel]) -> BatchQuerySession:
+        """A batched query session for one fault set (labels only).
+
+        The session materializes the full component decomposition once; every
+        subsequent ``(s, t)`` pair is answered by component lookup.
+        """
+        return BatchQuerySession(self.outdetect, self.codec, fault_labels)
+
+    def connected_many(self, pairs: Sequence[tuple],
+                       fault_labels: Sequence[EdgeLabel]) -> list[bool]:
+        """Answer many ``(source_label, target_label)`` pairs for one fault set."""
+        return self.session(fault_labels).connected_many(pairs)
+
 
 class FTCLabeling:
     """Labels of one graph for one fault budget, plus the matching decoder."""
+
+    #: Number of batch sessions kept alive per labeling (LRU, keyed by the
+    #: canonical fault set).
+    SESSION_CACHE_SIZE = 32
 
     def __init__(self, graph: Graph, config: FTCConfig, root: Vertex | None = None):
         if graph.num_vertices() < 1:
@@ -73,6 +94,7 @@ class FTCLabeling:
         self._tree_labeling = TreeEdgeLabeling(self.instance, self.outdetect)
         self.construction_seconds = time.perf_counter() - start
         self._hierarchy = getattr(self, "_hierarchy", None)
+        self._session_cache: OrderedDict[tuple, BatchQuerySession] = OrderedDict()
 
     # ------------------------------------------------------------ construction
 
@@ -145,13 +167,69 @@ class FTCLabeling:
     def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = (),
                   use_fast_engine: bool = True) -> bool:
         """Convenience query: look up the labels and run the decoder."""
-        fault_list = list(faults)
-        if len(fault_list) > self.config.max_faults:
-            raise ValueError("query has %d faults but the scheme was built for f=%d"
-                             % (len(fault_list), self.config.max_faults))
-        fault_labels = [self.edge_label(u, v) for u, v in fault_list]
+        fault_labels = self._fault_labels(faults)
         return self.decoder(use_fast_engine).connected(
             self.vertex_label(s), self.vertex_label(t), fault_labels)
+
+    # ------------------------------------------------------------ batched path
+
+    def _fault_labels(self, faults: Iterable[Edge]) -> list[EdgeLabel]:
+        """Label every fault and enforce the budget on the *deduplicated* set.
+
+        The budget ``f`` bounds distinct failures: restating the same edge
+        twice must not reject a query the scheme can answer, and the count
+        must agree with the same-tree-edge dedup of
+        :func:`~repro.core.query.canonical_fault_key` /
+        :class:`~repro.core.query.FragmentStructure`.
+        """
+        fault_labels = [self.edge_label(u, v) for u, v in faults]
+        unique_faults = len(canonical_fault_key(fault_labels))
+        if unique_faults > self.config.max_faults:
+            raise ValueError("query has %d faults but the scheme was built for f=%d"
+                             % (unique_faults, self.config.max_faults))
+        return fault_labels
+
+    def batch_session(self, faults: Iterable[Edge] = ()) -> BatchQuerySession:
+        """The (cached) batched query session for one fault set.
+
+        Sessions are kept in an LRU keyed by the canonical fault set — the
+        order-insensitive, same-tree-edge-deduplicated key of
+        :func:`~repro.core.query.canonical_fault_key` — so permutations and
+        redundant restatements of a fault set share one decomposition.
+        """
+        fault_labels = self._fault_labels(faults)
+        key = canonical_fault_key(fault_labels)
+        session = self._session_cache.get(key)
+        if session is not None:
+            self._session_cache.move_to_end(key)
+            return session
+        session = BatchQuerySession(self.outdetect, self.instance.codec, fault_labels)
+        self._session_cache[key] = session
+        while len(self._session_cache) > self.SESSION_CACHE_SIZE:
+            self._session_cache.popitem(last=False)
+        return session
+
+    def connected_many(self, pairs: Sequence[tuple],
+                       faults: Iterable[Edge] = ()) -> list[bool]:
+        """Answer many ``(s, t)`` queries against one shared fault set.
+
+        Builds (or reuses) the :class:`~repro.core.batch.BatchQuerySession`
+        for ``faults`` and answers every pair by component lookup.  The eager
+        decomposition decodes every component, so it can fail (randomized
+        sketch labels, heuristic PRACTICAL thresholds) where a lazy single
+        query would not have needed the failing component; those calls fall
+        back to the per-query engine pair by pair, which preserves the
+        pre-batching semantics exactly (and still raises if a failure hits a
+        component the query actually needs).
+        """
+        pair_list = list(pairs)
+        fault_list = list(faults)
+        try:
+            session = self.batch_session(fault_list)
+        except QueryFailure:
+            return [self.connected(s, t, fault_list) for s, t in pair_list]
+        return [session.connected(self.vertex_label(s), self.vertex_label(t))
+                for s, t in pair_list]
 
     # -------------------------------------------------------------- statistics
 

@@ -8,6 +8,10 @@ label objects therefore contain exactly what the paper assigns (Section 7.2):
 * an edge carries the ancestry labels of the two endpoints of its image
   ``sigma(e)`` in ``T'`` and the XOR of the outdetect labels over the subtree
   hanging below that tree edge.
+
+Both label classes round-trip through a versioned byte format
+(``to_bytes`` / ``from_bytes``, see :mod:`repro.core.serialize`) so labels can
+be stored and shipped out of process.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core import serialize
 from repro.labeling.ancestry import AncestryLabel
 
 OutdetectLabel = Any
@@ -28,6 +33,23 @@ class VertexLabel:
 
     def bit_size(self) -> int:
         return self.ancestry.bit_size()
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned byte format of :mod:`repro.core.serialize`."""
+        out = serialize.write_header(serialize.KIND_VERTEX)
+        serialize.write_varint(self.ancestry.pre, out)
+        serialize.write_varint(self.ancestry.post, out)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "VertexLabel":
+        """Inverse of :meth:`to_bytes`; raises
+        :class:`~repro.core.serialize.LabelDecodeError` on malformed input."""
+        offset = serialize.read_header(data, serialize.KIND_VERTEX)
+        pre, offset = serialize.read_varint(data, offset)
+        post, offset = serialize.read_varint(data, offset)
+        serialize.check_consumed(data, offset)
+        return cls(ancestry=AncestryLabel(pre=pre, post=post))
 
 
 @dataclass(frozen=True)
@@ -65,3 +87,38 @@ class EdgeLabel:
     def subtree_interval(self) -> AncestryLabel:
         """The DFS interval of the subtree cut off by removing this edge."""
         return self.ancestry_lower
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned byte format of :mod:`repro.core.serialize`.
+
+        The outdetect subtree sum is stored as a tagged int/tuple tree, so any
+        scheme variant's label shape (flat k-threshold or sketch vectors,
+        per-level tuples for layered schemes) round-trips exactly.
+        """
+        out = serialize.write_header(serialize.KIND_EDGE)
+        serialize.write_varint(self.ancestry_upper.pre, out)
+        serialize.write_varint(self.ancestry_upper.post, out)
+        serialize.write_varint(self.ancestry_lower.pre, out)
+        serialize.write_varint(self.ancestry_lower.post, out)
+        serialize.write_varint(self.outdetect_bits, out)
+        serialize.write_label_tree(self.outdetect_subtree_sum, out)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EdgeLabel":
+        """Inverse of :meth:`to_bytes`; raises
+        :class:`~repro.core.serialize.LabelDecodeError` on malformed input."""
+        offset = serialize.read_header(data, serialize.KIND_EDGE)
+        upper_pre, offset = serialize.read_varint(data, offset)
+        upper_post, offset = serialize.read_varint(data, offset)
+        lower_pre, offset = serialize.read_varint(data, offset)
+        lower_post, offset = serialize.read_varint(data, offset)
+        outdetect_bits, offset = serialize.read_varint(data, offset)
+        subtree_sum, offset = serialize.read_label_tree(data, offset)
+        serialize.check_consumed(data, offset)
+        return cls(
+            ancestry_upper=AncestryLabel(pre=upper_pre, post=upper_post),
+            ancestry_lower=AncestryLabel(pre=lower_pre, post=lower_post),
+            outdetect_subtree_sum=subtree_sum,
+            outdetect_bits=outdetect_bits,
+        )

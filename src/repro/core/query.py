@@ -34,6 +34,20 @@ class QueryFailure(Exception):
     """
 
 
+def canonical_fault_key(fault_labels: Sequence[EdgeLabel]) -> tuple:
+    """Canonical, order-insensitive key of a fault set.
+
+    Faults whose labels map to the same tree edge of ``T'`` (the same subtree
+    interval) represent the same failure and are deduplicated — the same rule
+    :class:`FragmentStructure` applies during construction.  The key is what
+    the batch-session caches in :mod:`repro.core.batch` and
+    :class:`~repro.core.ftc.FTCLabeling` are keyed by.
+    """
+    intervals = {(label.ancestry_lower.pre, label.ancestry_lower.post)
+                 for label in fault_labels}
+    return tuple(sorted(intervals))
+
+
 @dataclass(frozen=True)
 class Fragment:
     """One connected component of T' - F, as seen through labels only."""
@@ -62,6 +76,10 @@ class FragmentStructure:
                            for index in self._unique_indices}
         self._parent_fault = self._compute_nesting()
         self._boundaries = self._compute_boundaries()
+        # Per-fragment outdetect labels are memoized: a batch session (and the
+        # engines' repeated boundary sums) ask for the same fragment many times.
+        self._label_cache_scheme: OutdetectScheme | None = None
+        self._label_cache: dict[int, object] = {}
 
     # ------------------------------------------------------------- structure
 
@@ -115,11 +133,23 @@ class FragmentStructure:
         return set(self._boundaries.get(fragment_id, set()))
 
     def fragment_outdetect_label(self, fragment_id: int, outdetect: OutdetectScheme):
-        """Proposition 4: XOR the subtree sums of the boundary faults."""
-        total = outdetect.zero_label()
-        for index in self.boundary_of(fragment_id):
-            total = outdetect.combine(total, self.fault_labels[index].outdetect_subtree_sum)
-        return total
+        """Proposition 4: XOR the subtree sums of the boundary faults.
+
+        Results are memoized per fragment (for one scheme at a time): the
+        batch query session and both engines repeatedly need the same
+        fragment's label.
+        """
+        if outdetect is not self._label_cache_scheme:
+            self._label_cache_scheme = outdetect
+            self._label_cache = {}
+        cached = self._label_cache.get(fragment_id)
+        if cached is not None:
+            return cached
+        label = outdetect.combine_all(
+            self.fault_labels[index].outdetect_subtree_sum
+            for index in self.boundary_of(fragment_id))
+        self._label_cache[fragment_id] = label
+        return label
 
     def num_fragments(self) -> int:
         return len(self._unique_indices) + 1

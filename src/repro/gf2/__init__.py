@@ -15,11 +15,18 @@ Public API
 ``find_irreducible`` / ``is_irreducible``
     Deterministic irreducible-polynomial machinery used to build fields of an
     arbitrary word size.
+``BulkOps`` / ``get_bulk_ops``
+    Pluggable bulk (vectorized) backends — a pure-Python table-driven
+    implementation and an optional numpy bit-sliced one — used by the
+    outdetect layer to compute many consecutive-power rows and XOR
+    accumulations in one shot.
 """
 
 from repro.gf2.field import GF2m, FixedMultiplier
 from repro.gf2.irreducible import find_irreducible, is_irreducible, DEFAULT_IRREDUCIBLES
 from repro.gf2.poly import Gf2Poly
+from repro.gf2.bulk import (BackendUnavailable, BulkOps, NumpyBulkOps, PyBulkOps,
+                            available_backends, get_bulk_ops, numpy_available)
 
 __all__ = [
     "GF2m",
@@ -28,4 +35,11 @@ __all__ = [
     "find_irreducible",
     "is_irreducible",
     "DEFAULT_IRREDUCIBLES",
+    "BulkOps",
+    "PyBulkOps",
+    "NumpyBulkOps",
+    "BackendUnavailable",
+    "available_backends",
+    "get_bulk_ops",
+    "numpy_available",
 ]

@@ -40,6 +40,18 @@ class LayeredOutdetect(OutdetectScheme):
         return tuple(scheme.combine(a, b)
                      for scheme, a, b in zip(self.level_schemes, first, second))
 
+    def combine_all(self, labels) -> Label:
+        labels = list(labels)
+        if not labels:
+            return self.zero_label()
+        depth = len(self.level_schemes)
+        for label in labels:
+            if len(label) != depth:
+                raise ValueError("layered labels of different depths cannot be combined")
+        # Delegate per level so each level scheme's bulk backend is used.
+        return tuple(self.level_schemes[index].combine_all(
+            [label[index] for label in labels]) for index in range(depth))
+
     def decode(self, label: Label) -> list[int]:
         deepest_nonzero = None
         for index in range(len(self.level_schemes) - 1, -1, -1):

@@ -10,10 +10,11 @@ syndrome decoding — deterministically.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping
 
 from repro.coding.rs_decoder import DecodeFailure, SparseRecoveryDecoder
 from repro.coding.syndrome import SyndromeEncoder
+from repro.gf2.bulk import BulkOps, get_bulk_ops
 from repro.gf2.field import GF2m
 from repro.graphs.graph import Edge, canonical_edge
 from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
@@ -38,31 +39,51 @@ class RSThresholdOutdetect(OutdetectScheme):
     adaptive:
         Whether decoding uses geometrically growing prefixes (Appendix B),
         making its cost depend on the actual outgoing-edge count.
+    bulk:
+        Bulk GF(2^w) backend used for construction and label combination;
+        auto-selected when omitted (numpy bit-sliced when available).
     """
 
     deterministic = True
 
     def __init__(self, field: GF2m, threshold: int, vertices: Iterable[Vertex],
-                 edge_ids: Mapping[Edge, int], adaptive: bool = True):
+                 edge_ids: Mapping[Edge, int], adaptive: bool = True,
+                 bulk: BulkOps | None = None):
         self.field = field
         self.threshold = threshold
         self.adaptive = adaptive
-        self._encoder = SyndromeEncoder(field, threshold)
+        self.bulk = bulk if bulk is not None else get_bulk_ops(field)
+        self._encoder = SyndromeEncoder(field, threshold, bulk=self.bulk)
         self._decoder = SparseRecoveryDecoder(field, threshold)
-        self._labels: dict[Vertex, list[int]] = {vertex: self._encoder.zero()
-                                                 for vertex in vertices}
         self.edge_ids = dict(edge_ids)
-        for (u, v), identifier in self.edge_ids.items():
-            row = self._encoder.encode(identifier)
-            self._xor_into(u, row)
-            self._xor_into(v, row)
+        self._build_labels(list(vertices))
 
-    def _xor_into(self, vertex: Vertex, row: Sequence[int]) -> None:
-        if vertex not in self._labels:
-            raise KeyError("edge endpoint %r is not among the scheme's vertices" % (vertex,))
-        label = self._labels[vertex]
-        for index, value in enumerate(row):
-            label[index] ^= value
+    def _build_labels(self, vertices: list) -> None:
+        """Compute all vertex labels with two bulk calls.
+
+        Every edge's parity-check row (its consecutive powers) is produced by
+        one ``pow_range_many`` over all identifiers, and the rows are scattered
+        into the per-vertex label matrix in one XOR pass.
+        """
+        vertex_index = {vertex: position for position, vertex in enumerate(vertices)}
+        edges = list(self.edge_ids.items())
+        for (u, v), _ in edges:
+            for endpoint in (u, v):
+                if endpoint not in vertex_index:
+                    raise KeyError("edge endpoint %r is not among the scheme's vertices"
+                                   % (endpoint,))
+        rows = self._encoder.encode_many([identifier for _, identifier in edges])
+        indices: list[int] = []
+        scattered: list[list[int]] = []
+        for ((u, v), _), row in zip(edges, rows):
+            indices.append(vertex_index[u])
+            indices.append(vertex_index[v])
+            scattered.append(row)
+            scattered.append(row)
+        matrix = self.bulk.scatter_xor_rows(len(vertices), self._encoder.length,
+                                            indices, scattered)
+        self._labels: dict[Vertex, list[int]] = {
+            vertex: matrix[position] for vertex, position in vertex_index.items()}
 
     # ------------------------------------------------------------ OutdetectScheme
 
@@ -76,6 +97,14 @@ class RSThresholdOutdetect(OutdetectScheme):
         if len(first) != len(second):
             raise ValueError("labels of different lengths cannot be combined")
         return tuple(a ^ b for a, b in zip(first, second))
+
+    def combine_all(self, labels) -> Label:
+        labels = list(labels)
+        if not labels:
+            return self.zero_label()
+        total = list(labels[0])
+        self.bulk.xor_accumulate(total, labels[1:])
+        return tuple(total)
 
     def decode(self, label: Label) -> list[int]:
         try:

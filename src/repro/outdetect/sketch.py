@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 from typing import Hashable, Iterable, Mapping
 
+from repro.gf2.bulk import BulkOps, get_bulk_ops
 from repro.graphs.graph import Edge
 from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
 
@@ -45,12 +46,16 @@ class SketchOutdetect(OutdetectScheme):
         Seed of the (deterministic, hash-based) sampling and fingerprints —
         the scheme is randomized in the sense of the paper, with the random
         bits made explicit and reproducible.
+    bulk:
+        Bulk XOR backend (no field needed); auto-selected when omitted.  The
+        numpy backend scatters every sampled cell contribution in one pass.
     """
 
     deterministic = False
 
     def __init__(self, vertices: Iterable[Vertex], edge_ids: Mapping[Edge, int],
-                 num_levels: int | None = None, repetitions: int = 8, seed: int = 0):
+                 num_levels: int | None = None, repetitions: int = 8, seed: int = 0,
+                 bulk: BulkOps | None = None):
         self.edge_ids = dict(edge_ids)
         if num_levels is None:
             edge_count = max(len(self.edge_ids), 2)
@@ -60,12 +65,31 @@ class SketchOutdetect(OutdetectScheme):
         self.seed = seed
         self.id_bits = max((max(self.edge_ids.values()).bit_length() if self.edge_ids else 1), 1)
         self._cells = self.num_levels * self.repetitions
-        self._labels: dict[Vertex, list[int]] = {vertex: [0] * self._cells for vertex in vertices}
+        self.bulk = bulk if bulk is not None else get_bulk_ops(
+            None, max_bits=self.id_bits + _FINGERPRINT_BITS)
+        self._build_labels(list(vertices))
+
+    def _build_labels(self, vertices: list) -> None:
+        """Accumulate all sampled cell contributions through the bulk backend."""
+        vertex_index = {vertex: position for position, vertex in enumerate(vertices)}
+        row_indices: list[int] = []
+        col_indices: list[int] = []
+        values: list[int] = []
         for (u, v), identifier in self.edge_ids.items():
             extended = self._extend(identifier)
+            row_u = vertex_index[u]
+            row_v = vertex_index[v]
             for cell in self._cells_of(identifier):
-                self._labels[u][cell] ^= extended
-                self._labels[v][cell] ^= extended
+                row_indices.append(row_u)
+                row_indices.append(row_v)
+                col_indices.append(cell)
+                col_indices.append(cell)
+                values.append(extended)
+                values.append(extended)
+        matrix = self.bulk.scatter_xor(len(vertices), self._cells,
+                                       row_indices, col_indices, values)
+        self._labels: dict[Vertex, list[int]] = {
+            vertex: matrix[position] for vertex, position in vertex_index.items()}
 
     # ----------------------------------------------------------------- hashing
 
@@ -103,6 +127,14 @@ class SketchOutdetect(OutdetectScheme):
         if len(first) != len(second):
             raise ValueError("sketch labels of different sizes cannot be combined")
         return tuple(a ^ b for a, b in zip(first, second))
+
+    def combine_all(self, labels) -> Label:
+        labels = list(labels)
+        if not labels:
+            return self.zero_label()
+        total = list(labels[0])
+        self.bulk.xor_accumulate(total, labels[1:])
+        return tuple(total)
 
     def decode(self, label: Label) -> list[int]:
         if all(value == 0 for value in label):

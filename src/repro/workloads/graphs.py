@@ -7,11 +7,19 @@ every number in EXPERIMENTS.md can be regenerated exactly.
 
 from __future__ import annotations
 
+import heapq
+import random
 from enum import Enum
 
 import networkx as nx
 
 from repro.graphs.graph import Graph
+
+try:  # networkx's tree/chord sampling needs numpy; we keep a pure fallback.
+    import numpy  # noqa: F401
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the numpy-absent CI job
+    _HAVE_NUMPY = False
 
 
 class GraphFamily(Enum):
@@ -62,13 +70,21 @@ def make_graph(family: GraphFamily, n: int, seed: int = 0, density: float = 2.5,
         side = max(int(round(n ** 0.5)), 2)
         nx_graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(side, side))
     elif family is GraphFamily.TREE_PLUS_CHORDS:
-        nx_graph = nx.random_labeled_tree(n, seed=seed)
-        rng = nx.utils.create_random_state(seed)
+        if _HAVE_NUMPY:
+            nx_graph = nx.random_labeled_tree(n, seed=seed)
+            rng = nx.utils.create_random_state(seed)
+            rand_pair = lambda: (rng.randint(0, n), rng.randint(0, n))  # noqa: E731
+        else:
+            # networkx's samplers need numpy; fall back to a pure-Python
+            # uniform random tree (random Prüfer sequence) + chord sampler.
+            nx_graph = _random_tree_pure(n, seed)
+            py_rng = random.Random(seed)
+            rand_pair = lambda: (py_rng.randrange(n), py_rng.randrange(n))  # noqa: E731
         chords = max(int((density - 1.0) * n), 1)
         added = 0
         attempts = 0
         while added < chords and attempts < 20 * chords:
-            u, v = rng.randint(0, n), rng.randint(0, n)
+            u, v = rand_pair()
             attempts += 1
             if u != v and not nx_graph.has_edge(u, v):
                 nx_graph.add_edge(u, v)
@@ -78,6 +94,32 @@ def make_graph(family: GraphFamily, n: int, seed: int = 0, density: float = 2.5,
     else:  # pragma: no cover - exhaustive enum
         raise ValueError("unknown graph family %r" % (family,))
     return Graph.from_networkx(nx_graph)
+
+
+def _random_tree_pure(n: int, seed: int):
+    """Uniform random labeled tree from a random Prüfer sequence (no numpy)."""
+    rng = random.Random(seed)
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(n))
+    if n == 2:
+        nx_graph.add_edge(0, 1)
+        return nx_graph
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for vertex in sequence:
+        degree[vertex] += 1
+    leaves = [vertex for vertex in range(n) if degree[vertex] == 1]
+    heapq.heapify(leaves)
+    for vertex in sequence:
+        leaf = heapq.heappop(leaves)
+        nx_graph.add_edge(leaf, vertex)
+        degree[leaf] = 0
+        degree[vertex] -= 1
+        if degree[vertex] == 1:
+            heapq.heappush(leaves, vertex)
+    last = [vertex for vertex in range(n) if degree[vertex] == 1]
+    nx_graph.add_edge(last[0], last[1])
+    return nx_graph
 
 
 def _ensure_connected(nx_graph, seed: int):

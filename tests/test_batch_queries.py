@@ -1,0 +1,209 @@
+"""Tests for the batched query pipeline (BatchQuerySession / connected_many).
+
+The randomized cross-check asserts that the batched path agrees pairwise with
+both single-query engines and with BFS ground truth across graph families and
+fault budgets — the batched session must be a pure refactoring of the query
+semantics, never a change to them.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (BatchQuerySession, FTCConfig, FTCLabeling,
+                        FTConnectivityOracle, SchemeVariant, canonical_fault_key)
+from repro.workloads import FaultModel, GraphFamily, make_graph
+from repro.workloads.faults import sample_fault_sets
+
+
+def _shared_fault_queries(graph, fault_count, num_pairs, seed):
+    faults = sample_fault_sets(graph, 1, fault_count,
+                               model=FaultModel.TREE_BIASED, seed=seed)[0]
+    rng = random.Random(seed + 1)
+    vertices = sorted(graph.vertices())
+    pairs = [tuple(rng.sample(vertices, 2)) for _ in range(num_pairs)]
+    return list(faults), pairs
+
+
+@pytest.mark.parametrize("family", [GraphFamily.GRID, GraphFamily.TREE_PLUS_CHORDS,
+                                    GraphFamily.ERDOS_RENYI])
+@pytest.mark.parametrize("fault_count", [1, 2, 4])
+def test_connected_many_cross_check(family, fault_count):
+    """connected_many == fast engine == basic engine == BFS, everywhere."""
+    graph = make_graph(family, n=30, seed=60 + fault_count, density=1.8)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=4))
+    for round_index in range(3):
+        faults, pairs = _shared_fault_queries(
+            graph, fault_count, num_pairs=12, seed=100 * fault_count + round_index)
+        batched = labeling.connected_many(pairs, faults)
+        for (s, t), answer in zip(pairs, batched):
+            assert answer == graph.connected(s, t, removed=faults)
+            assert answer == labeling.connected(s, t, faults, use_fast_engine=True)
+            assert answer == labeling.connected(s, t, faults, use_fast_engine=False)
+
+
+def test_session_zero_faults_and_identical_vertices():
+    graph = make_graph(GraphFamily.GRID, n=16, seed=1)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    vertices = sorted(graph.vertices())
+    pairs = [(vertices[0], vertices[0]), (vertices[0], vertices[-1])]
+    assert labeling.connected_many(pairs, faults=()) == [True, True]
+    session = labeling.batch_session(())
+    assert session.num_fragments() == 1
+    assert session.num_components() == 1
+
+
+def test_session_cache_shares_canonical_fault_sets():
+    """Permutations and redundant restatements of a fault set share a session."""
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=24, seed=5, density=1.5)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=3))
+    faults, _ = _shared_fault_queries(graph, 3, num_pairs=1, seed=9)
+    session = labeling.batch_session(faults)
+    assert labeling.batch_session(list(reversed(faults))) is session
+    # Restating one fault twice dedups to the same canonical key.
+    assert labeling.batch_session([faults[0]] + faults[:2]) is not session
+    duplicated = labeling.batch_session(faults[:2] + [faults[0]])
+    assert duplicated is labeling.batch_session(faults[:2])
+
+
+def test_canonical_key_matches_fragment_structure_dedup():
+    """The cache key and FragmentStructure must dedup the same way."""
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=24, seed=8)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=4))
+    faults, _ = _shared_fault_queries(graph, 4, num_pairs=1, seed=12)
+    fault_labels = [labeling.edge_label(u, v) for u, v in faults]
+    session = BatchQuerySession(labeling.outdetect, labeling.instance.codec,
+                                fault_labels)
+    key = canonical_fault_key(fault_labels)
+    assert session.key == key
+    # The number of deduplicated faults is the number of non-root fragments.
+    assert len(key) == session.structure.num_fragments() - 1
+    # Duplicating labels changes neither the key nor the decomposition size.
+    doubled = BatchQuerySession(labeling.outdetect, labeling.instance.codec,
+                                fault_labels + fault_labels)
+    assert doubled.key == key
+    assert doubled.num_fragments() == session.num_fragments()
+    assert doubled.num_components() == session.num_components()
+
+
+def test_decoder_session_is_labels_only():
+    """The decoder-side batched API works from detached label objects."""
+    graph = make_graph(GraphFamily.GRID, n=25, seed=3)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    decoder = labeling.decoder()
+    faults, pairs = _shared_fault_queries(graph, 2, num_pairs=10, seed=21)
+    fault_labels = [labeling.edge_label(u, v) for u, v in faults]
+    label_pairs = [(labeling.vertex_label(s), labeling.vertex_label(t))
+                   for s, t in pairs]
+    answers = decoder.connected_many(label_pairs, fault_labels)
+    for (s, t), answer in zip(pairs, answers):
+        assert answer == graph.connected(s, t, removed=faults)
+    session = decoder.session(fault_labels)
+    assert session.connected_many(label_pairs) == answers
+    assert session.queries_answered == len(pairs)
+
+
+def test_oracle_counts_queries_once():
+    """Satellite: connected delegating to a cached session must count each
+    query exactly once (no double counting)."""
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=20, seed=14, density=1.4)
+    oracle = FTConnectivityOracle(graph, max_faults=2)
+    faults, pairs = _shared_fault_queries(graph, 2, num_pairs=6, seed=31)
+    assert oracle.queries_answered == 0
+    oracle.connected(*pairs[0], faults)
+    assert oracle.queries_answered == 1
+    oracle.connected_many(pairs, faults)
+    assert oracle.queries_answered == 1 + len(pairs)
+    # Repeated single queries reuse the cached session and still count.
+    for s, t in pairs:
+        oracle.connected(s, t, faults)
+    assert oracle.queries_answered == 1 + 2 * len(pairs)
+
+
+def test_oracle_basic_engine_escape_hatch():
+    graph = make_graph(GraphFamily.GRID, n=16, seed=2)
+    oracle = FTConnectivityOracle(graph, max_faults=2, use_fast_engine=False)
+    faults, pairs = _shared_fault_queries(graph, 2, num_pairs=5, seed=17)
+    answers = oracle.connected_many(pairs, faults)
+    assert answers == [graph.connected(s, t, removed=faults) for s, t in pairs]
+
+
+def test_connected_many_accepts_fault_iterator():
+    """The fault iterable must be materialized once, not consumed twice."""
+    graph = make_graph(GraphFamily.GRID, n=16, seed=9)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    faults, pairs = _shared_fault_queries(graph, 2, num_pairs=4, seed=8)
+    answers = labeling.connected_many(pairs, iter(faults))
+    assert answers == [graph.connected(s, t, removed=faults) for s, t in pairs]
+
+
+def test_budget_check_applies_to_deduplicated_faults():
+    """Restating a fault (in either orientation) must not blow the budget."""
+    graph = make_graph(GraphFamily.GRID, n=16, seed=11)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    faults, pairs = _shared_fault_queries(graph, 2, num_pairs=3, seed=13)
+    (u, v) = faults[0]
+    restated = faults + [(v, u)]
+    assert len(restated) == 3
+    answers = labeling.connected_many(pairs, restated)
+    assert answers == [graph.connected(s, t, removed=faults) for s, t in pairs]
+    assert labeling.connected(*pairs[0], restated) == answers[0]
+
+
+def test_practical_threshold_rule_batched_answers_or_fails_loudly():
+    """With heuristic PRACTICAL thresholds the batched path must either match
+    ground truth or raise QueryFailure — never silently mis-answer."""
+    from repro.core import QueryFailure
+    from repro.hierarchy.config import ThresholdRule
+
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=40, seed=21)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2,
+                                            threshold_rule=ThresholdRule.PRACTICAL))
+    for seed in range(4):
+        faults, pairs = _shared_fault_queries(graph, 2, num_pairs=6, seed=seed)
+        try:
+            answers = labeling.connected_many(pairs, faults)
+        except QueryFailure:
+            continue
+        assert answers == [graph.connected(s, t, removed=faults) for s, t in pairs]
+
+
+def test_connected_many_rejects_fault_budget_violation():
+    graph = make_graph(GraphFamily.GRID, n=16, seed=4)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=1))
+    faults, pairs = _shared_fault_queries(graph, 2, num_pairs=2, seed=3)
+    assert len(faults) == 2
+    with pytest.raises(ValueError):
+        labeling.connected_many(pairs, faults)
+
+
+def test_sketch_variant_batched_queries_mostly_correct():
+    """The batched path works for randomized sketch labels too (with the
+    per-query fallback when the eager decomposition cannot decode)."""
+    graph = make_graph(GraphFamily.GRID, n=25, seed=43)
+    labeling = FTCLabeling(graph, FTCConfig(
+        max_faults=2, variant=SchemeVariant.SKETCH_FULL, random_seed=3))
+    wrong = 0
+    for seed in range(6):
+        faults, pairs = _shared_fault_queries(graph, 2, num_pairs=8, seed=seed)
+        try:
+            answers = labeling.connected_many(pairs, faults)
+        except Exception:
+            wrong += 1
+            continue
+        wrong += sum(1 for (s, t), answer in zip(pairs, answers)
+                     if answer != graph.connected(s, t, removed=faults))
+    assert wrong <= 2
+
+
+def test_fast_engine_alive_counter_large_fault_set():
+    """Satellite: the merge loop must stay correct with many faults (the
+    quadratic alive-scan fix must not change any answers)."""
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=60, seed=77, density=1.3)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=8))
+    faults, pairs = _shared_fault_queries(graph, 8, num_pairs=15, seed=55)
+    batched = labeling.connected_many(pairs, faults)
+    for (s, t), answer in zip(pairs, batched):
+        expected = graph.connected(s, t, removed=faults)
+        assert answer == expected
+        assert labeling.connected(s, t, faults, use_fast_engine=True) == expected

@@ -73,6 +73,51 @@ def test_cli_audit(edge_file, capsys):
     assert payload["wrong"] == 0
 
 
+def test_cli_batch_query(edge_file, capsys, tmp_path):
+    pairs_file = tmp_path / "pairs.txt"
+    pairs_file.write_text("# pairs\na c\nb d\n")
+    exit_code = main(["batch-query", "--edges", str(edge_file), "--max-faults", "2",
+                      "--fault", "b-c", "--fault", "c-d",
+                      "--pair", "a-c", "--pairs-file", str(pairs_file),
+                      "--random-pairs", "2", "--check"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["num_pairs"] == 5
+    assert payload["ground_truth_mismatches"] == 0
+    assert payload["batched"] is True
+    assert payload["num_fragments"] >= 1
+    assert payload["results"][0] == {"source": "a", "target": "c", "connected": False}
+
+
+def test_cli_batch_query_requires_pairs(edge_file, capsys):
+    exit_code = main(["batch-query", "--edges", str(edge_file), "--max-faults", "1"])
+    assert exit_code == 2
+
+
+def test_cli_batch_query_unknown_vertex(edge_file, capsys):
+    exit_code = main(["batch-query", "--edges", str(edge_file), "--max-faults", "1",
+                      "--pair", "a-z"])
+    assert exit_code == 2
+
+
+def test_cli_export_labels(edge_file, capsys, tmp_path):
+    from repro.core.labels import EdgeLabel, VertexLabel
+
+    output = tmp_path / "labels.json"
+    exit_code = main(["export-labels", "--edges", str(edge_file), "--max-faults", "2",
+                      "--output", str(output)])
+    assert exit_code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["vertex_labels"] == 4
+    assert summary["edge_labels"] == 5
+    payload = json.loads(output.read_text())
+    for blob in payload["vertex_labels"].values():
+        VertexLabel.from_bytes(bytes.fromhex(blob))
+    for entry in payload["edge_labels"]:
+        assert {"u", "v", "label"} <= set(entry)
+        EdgeLabel.from_bytes(bytes.fromhex(entry["label"]))
+
+
 def test_cli_audit_sketch_variant(edge_file, capsys):
     exit_code = main(["audit", "--edges", str(edge_file), "--max-faults", "1",
                       "--variant", "sketch-full", "--queries", "10"])

@@ -1,0 +1,129 @@
+"""Round-trip property tests for the label byte codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import serialize
+from repro.core.labels import EdgeLabel, VertexLabel
+from repro.core import FTCConfig, FTCLabeling, SchemeVariant
+from repro.labeling.ancestry import AncestryLabel
+from repro.workloads import GraphFamily, make_graph
+
+# ---------------------------------------------------------------- primitives
+
+
+@given(st.integers(min_value=0, max_value=1 << 512))
+def test_varint_round_trip(value):
+    out = bytearray()
+    serialize.write_varint(value, out)
+    decoded, offset = serialize.read_varint(bytes(out), 0)
+    assert decoded == value
+    assert offset == len(out)
+
+
+def test_varint_rejects_negative():
+    with pytest.raises(ValueError):
+        serialize.write_varint(-1, bytearray())
+
+
+label_trees = st.recursive(
+    st.integers(min_value=0, max_value=1 << 200),
+    lambda children: st.lists(children, max_size=5).map(tuple),
+    max_leaves=25,
+)
+
+
+@given(label_trees)
+@settings(max_examples=200)
+def test_label_tree_round_trip(tree):
+    out = bytearray()
+    serialize.write_label_tree(tree, out)
+    decoded, offset = serialize.read_label_tree(bytes(out), 0)
+    assert decoded == tree
+    assert offset == len(out)
+
+
+def test_label_tree_rejects_foreign_types():
+    with pytest.raises(TypeError):
+        serialize.write_label_tree([1, 2], bytearray())
+
+
+# -------------------------------------------------------------- label objects
+
+
+@given(st.integers(min_value=0, max_value=1 << 40),
+       st.integers(min_value=0, max_value=1 << 40))
+def test_vertex_label_round_trip(pre, post):
+    label = VertexLabel(ancestry=AncestryLabel(pre=pre, post=post))
+    data = label.to_bytes()
+    assert data.startswith(serialize.MAGIC)
+    assert VertexLabel.from_bytes(data) == label
+
+
+@given(st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=0, max_value=1000),
+       label_trees,
+       st.integers(min_value=0, max_value=1 << 20))
+@settings(max_examples=100)
+def test_edge_label_round_trip(lower_pre, span, subtree_sum, bits):
+    lower = AncestryLabel(pre=lower_pre + 1, post=lower_pre + 1 + span)
+    upper = AncestryLabel(pre=lower_pre, post=lower_pre + 2 + span)
+    label = EdgeLabel(ancestry_upper=upper, ancestry_lower=lower,
+                      outdetect_subtree_sum=subtree_sum, outdetect_bits=bits)
+    assert EdgeLabel.from_bytes(label.to_bytes()) == label
+
+
+@pytest.mark.parametrize("variant", [SchemeVariant.DETERMINISTIC_NEARLINEAR,
+                                     SchemeVariant.RANDOMIZED_FULL,
+                                     SchemeVariant.SKETCH_WHP])
+def test_scheme_labels_round_trip(variant):
+    """Every label any scheme variant produces survives the byte round-trip."""
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=24, seed=6, density=1.6)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2, variant=variant))
+    for vertex in graph.vertices():
+        label = labeling.vertex_label(vertex)
+        assert VertexLabel.from_bytes(label.to_bytes()) == label
+    for edge in graph.edges():
+        label = labeling.edge_label(*edge)
+        restored = EdgeLabel.from_bytes(label.to_bytes())
+        assert restored == label
+        assert restored.bit_size() == label.bit_size()
+
+
+def test_deserialized_labels_answer_queries():
+    """Labels that went through bytes are as good as the originals."""
+    graph = make_graph(GraphFamily.GRID, n=16, seed=2)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    decoder = labeling.decoder()
+    vertices = sorted(graph.vertices())
+    edges = sorted(graph.edges())
+    faults = edges[:2]
+    fault_labels = [EdgeLabel.from_bytes(labeling.edge_label(u, v).to_bytes())
+                    for u, v in faults]
+    for s, t in [(vertices[0], vertices[-1]), (vertices[1], vertices[-2])]:
+        source = VertexLabel.from_bytes(labeling.vertex_label(s).to_bytes())
+        target = VertexLabel.from_bytes(labeling.vertex_label(t).to_bytes())
+        assert decoder.connected(source, target, fault_labels) == \
+            graph.connected(s, t, removed=faults)
+
+
+# ---------------------------------------------------------------- error paths
+
+
+def test_header_validation():
+    label = VertexLabel(ancestry=AncestryLabel(pre=3, post=9))
+    data = label.to_bytes()
+    with pytest.raises(serialize.LabelDecodeError):
+        VertexLabel.from_bytes(b"XXXX" + data[4:])          # bad magic
+    bad_version = bytes([*data[:4], 99, *data[5:]])
+    with pytest.raises(serialize.LabelDecodeError):
+        VertexLabel.from_bytes(bad_version)                  # unknown version
+    with pytest.raises(serialize.LabelDecodeError):
+        EdgeLabel.from_bytes(data)                           # wrong kind
+    with pytest.raises(serialize.LabelDecodeError):
+        VertexLabel.from_bytes(data + b"\x00")               # trailing bytes
+    with pytest.raises(serialize.LabelDecodeError):
+        VertexLabel.from_bytes(data[:-1] + b"\x80")          # truncated varint
+    with pytest.raises(serialize.LabelDecodeError):
+        VertexLabel.from_bytes(b"FT")                        # too short
