@@ -12,6 +12,10 @@ every pair by component lookup.  The reproduced claims:
 * the pure-Python and numpy GF(2^w) bulk backends produce bit-identical
   outdetect labels on the cross-check corpus.
 
+The wall-clock threshold is advisory by default (shared runners make timing
+ratios flaky) and enforced when ``REPRO_BENCH_STRICT=1`` — the dedicated CI
+job sets it.  The bit-identity and ground-truth assertions are always hard.
+
 Runable two ways: under pytest (``pytest benchmarks/bench_batch_queries.py``)
 with the usual benchmark fixtures, or directly with tiny parameters as a CI
 smoke test::
@@ -35,7 +39,8 @@ if __package__ is None or __package__ == "":
     from pathlib import Path
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from common import cached_graph, cached_labeling, print_table
+from common import (bench_strict, cached_graph, cached_labeling, check_speedup,
+                    print_table)
 from repro.gf2.bulk import NumpyBulkOps, PyBulkOps, numpy_available
 from repro.outdetect.rs_threshold import RSThresholdOutdetect
 from repro.outdetect.sketch import SketchOutdetect
@@ -154,8 +159,7 @@ if pytest is not None:
         print("backend cross-check: %d label vectors bit-identical" % compared)
         benchmark.extra_info["rows"] = rows
         benchmark(lambda: None)
-        assert min(speedups) >= MIN_SPEEDUP, \
-            "batched path is only %.1fx faster than per-call" % min(speedups)
+        check_speedup("batched vs per-call", min(speedups), MIN_SPEEDUP)
 
 
 # --------------------------------------------------------------------- script
@@ -168,10 +172,13 @@ def main(argv=None) -> int:
                         help="number of (s, t) pairs per fault set")
     parser.add_argument("--max-faults", type=int, default=MAX_FAULTS)
     parser.add_argument("--seed", type=int, default=SEED)
-    parser.add_argument("--min-speedup", type=float, default=0.0,
-                        help="fail unless the batched speedup reaches this "
-                             "(0 = report only, used by the CI smoke run)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the batched speedup reaches this; "
+                             "defaults to %.1f when REPRO_BENCH_STRICT=1 and to "
+                             "report-only otherwise" % MIN_SPEEDUP)
     args = parser.parse_args(argv)
+    if args.min_speedup is None:
+        args.min_speedup = MIN_SPEEDUP if bench_strict() else 0.0
 
     graph = cached_graph(FAMILY, args.n, args.seed)
     labeling = cached_labeling(FAMILY, args.n, args.seed, args.max_faults,

@@ -1,0 +1,180 @@
+"""Experiment SNAPSHOT: rehydrating an oracle versus rebuilding it.
+
+A whole-labeling snapshot (:mod:`repro.core.snapshot`) is the scheme's
+shippable artifact: config + decode-side parameters + every label.  This
+benchmark measures, across the workload graphs,
+
+* construction time of the live labeling (what a cold server would pay),
+* snapshot size in bytes and serialization time,
+* rehydration time of ``load_snapshot`` (what a snapshot-loading server pays),
+
+and asserts — hard — that the rehydrated oracle answers a shared-fault-set
+query batch bit-identically to the live labeling.  The reproduced claim is
+that rehydration is at least ``5x`` faster than reconstruction on the medium
+workload; like the batched-query threshold, the wall-clock ratio is advisory
+by default and enforced when ``REPRO_BENCH_STRICT=1`` (correctness assertions
+are always hard).
+
+Runable two ways: under pytest (``pytest benchmarks/bench_snapshot.py``) or
+directly as a CI smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --n 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct script runs without pytest
+    pytest = None
+
+if __package__ is None or __package__ == "":
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import bench_strict, cached_graph, check_speedup, print_table
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.ftc import FTCLabeling
+from repro.core.snapshot import load_snapshot
+from repro.workloads import FaultModel
+from repro.workloads.faults import sample_fault_sets
+
+#: The medium workload the ``>= 5x`` claim is measured on.
+FAMILY = "erdos-renyi"
+N = 160
+SEED = 23
+MAX_FAULTS = 4
+NUM_PAIRS = 200
+MIN_REHYDRATE_SPEEDUP = 5.0
+
+#: The workload graphs the byte/time table sweeps.
+WORKLOADS = [
+    ("erdos-renyi", 160),
+    ("grid", 144),
+    ("tree-chords", 160),
+]
+
+
+def run_snapshot_cycle(family, n, seed, max_faults, num_pairs,
+                       variant="det-nearlinear"):
+    """Build, serialize, rehydrate, and cross-check one workload graph.
+
+    Returns a dict of timings/sizes; raises if the rehydrated oracle disagrees
+    with the live labeling anywhere on the shared-fault-set batch.
+    """
+    graph = cached_graph(family, n, seed)
+    config = FTCConfig(max_faults=max_faults, variant=SchemeVariant(variant))
+
+    start = time.perf_counter()
+    labeling = FTCLabeling(graph, config)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    data = labeling.to_snapshot_bytes()
+    serialize_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    oracle = load_snapshot(data)
+    rehydrate_seconds = time.perf_counter() - start
+
+    faults = sample_fault_sets(graph, 1, max_faults,
+                               model=FaultModel.TREE_BIASED, seed=seed)[0]
+    rng = random.Random(seed + 1)
+    vertices = sorted(graph.vertices())
+    pairs = [tuple(rng.sample(vertices, 2)) for _ in range(num_pairs)]
+    live_answers = labeling.connected_many(pairs, list(faults))
+    rehydrated_answers = oracle.connected_many(pairs, list(faults))
+    assert rehydrated_answers == live_answers, \
+        "rehydrated oracle disagrees with the live labeling on %s(n=%d)" % (family, n)
+    assert not hasattr(oracle, "graph"), "a rehydrated oracle must not hold a graph"
+
+    return {
+        "family": family,
+        "n": n,
+        "build_seconds": build_seconds,
+        "serialize_seconds": serialize_seconds,
+        "rehydrate_seconds": rehydrate_seconds,
+        "snapshot_bytes": len(data),
+        "speedup": build_seconds / max(rehydrate_seconds, 1e-12),
+    }
+
+
+def _table_rows(results):
+    return [[r["family"], r["n"], "%.3f" % r["build_seconds"],
+             "%.3f" % r["serialize_seconds"], "%.4f" % r["rehydrate_seconds"],
+             r["snapshot_bytes"], "%.1fx" % r["speedup"]] for r in results]
+
+
+_HEADERS = ["family", "n", "build s", "serialize s", "rehydrate s",
+            "bytes", "speedup"]
+
+
+# --------------------------------------------------------------------- pytest
+
+if pytest is not None:
+
+    def test_rehydrated_oracle_matches_live_on_workloads():
+        results = [run_snapshot_cycle(family, n, SEED, MAX_FAULTS, NUM_PAIRS)
+                   for family, n in WORKLOADS]
+        print_table("Snapshot rehydrate vs rebuild (%d pairs per graph)" % NUM_PAIRS,
+                    _HEADERS, _table_rows(results))
+        # The medium workload carries the >= 5x claim.
+        medium = results[0]
+        check_speedup("snapshot rehydration vs reconstruction",
+                      medium["speedup"], MIN_REHYDRATE_SPEEDUP)
+
+    def test_snapshot_smaller_than_naive_json_export():
+        """The binary snapshot should beat a hex-JSON export of the same labels."""
+        import json
+        graph = cached_graph(FAMILY, 64, SEED)
+        labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+        data = labeling.to_snapshot_bytes()
+        naive = json.dumps({
+            "vertices": {str(v): labeling.vertex_label(v).to_bytes().hex()
+                         for v in graph.vertices()},
+            "edges": [[str(u), str(v), labeling.edge_label(u, v).to_bytes().hex()]
+                      for u, v in graph.edges()],
+        })
+        assert len(data) < len(naive.encode())
+
+
+# --------------------------------------------------------------------- script
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure snapshot rehydration against full reconstruction")
+    parser.add_argument("--n", type=int, default=N, help="graph size")
+    parser.add_argument("--pairs", type=int, default=NUM_PAIRS,
+                        help="number of cross-checked (s, t) pairs")
+    parser.add_argument("--max-faults", type=int, default=MAX_FAULTS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--variant", default="det-nearlinear")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless rehydration beats reconstruction by this "
+                             "factor; defaults to %.1f when REPRO_BENCH_STRICT=1 "
+                             "and to report-only otherwise" % MIN_REHYDRATE_SPEEDUP)
+    args = parser.parse_args(argv)
+    minimum = args.min_speedup
+    if minimum is None:
+        minimum = MIN_REHYDRATE_SPEEDUP if bench_strict() else 0.0
+
+    result = run_snapshot_cycle(FAMILY, args.n, args.seed, args.max_faults,
+                                args.pairs, variant=args.variant)
+    print_table("Snapshot rehydrate vs rebuild (%d pairs)" % args.pairs,
+                _HEADERS, _table_rows([result]))
+    print("rehydrated answers bit-identical to the live labeling "
+          "(%d pairs checked)" % args.pairs)
+    if minimum and result["speedup"] < minimum:
+        print("FAIL: rehydration speedup %.1fx below required %.1fx"
+              % (result["speedup"], minimum), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ result tables that accompany the pytest-benchmark timings.
 from __future__ import annotations
 
 import functools
+import os
 
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.ftc import FTCLabeling
@@ -50,6 +51,26 @@ def cached_workload(family_value: str, n: int, seed: int, num_queries: int,
     graph = cached_graph(family_value, n, seed)
     return make_query_workload(graph, num_queries=num_queries, max_faults=max_faults,
                                model=model, seed=seed + 1)
+
+
+def bench_strict() -> bool:
+    """Whether wall-clock thresholds are enforced (``REPRO_BENCH_STRICT=1``).
+
+    Timing ratios are flaky on shared CI runners, so speedup thresholds are
+    advisory by default and only fail the run in the dedicated strict CI job.
+    Bit-identity and correctness assertions are never advisory.
+    """
+    return os.environ.get("REPRO_BENCH_STRICT", "").strip() == "1"
+
+
+def check_speedup(name: str, speedup: float, minimum: float) -> None:
+    """Enforce (strict mode) or report (default) a wall-clock speedup floor."""
+    if speedup >= minimum:
+        return
+    message = ("%s speedup %.1fx is below the %.1fx threshold" % (name, speedup, minimum))
+    if bench_strict():
+        raise AssertionError(message)
+    print("ADVISORY (set REPRO_BENCH_STRICT=1 to enforce): %s" % message)
 
 
 def print_table(title: str, headers: list, rows: list) -> None:

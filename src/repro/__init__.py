@@ -17,7 +17,8 @@ True
 False
 """
 
-from repro.core import (FTCConfig, FTCLabeling, FTConnectivityOracle, SchemeVariant)
+from repro.core import (FTCConfig, FTCLabeling, FTCSnapshot, FTConnectivityOracle,
+                        RehydratedOracle, SchemeVariant, load_snapshot)
 from repro.graphs import Graph
 from repro.hierarchy.config import ThresholdRule
 
@@ -27,8 +28,11 @@ __all__ = [
     "Graph",
     "FTCConfig",
     "FTCLabeling",
+    "FTCSnapshot",
     "FTConnectivityOracle",
+    "RehydratedOracle",
     "SchemeVariant",
     "ThresholdRule",
+    "load_snapshot",
     "__version__",
 ]

@@ -1,23 +1,46 @@
 """Command-line interface for the f-FTC labeling scheme.
 
-Five subcommands cover the typical workflow:
+Seven subcommands cover the typical workflow:
 
 ``stats``
     Build labels for a graph (edge-list file) and print label-size statistics.
 ``query``
     Build labels and answer one connectivity query under faults.
 ``batch-query``
-    Build labels once, fix one fault set, and answer many ``(s, t)`` pairs
-    through a shared :class:`~repro.core.batch.BatchQuerySession`.
+    Fix one fault set and answer many ``(s, t)`` pairs through a shared
+    :class:`~repro.core.batch.BatchQuerySession`.  Accepts ``--snapshot`` to
+    serve the queries from a saved labeling instead of rebuilding (``--edges``
+    is then only needed for ``--check``).
 ``audit``
-    Build labels and audit a batch of random queries against BFS ground truth.
+    Audit a batch of random queries against BFS ground truth.  Accepts
+    ``--snapshot`` to answer from a saved labeling (``--edges`` is still
+    required: ground truth needs the graph).
 ``export-labels``
-    Serialize every vertex and edge label to the versioned byte format
-    (hex-encoded JSON) so labels can be stored and shipped.
+    Serialize every vertex and edge label to the versioned per-label byte
+    format (hex-encoded JSON) so labels can be stored and shipped.
+``save-labeling``
+    Build labels once and write the whole labeling — config, field/codec
+    parameters, per-level outdetect thresholds, every vertex and edge label —
+    to one binary snapshot file (see below).
+``load-labeling``
+    Load a snapshot, rehydrate the decode-side oracle (no graph, no
+    reconstruction), and print a summary.
 
 Edge-list format: one edge per line, two whitespace-separated vertex names
 (everything is treated as a string identifier); lines starting with ``#`` are
 ignored.
+
+Snapshot format (``FTCS``, version 1)
+-------------------------------------
+
+A snapshot is the self-contained shippable artifact the universal decoder
+promises: 4-byte magic ``FTCS`` + a version byte, the ``FTCConfig`` fields,
+the edge-id codec and GF(2^w) parameters, the outdetect descriptor (per-level
+Reed--Solomon thresholds, or the sketch's levels/repetitions/seed), and every
+vertex and edge label as the self-describing ``FTCL`` per-label blobs.  All
+integers are LEB128 varints.  ``repro.core.snapshot`` documents the exact
+byte layout; ``load_snapshot`` answers queries identically to the live scheme
+without ever seeing the graph.
 
 Examples
 --------
@@ -31,6 +54,12 @@ Examples
     python -m repro.cli audit --edges network.txt --max-faults 2 --queries 200
     python -m repro.cli export-labels --edges network.txt --max-faults 2 \\
         --output labels.json
+    python -m repro.cli save-labeling --edges network.txt --max-faults 2 \\
+        --output network.ftcs
+    python -m repro.cli load-labeling --snapshot network.ftcs
+    python -m repro.cli batch-query --snapshot network.ftcs --fault a-b \\
+        --pair a-d --pair b-c
+    python -m repro.cli audit --edges network.txt --snapshot network.ftcs
 """
 
 from __future__ import annotations
@@ -44,6 +73,8 @@ from pathlib import Path
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.ftc import FTCLabeling
 from repro.core.query import QueryFailure
+from repro.core.serialize import LabelDecodeError
+from repro.core.snapshot import load_snapshot
 from repro.graphs.graph import Graph
 from repro.workloads.queries import audit_scheme, make_query_workload
 
@@ -106,13 +137,54 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0 if answer == truth else 1
 
 
+def _load_snapshot_or_report(path: str):
+    """Load a snapshot file, printing a CLI error instead of a traceback."""
+    try:
+        return load_snapshot(path)
+    except FileNotFoundError:
+        print("error: snapshot file %r does not exist" % path, file=sys.stderr)
+    except LabelDecodeError as error:
+        print("error: %r is not a valid labeling snapshot: %s" % (path, error),
+              file=sys.stderr)
+    return None
+
+
 def cmd_batch_query(args: argparse.Namespace) -> int:
-    graph, labeling = _build_labeling(args)
+    graph = load_edge_list(args.edges) if args.edges else None
+    if args.snapshot:
+        # Serve from a saved labeling: no graph access, no reconstruction.
+        answerer = _load_snapshot_or_report(args.snapshot)
+        if answerer is None:
+            return 2
+        source = "snapshot"
+    else:
+        if graph is None:
+            print("error: batch-query needs --edges or --snapshot", file=sys.stderr)
+            return 2
+        config = FTCConfig(max_faults=args.max_faults,
+                           variant=SchemeVariant(args.variant),
+                           random_seed=args.seed)
+        answerer = FTCLabeling(graph, config)
+        source = "constructed"
+    if args.check and graph is None:
+        print("error: --check compares against BFS ground truth and needs --edges",
+              file=sys.stderr)
+        return 2
+    # Faults and pairs must exist everywhere they are used: in the snapshot
+    # (which answers) and in the graph (which checks) — with both given, a
+    # stale artifact must be reported, not crash with a KeyError.
+    memberships = []
+    if graph is not None:
+        memberships.append(("graph", graph))
+    if args.snapshot:
+        memberships.append(("snapshot", answerer))
     faults = [parse_fault(raw) for raw in args.fault]
     for u, v in faults:
-        if not graph.has_edge(u, v):
-            print("error: fault edge %s-%s is not in the graph" % (u, v), file=sys.stderr)
-            return 2
+        for name, membership in memberships:
+            if not membership.has_edge(u, v):
+                print("error: fault edge %s-%s is not in the %s" % (u, v, name),
+                      file=sys.stderr)
+                return 2
     pairs = [parse_fault(raw) for raw in args.pair]
     if args.pairs_file:
         text = Path(args.pairs_file).read_text()
@@ -127,7 +199,7 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
             pairs.append((parts[0], parts[1]))
     if args.random_pairs:
         rng = random.Random(args.seed)
-        vertices = sorted(graph.vertices())
+        vertices = sorted(answerer.vertices() if args.snapshot else graph.vertices())
         pairs.extend(tuple(rng.sample(vertices, 2)) for _ in range(args.random_pairs))
     if not pairs:
         print("error: no query pairs given (use --pair / --pairs-file / --random-pairs)",
@@ -135,18 +207,30 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
         return 2
     for s, t in pairs:
         for vertex in (s, t):
-            if not graph.has_vertex(vertex):
-                print("error: vertex %r is not in the graph" % (vertex,), file=sys.stderr)
-                return 2
-    answers = labeling.connected_many(pairs, faults)
+            for name, membership in memberships:
+                if not membership.has_vertex(vertex):
+                    print("error: vertex %r is not in the %s" % (vertex, name),
+                          file=sys.stderr)
+                    return 2
+    try:
+        answers = answerer.connected_many(pairs, faults)
+    except LabelDecodeError as error:
+        # Lazily decoded label payloads surface corruption at first use.
+        print("error: snapshot label data is corrupt: %s" % error, file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # Typically: more distinct faults than the scheme's budget f.
+        print("error: %s" % error, file=sys.stderr)
+        return 2
     report = {
+        "labels": source,
         "faults": ["%s-%s" % edge for edge in faults],
         "num_pairs": len(pairs),
         "results": [{"source": s, "target": t, "connected": answer}
                     for (s, t), answer in zip(pairs, answers)],
     }
     try:
-        session = labeling.batch_session(faults)
+        session = answerer.batch_session(faults)
     except QueryFailure:
         # Randomized / heuristic labels: the answers above came from the
         # per-query fallback, so session statistics are unavailable.
@@ -192,12 +276,78 @@ def cmd_export_labels(args: argparse.Namespace) -> int:
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
-    graph, labeling = _build_labeling(args)
+    # Ground truth is BFS on the graph, so --edges stays required; --snapshot
+    # only replaces where the *answers* come from (no reconstruction).
+    graph = load_edge_list(args.edges)
+    if args.snapshot:
+        answerer = _load_snapshot_or_report(args.snapshot)
+        if answerer is None:
+            return 2
+        # The workload samples arbitrary graph vertices and edges, so a graph
+        # that outgrew the snapshot must be reported up front, not surface as
+        # KeyErrors mid-audit.
+        for vertex in graph.vertices():
+            if not answerer.has_vertex(vertex):
+                print("error: vertex %r of the graph is not in the snapshot "
+                      "(stale snapshot?)" % (vertex,), file=sys.stderr)
+                return 2
+        for u, v in graph.edges():
+            if not answerer.has_edge(u, v):
+                print("error: edge %s-%s of the graph is not in the snapshot "
+                      "(stale snapshot?)" % (u, v), file=sys.stderr)
+                return 2
+        max_faults = answerer.max_faults
+        # The snapshot fixes the scheme; construction flags do not apply.
+        if args.max_faults != max_faults:
+            print("note: auditing with the snapshot's fault budget f=%d "
+                  "(--max-faults %d does not apply in snapshot mode)"
+                  % (max_faults, args.max_faults), file=sys.stderr)
+    else:
+        config = FTCConfig(max_faults=args.max_faults,
+                           variant=SchemeVariant(args.variant),
+                           random_seed=args.seed)
+        answerer = FTCLabeling(graph, config)
+        max_faults = args.max_faults
     workload = make_query_workload(graph, num_queries=args.queries,
-                                   max_faults=args.max_faults, seed=args.seed)
-    report = audit_scheme(lambda s, t, faults: labeling.connected(s, t, faults), workload)
+                                   max_faults=max_faults, seed=args.seed)
+    try:
+        report = audit_scheme(lambda s, t, faults: answerer.connected(s, t, faults),
+                              workload)
+    except LabelDecodeError as error:
+        print("error: snapshot label data is corrupt: %s" % error, file=sys.stderr)
+        return 2
+    report["labels"] = "snapshot" if args.snapshot else "constructed"
     print(json.dumps(report, indent=2))
     return 0 if report["wrong"] == 0 and report["failed"] == 0 else 1
+
+
+def cmd_save_labeling(args: argparse.Namespace) -> int:
+    graph, labeling = _build_labeling(args)
+    byte_count = labeling.save(args.output)
+    print(json.dumps({
+        "written": args.output,
+        "bytes": byte_count,
+        "vertex_labels": graph.num_vertices(),
+        "edge_labels": graph.num_edges(),
+        "variant": args.variant,
+        "max_faults": args.max_faults,
+        "construction_seconds": labeling.construction_seconds,
+    }, indent=2))
+    return 0
+
+
+def cmd_load_labeling(args: argparse.Namespace) -> int:
+    # The lazy path: the summary needs structure and counts, never the
+    # decoded label payloads.
+    oracle = _load_snapshot_or_report(args.snapshot)
+    if oracle is None:
+        return 2
+    summary = oracle.snapshot.describe()
+    summary["snapshot"] = args.snapshot
+    summary["bytes"] = Path(args.snapshot).stat().st_size
+    summary["rehydrated_vertices"] = oracle.num_vertices()
+    print(json.dumps(summary, indent=2))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,8 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
                                      description="f-fault-tolerant connectivity labeling")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--edges", required=True, help="path to a whitespace edge-list file")
+    def add_common(sub: argparse.ArgumentParser, edges_required: bool = True) -> None:
+        sub.add_argument("--edges", required=edges_required, default=None,
+                         help="path to a whitespace edge-list file")
         sub.add_argument("--max-faults", type=int, default=2, help="fault budget f")
         sub.add_argument("--variant", default=SchemeVariant.DETERMINISTIC_NEARLINEAR.value,
                          choices=[variant.value for variant in SchemeVariant],
@@ -227,7 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     batch_parser = subparsers.add_parser(
         "batch-query", help="answer many (s, t) pairs against one shared fault set")
-    add_common(batch_parser)
+    add_common(batch_parser, edges_required=False)
+    batch_parser.add_argument("--snapshot", default=None,
+                              help="serve queries from this saved labeling snapshot "
+                                   "instead of rebuilding (--edges then only needed "
+                                   "for --check)")
     batch_parser.add_argument("--fault", action="append", default=[],
                               help="faulty edge as u-v (repeatable, shared by all pairs)")
     batch_parser.add_argument("--pair", action="append", default=[],
@@ -243,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
     audit_parser = subparsers.add_parser("audit", help="audit random queries vs ground truth")
     add_common(audit_parser)
     audit_parser.add_argument("--queries", type=int, default=100)
+    audit_parser.add_argument("--snapshot", default=None,
+                              help="answer from this saved labeling snapshot instead "
+                                   "of rebuilding; --edges still supplies ground "
+                                   "truth, and the snapshot's stored config "
+                                   "overrides --max-faults/--variant")
     audit_parser.set_defaults(handler=cmd_audit)
 
     export_parser = subparsers.add_parser(
@@ -251,6 +411,19 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("--output", default=None,
                                help="write the JSON payload here instead of stdout")
     export_parser.set_defaults(handler=cmd_export_labels)
+
+    save_parser = subparsers.add_parser(
+        "save-labeling", help="build labels once and write one FTCS snapshot file")
+    add_common(save_parser)
+    save_parser.add_argument("--output", required=True,
+                             help="path of the snapshot file to write")
+    save_parser.set_defaults(handler=cmd_save_labeling)
+
+    load_parser = subparsers.add_parser(
+        "load-labeling", help="rehydrate a snapshot (no rebuild) and print a summary")
+    load_parser.add_argument("--snapshot", required=True,
+                             help="path of the snapshot file to load")
+    load_parser.set_defaults(handler=cmd_load_labeling)
     return parser
 
 

@@ -20,6 +20,11 @@ Public entry points
     One fault set, many ``(s, t)`` queries: the component decomposition is
     built once and every pair is answered by lookup (see
     :mod:`repro.core.batch`).
+``FTCSnapshot`` / ``load_snapshot`` / ``RehydratedOracle``
+    Whole-labeling snapshots: serialize a complete labeling (config, codec
+    and outdetect parameters, every label) and rehydrate a query-ready
+    oracle without the graph and without reconstruction (see
+    :mod:`repro.core.snapshot`).
 """
 
 from repro.core.batch import BatchQuerySession
@@ -29,6 +34,7 @@ from repro.core.ftc import FTCLabeling
 from repro.core.query import BasicQueryEngine, QueryFailure, canonical_fault_key
 from repro.core.fast_query import FastQueryEngine
 from repro.core.oracle import FTConnectivityOracle
+from repro.core.snapshot import FTCSnapshot, RehydratedOracle, load_snapshot
 
 __all__ = [
     "FTCConfig",
@@ -42,4 +48,7 @@ __all__ = [
     "QueryFailure",
     "canonical_fault_key",
     "FTConnectivityOracle",
+    "FTCSnapshot",
+    "RehydratedOracle",
+    "load_snapshot",
 ]

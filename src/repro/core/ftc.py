@@ -11,6 +11,12 @@
    transformation of Proposition 1 (an edge's label is the label of sigma(e)).
 
 Queries are answered by :class:`FTCDecoder`, which sees labels only.
+
+The query-side surface (per-query decoding, the LRU-cached batch-session
+pipeline, fault-budget enforcement) lives in :class:`LabelBackedQueries`, which
+is shared with the snapshot-rehydrated oracle of :mod:`repro.core.snapshot` —
+the same code path answers queries whether the labels were just constructed or
+loaded back from bytes.
 """
 
 from __future__ import annotations
@@ -72,12 +78,124 @@ class FTCDecoder:
         return self.session(fault_labels).connected_many(pairs)
 
 
-class FTCLabeling:
-    """Labels of one graph for one fault budget, plus the matching decoder."""
+class LabelBackedQueries:
+    """Query-side API shared by :class:`FTCLabeling` and a rehydrated snapshot
+    oracle (:class:`~repro.core.snapshot.RehydratedOracle`).
 
-    #: Number of batch sessions kept alive per labeling (LRU, keyed by the
-    #: canonical fault set).
+    Subclasses provide ``vertex_label(v)`` / ``edge_label(u, v)`` lookups and
+    the ``outdetect``, ``codec``, and ``max_faults`` attributes, and must
+    initialize ``self._session_cache`` to an :class:`~collections.OrderedDict`.
+    Everything here sees labels only — never a graph.
+    """
+
+    #: Number of batch sessions kept alive (LRU, keyed by the canonical fault set).
     SESSION_CACHE_SIZE = 32
+
+    # ---------------------------------------------------------- label lookups
+
+    def vertex_label(self, vertex: Vertex) -> VertexLabel:
+        raise NotImplementedError
+
+    def edge_label(self, u: Vertex, v: Vertex) -> EdgeLabel:
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------- queries
+
+    def decoder(self, use_fast_engine: bool = True) -> FTCDecoder:
+        """The universal decoder for labels produced by this scheme."""
+        return FTCDecoder(self.outdetect, self.codec, use_fast_engine)
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = (),
+                  use_fast_engine: bool = True) -> bool:
+        """Convenience query: look up the labels and run the decoder."""
+        return self._connected_per_query(s, t, faults, use_fast_engine)
+
+    def _connected_per_query(self, s: Vertex, t: Vertex, faults: Iterable[Edge],
+                             use_fast_engine: bool = True) -> bool:
+        """One query through the per-query engines (never the session cache).
+
+        Kept separate from :meth:`connected` so subclasses may route single
+        queries through the batch session while the ``connected_many``
+        fallback still reaches the lazy engines without recursing.
+        """
+        fault_labels = self._fault_labels(faults)
+        return self.decoder(use_fast_engine).connected(
+            self.vertex_label(s), self.vertex_label(t), fault_labels)
+
+    # ------------------------------------------------------------ batched path
+
+    def _fault_labels_keyed(self, faults: Iterable[Edge]) -> tuple[list[EdgeLabel], tuple]:
+        """Label every fault, compute the canonical key, enforce the budget.
+
+        The canonical key doubles as the deduplicated fault set — the budget
+        ``f`` bounds *distinct* failures (restating the same edge twice must
+        not reject a query the scheme can answer) — and as the session-cache
+        key, so it is computed exactly once per call.
+        """
+        fault_labels = [self.edge_label(u, v) for u, v in faults]
+        key = canonical_fault_key(fault_labels)
+        if len(key) > self.max_faults:
+            raise ValueError("query has %d faults but the scheme was built for f=%d"
+                             % (len(key), self.max_faults))
+        return fault_labels, key
+
+    def _fault_labels(self, faults: Iterable[Edge]) -> list[EdgeLabel]:
+        """Label every fault and enforce the budget on the deduplicated set."""
+        return self._fault_labels_keyed(faults)[0]
+
+    def batch_session(self, faults: Iterable[Edge] = ()) -> BatchQuerySession:
+        """The (cached) batched query session for one fault set.
+
+        Sessions are kept in an LRU keyed by the canonical fault set — the
+        order-insensitive, same-tree-edge-deduplicated key of
+        :func:`~repro.core.query.canonical_fault_key` — so permutations and
+        redundant restatements of a fault set share one decomposition.
+        """
+        fault_labels, key = self._fault_labels_keyed(faults)
+        session = self._session_cache.get(key)
+        if session is not None:
+            self._session_cache.move_to_end(key)
+            return session
+        session = BatchQuerySession(self.outdetect, self.codec, fault_labels)
+        self._session_cache[key] = session
+        while len(self._session_cache) > self.SESSION_CACHE_SIZE:
+            self._session_cache.popitem(last=False)
+        return session
+
+    def connected_many(self, pairs: Sequence[tuple],
+                       faults: Iterable[Edge] = ()) -> list[bool]:
+        """Answer many ``(s, t)`` queries against one shared fault set.
+
+        Builds (or reuses) the :class:`~repro.core.batch.BatchQuerySession`
+        for ``faults`` and answers every pair by component lookup.  The eager
+        decomposition decodes every component, so it can fail (randomized
+        sketch labels, heuristic PRACTICAL thresholds) where a lazy single
+        query would not have needed the failing component; those calls fall
+        back to the per-query engine pair by pair, which preserves the
+        pre-batching semantics exactly (and still raises if a failure hits a
+        component the query actually needs).
+        """
+        pair_list = list(pairs)
+        fault_list = list(faults)
+        try:
+            session = self.batch_session(fault_list)
+        except QueryFailure:
+            return [self._connected_per_query(s, t, fault_list) for s, t in pair_list]
+        # Large batches revisit the same endpoints many times; resolve each
+        # vertex label once.
+        label_cache: dict = {}
+
+        def label_of(vertex):
+            label = label_cache.get(vertex)
+            if label is None:
+                label = label_cache[vertex] = self.vertex_label(vertex)
+            return label
+
+        return [session.connected(label_of(s), label_of(t)) for s, t in pair_list]
+
+
+class FTCLabeling(LabelBackedQueries):
+    """Labels of one graph for one fault budget, plus the matching decoder."""
 
     def __init__(self, graph: Graph, config: FTCConfig, root: Vertex | None = None):
         if graph.num_vertices() < 1:
@@ -158,78 +276,35 @@ class FTCLabeling:
     def all_edge_labels(self) -> dict:
         return {edge: self.edge_label(*edge) for edge in self.graph.edges()}
 
-    # ---------------------------------------------------------------- queries
+    # -------------------------------------------------------- query-side knobs
 
-    def decoder(self, use_fast_engine: bool = True) -> FTCDecoder:
-        """The universal decoder for labels produced by this scheme."""
-        return FTCDecoder(self.outdetect, self.instance.codec, use_fast_engine)
+    @property
+    def codec(self):
+        """The edge-identifier codec (decode-side parameter of the scheme)."""
+        return self.instance.codec
 
-    def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = (),
-                  use_fast_engine: bool = True) -> bool:
-        """Convenience query: look up the labels and run the decoder."""
-        fault_labels = self._fault_labels(faults)
-        return self.decoder(use_fast_engine).connected(
-            self.vertex_label(s), self.vertex_label(t), fault_labels)
+    @property
+    def max_faults(self) -> int:
+        return self.config.max_faults
 
-    # ------------------------------------------------------------ batched path
+    # ------------------------------------------------------------ persistence
 
-    def _fault_labels(self, faults: Iterable[Edge]) -> list[EdgeLabel]:
-        """Label every fault and enforce the budget on the *deduplicated* set.
+    def to_snapshot_bytes(self) -> bytes:
+        """Serialize the whole labeling to the FTCS snapshot format.
 
-        The budget ``f`` bounds distinct failures: restating the same edge
-        twice must not reject a query the scheme can answer, and the count
-        must agree with the same-tree-edge dedup of
-        :func:`~repro.core.query.canonical_fault_key` /
-        :class:`~repro.core.query.FragmentStructure`.
+        The snapshot carries everything the universal decoder needs — config,
+        edge-id codec parameters, per-level outdetect thresholds, and every
+        vertex and edge label — so :func:`repro.core.snapshot.load_snapshot`
+        can rehydrate an oracle without the graph and without re-running the
+        construction.
         """
-        fault_labels = [self.edge_label(u, v) for u, v in faults]
-        unique_faults = len(canonical_fault_key(fault_labels))
-        if unique_faults > self.config.max_faults:
-            raise ValueError("query has %d faults but the scheme was built for f=%d"
-                             % (unique_faults, self.config.max_faults))
-        return fault_labels
+        from repro.core.snapshot import FTCSnapshot
+        return FTCSnapshot.from_labeling(self).to_bytes()
 
-    def batch_session(self, faults: Iterable[Edge] = ()) -> BatchQuerySession:
-        """The (cached) batched query session for one fault set.
-
-        Sessions are kept in an LRU keyed by the canonical fault set — the
-        order-insensitive, same-tree-edge-deduplicated key of
-        :func:`~repro.core.query.canonical_fault_key` — so permutations and
-        redundant restatements of a fault set share one decomposition.
-        """
-        fault_labels = self._fault_labels(faults)
-        key = canonical_fault_key(fault_labels)
-        session = self._session_cache.get(key)
-        if session is not None:
-            self._session_cache.move_to_end(key)
-            return session
-        session = BatchQuerySession(self.outdetect, self.instance.codec, fault_labels)
-        self._session_cache[key] = session
-        while len(self._session_cache) > self.SESSION_CACHE_SIZE:
-            self._session_cache.popitem(last=False)
-        return session
-
-    def connected_many(self, pairs: Sequence[tuple],
-                       faults: Iterable[Edge] = ()) -> list[bool]:
-        """Answer many ``(s, t)`` queries against one shared fault set.
-
-        Builds (or reuses) the :class:`~repro.core.batch.BatchQuerySession`
-        for ``faults`` and answers every pair by component lookup.  The eager
-        decomposition decodes every component, so it can fail (randomized
-        sketch labels, heuristic PRACTICAL thresholds) where a lazy single
-        query would not have needed the failing component; those calls fall
-        back to the per-query engine pair by pair, which preserves the
-        pre-batching semantics exactly (and still raises if a failure hits a
-        component the query actually needs).
-        """
-        pair_list = list(pairs)
-        fault_list = list(faults)
-        try:
-            session = self.batch_session(fault_list)
-        except QueryFailure:
-            return [self.connected(s, t, fault_list) for s, t in pair_list]
-        return [session.connected(self.vertex_label(s), self.vertex_label(t))
-                for s, t in pair_list]
+    def save(self, path) -> int:
+        """Write the snapshot bytes to ``path``; returns the byte count."""
+        from repro.core.snapshot import FTCSnapshot
+        return FTCSnapshot.from_labeling(self).save(path)
 
     # -------------------------------------------------------------- statistics
 

@@ -116,9 +116,16 @@ class EdgeLabel:
         outdetect_bits, offset = serialize.read_varint(data, offset)
         subtree_sum, offset = serialize.read_label_tree(data, offset)
         serialize.check_consumed(data, offset)
-        return cls(
-            ancestry_upper=AncestryLabel(pre=upper_pre, post=upper_post),
-            ancestry_lower=AncestryLabel(pre=lower_pre, post=lower_post),
-            outdetect_subtree_sum=subtree_sum,
-            outdetect_bits=outdetect_bits,
-        )
+        try:
+            return cls(
+                ancestry_upper=AncestryLabel(pre=upper_pre, post=upper_post),
+                ancestry_lower=AncestryLabel(pre=lower_pre, post=lower_post),
+                outdetect_subtree_sum=subtree_sum,
+                outdetect_bits=outdetect_bits,
+            )
+        except ValueError as error:
+            # Structurally valid bytes can still violate the label's own
+            # invariants (the upper endpoint must be an ancestor of the
+            # lower); that is corrupt input, not a programming error.
+            raise serialize.LabelDecodeError(
+                "decoded edge label is invalid: %s" % error) from error

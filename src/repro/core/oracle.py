@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Sequence
 
+from repro.core.batch import BatchQuerySession
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.ftc import FTCLabeling
+from repro.core.query import QueryFailure
 from repro.graphs.graph import Edge, Graph
 
 Vertex = Hashable
@@ -66,6 +68,15 @@ class FTConnectivityOracle:
         self._queries_answered += len(answers)
         return answers
 
+    def batch_session(self, faults: Iterable[Edge] = ()) -> BatchQuerySession:
+        """The (LRU-cached) batched query session for one fault set.
+
+        Exposed so callers holding an oracle — live or rehydrated from a
+        snapshot (:mod:`repro.core.snapshot`) — see the same
+        ``connected`` / ``connected_many`` / ``batch_session`` surface.
+        """
+        return self.labeling.batch_session(faults)
+
     def connected_exact(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = ()) -> bool:
         """Ground-truth answer by BFS on G - F (for auditing and tests)."""
         return self.graph.connected(s, t, removed=list(faults))
@@ -83,7 +94,11 @@ class FTConnectivityOracle:
             expected = self.connected_exact(s, t, faults)
             try:
                 answer = self.connected(s, t, faults)
-            except Exception:
+            except QueryFailure:
+                # Benign decode failure (randomized sketches / heuristic
+                # PRACTICAL thresholds).  Anything else — KeyError, TypeError —
+                # is a genuine defect and must propagate, not be counted as a
+                # scheme failure.
                 failures += 1
                 continue
             if answer == expected:

@@ -37,6 +37,19 @@ KIND_EDGE = 0x02
 _TAG_INT = 0x00
 _TAG_TUPLE = 0x01
 
+#: Upper bound on the encoded length of a single varint.  Legitimate label
+#: integers (ancestry values, outdetect field elements, sketch cells) are at
+#: most a few hundred bits — far below this cap — but a corrupt or adversarial
+#: run of continuation bytes must not build an unboundedly large integer
+#: before the decoder notices the problem.
+MAX_VARINT_BYTES = 1 << 16
+
+#: Upper bound on label-tree nesting.  Real labels nest at most a few levels
+#: (a layered scheme is one tuple of per-level tuples of ints); the cap turns
+#: adversarial deep nesting into a :class:`LabelDecodeError` instead of a
+#: ``RecursionError``.
+MAX_TREE_DEPTH = 64
+
 
 class LabelDecodeError(ValueError):
     """Raised when a byte string is not a valid serialized label."""
@@ -59,12 +72,22 @@ def write_varint(value: int, out: bytearray) -> None:
 
 
 def read_varint(data: bytes, offset: int) -> tuple[int, int]:
-    """Read one varint at ``offset``; returns ``(value, next_offset)``."""
+    """Read one varint at ``offset``; returns ``(value, next_offset)``.
+
+    The continuation run is capped both by the remaining buffer and by
+    :data:`MAX_VARINT_BYTES`, so corrupt input fails closed with
+    :class:`LabelDecodeError` instead of accumulating a giant integer.
+    """
     value = 0
     shift = 0
+    end = len(data)
+    limit = min(end, offset + MAX_VARINT_BYTES)
     while True:
-        if offset >= len(data):
+        if offset >= end:
             raise LabelDecodeError("truncated varint")
+        if offset >= limit:
+            raise LabelDecodeError("varint runs past %d bytes without terminating"
+                                   % MAX_VARINT_BYTES)
         byte = data[offset]
         offset += 1
         value |= (byte & 0x7F) << shift
@@ -90,8 +113,10 @@ def write_label_tree(node: Any, out: bytearray) -> None:
                         % type(node).__name__)
 
 
-def read_label_tree(data: bytes, offset: int) -> tuple[Any, int]:
+def read_label_tree(data: bytes, offset: int, _depth: int = 0) -> tuple[Any, int]:
     """Read one tagged tree at ``offset``; returns ``(node, next_offset)``."""
+    if _depth > MAX_TREE_DEPTH:
+        raise LabelDecodeError("label tree nested deeper than %d levels" % MAX_TREE_DEPTH)
     if offset >= len(data):
         raise LabelDecodeError("truncated label tree")
     tag = data[offset]
@@ -100,9 +125,16 @@ def read_label_tree(data: bytes, offset: int) -> tuple[Any, int]:
         return read_varint(data, offset)
     if tag == _TAG_TUPLE:
         length, offset = read_varint(data, offset)
+        # Every child occupies at least two bytes (a tag plus one varint
+        # byte), so a declared length beyond the remaining buffer is corrupt;
+        # reject it before looping.
+        remaining = len(data) - offset
+        if 2 * length > remaining:
+            raise LabelDecodeError("tuple declares %d children but only %d bytes remain"
+                                   % (length, remaining))
         children = []
         for _ in range(length):
-            child, offset = read_label_tree(data, offset)
+            child, offset = read_label_tree(data, offset, _depth + 1)
             children.append(child)
         return tuple(children), offset
     raise LabelDecodeError("unknown label-tree tag 0x%02x" % tag)

@@ -49,13 +49,40 @@ class EdgeIdCodec:
             raise ValueError("max_label_value must be positive")
         self.mode = mode
         self.modulus = max_label_value
+        # +1 for the shift that keeps identifiers non-zero.
+        width = max(min_width, self._required_width(max_label_value, mode))
+        self.field = GF2m(width)
+
+    @staticmethod
+    def _required_width(max_label_value: int, mode: str) -> int:
         if mode == "compact":
             domain_size = max_label_value ** 2
         else:
             domain_size = max_label_value ** 4
-        # +1 for the shift that keeps identifiers non-zero.
-        width = max(min_width, (domain_size + 1).bit_length())
-        self.field = GF2m(width)
+        return (domain_size + 1).bit_length()
+
+    @classmethod
+    def for_field(cls, max_label_value: int, mode: str, field: GF2m) -> "EdgeIdCodec":
+        """A codec over an explicitly provided field (snapshot rehydration).
+
+        Skips the irreducible-polynomial search of the normal constructor —
+        the field (width *and* modulus) comes from the stored artifact — but
+        still validates that it can hold the identifier domain.
+        """
+        if mode not in cls.MODES:
+            raise ValueError("unknown edge-id mode %r" % (mode,))
+        if max_label_value < 1:
+            raise ValueError("max_label_value must be positive")
+        needed = cls._required_width(max_label_value, mode)
+        if field.width < needed:
+            raise ValueError("field width %d cannot hold the %s edge-id domain "
+                             "of modulus %d (needs %d bits)"
+                             % (field.width, mode, max_label_value, needed))
+        codec = cls.__new__(cls)
+        codec.mode = mode
+        codec.modulus = max_label_value
+        codec.field = field
+        return codec
 
     # -------------------------------------------------------------- encoding
 

@@ -58,6 +58,30 @@ class RSThresholdOutdetect(OutdetectScheme):
         self.edge_ids = dict(edge_ids)
         self._build_labels(list(vertices))
 
+    @classmethod
+    def decode_only(cls, field: GF2m, threshold: int, adaptive: bool = True,
+                    bulk: BulkOps | None = None) -> "RSThresholdOutdetect":
+        """A decode-side scheme rebuilt from parameters alone.
+
+        Snapshot rehydration (:mod:`repro.core.snapshot`) needs everything the
+        query engines use — ``zero_label``, ``combine`` / ``combine_all``,
+        ``decode``, ``label_bit_size`` — but no vertex labels and no edge set,
+        so nothing is constructed.  ``label_of`` raises ``KeyError`` for every
+        vertex.
+        """
+        if threshold < 1:
+            raise ValueError("decoding threshold must be >= 1, got %d" % threshold)
+        scheme = cls.__new__(cls)
+        scheme.field = field
+        scheme.threshold = threshold
+        scheme.adaptive = adaptive
+        scheme.bulk = bulk if bulk is not None else get_bulk_ops(field)
+        scheme._encoder = SyndromeEncoder(field, threshold, bulk=scheme.bulk)
+        scheme._decoder = SparseRecoveryDecoder(field, threshold)
+        scheme.edge_ids = {}
+        scheme._labels = {}
+        return scheme
+
     def _build_labels(self, vertices: list) -> None:
         """Compute all vertex labels with two bulk calls.
 

@@ -69,6 +69,33 @@ class SketchOutdetect(OutdetectScheme):
             None, max_bits=self.id_bits + _FINGERPRINT_BITS)
         self._build_labels(list(vertices))
 
+    @classmethod
+    def decode_only(cls, num_levels: int, repetitions: int, seed: int,
+                    id_bits: int, bulk: BulkOps | None = None) -> "SketchOutdetect":
+        """A decode-side sketch rebuilt from parameters alone.
+
+        The seeded hashes make decoding fully determined by
+        ``(num_levels, repetitions, seed)``; ``id_bits`` is carried for size
+        accounting and backend sizing.  No labels are built — ``label_of``
+        raises ``KeyError`` for every vertex (snapshot rehydration answers
+        queries from stored labels, see :mod:`repro.core.snapshot`).
+        """
+        if num_levels < 1 or repetitions < 1 or id_bits < 1:
+            raise ValueError("invalid sketch geometry: %d levels, %d repetitions, "
+                             "%d id bits (all must be >= 1)"
+                             % (num_levels, repetitions, id_bits))
+        scheme = cls.__new__(cls)
+        scheme.edge_ids = {}
+        scheme.num_levels = num_levels
+        scheme.repetitions = repetitions
+        scheme.seed = seed
+        scheme.id_bits = id_bits
+        scheme._cells = scheme.num_levels * scheme.repetitions
+        scheme.bulk = bulk if bulk is not None else get_bulk_ops(
+            None, max_bits=scheme.id_bits + _FINGERPRINT_BITS)
+        scheme._labels = {}
+        return scheme
+
     def _build_labels(self, vertices: list) -> None:
         """Accumulate all sampled cell contributions through the bulk backend."""
         vertex_index = {vertex: position for position, vertex in enumerate(vertices)}

@@ -124,3 +124,146 @@ def test_cli_audit_sketch_variant(edge_file, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["total"] == 10
     assert exit_code in (0, 1)
+
+
+# ---------------------------------------------------------------- snapshots
+
+
+@pytest.fixture
+def snapshot_file(edge_file, tmp_path, capsys):
+    path = tmp_path / "network.ftcs"
+    assert main(["save-labeling", "--edges", str(edge_file), "--max-faults", "2",
+                 "--output", str(path)]) == 0
+    capsys.readouterr()  # drop the save summary
+    return path
+
+
+def test_cli_save_and_load_labeling(edge_file, tmp_path, capsys):
+    path = tmp_path / "network.ftcs"
+    exit_code = main(["save-labeling", "--edges", str(edge_file), "--max-faults", "2",
+                      "--output", str(path)])
+    assert exit_code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["vertex_labels"] == 4
+    assert summary["edge_labels"] == 5
+    assert path.stat().st_size == summary["bytes"]
+
+    exit_code = main(["load-labeling", "--snapshot", str(path)])
+    assert exit_code == 0
+    loaded = json.loads(capsys.readouterr().out)
+    assert loaded["format"] == "ftc-snapshot"
+    assert loaded["max_faults"] == 2
+    assert loaded["vertex_labels"] == 4
+    assert loaded["outdetect_kind"] == "layered-rs"
+
+
+def test_cli_batch_query_from_snapshot(snapshot_file, capsys):
+    exit_code = main(["batch-query", "--snapshot", str(snapshot_file),
+                      "--fault", "b-c", "--fault", "c-d",
+                      "--pair", "a-c", "--pair", "b-d"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["labels"] == "snapshot"
+    assert payload["batched"] is True
+    assert payload["results"][0] == {"source": "a", "target": "c", "connected": False}
+    assert payload["results"][1] == {"source": "b", "target": "d", "connected": True}
+
+
+def test_cli_batch_query_snapshot_with_check(snapshot_file, edge_file, capsys):
+    exit_code = main(["batch-query", "--snapshot", str(snapshot_file),
+                      "--edges", str(edge_file), "--fault", "b-c",
+                      "--random-pairs", "4", "--check"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ground_truth_mismatches"] == 0
+
+
+def test_cli_batch_query_snapshot_check_requires_edges(snapshot_file, capsys):
+    exit_code = main(["batch-query", "--snapshot", str(snapshot_file),
+                      "--pair", "a-c", "--check"])
+    assert exit_code == 2
+
+
+def test_cli_batch_query_requires_edges_or_snapshot(capsys):
+    exit_code = main(["batch-query", "--pair", "a-c"])
+    assert exit_code == 2
+
+
+def test_cli_batch_query_snapshot_unknown_fault(snapshot_file, capsys):
+    exit_code = main(["batch-query", "--snapshot", str(snapshot_file),
+                      "--fault", "a-z", "--pair", "a-c"])
+    assert exit_code == 2
+
+
+def test_cli_batch_query_snapshot_graph_mismatch(snapshot_file, tmp_path, capsys):
+    """A graph that outgrew the snapshot is reported, not a KeyError crash."""
+    bigger = tmp_path / "bigger.txt"
+    bigger.write_text("a b\nb c\nc d\nd a\nb d\nd e\n")  # vertex e, edge d-e are new
+    exit_code = main(["batch-query", "--snapshot", str(snapshot_file),
+                      "--edges", str(bigger), "--fault", "d-e",
+                      "--pair", "a-c", "--check"])
+    assert exit_code == 2
+    exit_code = main(["batch-query", "--snapshot", str(snapshot_file),
+                      "--edges", str(bigger), "--pair", "a-e", "--check"])
+    assert exit_code == 2
+
+
+def test_cli_corrupt_snapshot_reports_cleanly(tmp_path, capsys):
+    bad = tmp_path / "corrupt.ftcs"
+    bad.write_bytes(b"FTCS\x01garbage")
+    assert main(["load-labeling", "--snapshot", str(bad)]) == 2
+    assert main(["batch-query", "--snapshot", str(bad), "--pair", "a-c"]) == 2
+    assert main(["load-labeling", "--snapshot", str(tmp_path / "missing.ftcs")]) == 2
+
+
+def test_cli_corrupt_label_payload_reports_cleanly(snapshot_file, tmp_path, capsys):
+    """A snapshot whose container parses but whose label blob is corrupt must
+    exit 2 with a message, not crash at first lazy decode."""
+    from repro.core.snapshot import FTCSnapshot
+
+    lazy = FTCSnapshot.from_bytes(snapshot_file.read_bytes(), decode_labels=False)
+    vertex = next(iter(lazy.vertex_labels))
+    blob = lazy.vertex_labels[vertex]
+    lazy.vertex_labels[vertex] = blob[:-1] + b"\x80"  # same length, truncated varint
+    poisoned = tmp_path / "poisoned.ftcs"
+    poisoned.write_bytes(lazy.to_bytes())
+    exit_code = main(["batch-query", "--snapshot", str(poisoned),
+                      "--pair", "%s-%s" % (vertex, "c" if vertex != "c" else "d")])
+    assert exit_code == 2
+    assert "corrupt" in capsys.readouterr().err
+
+
+def test_cli_batch_query_over_budget_faults_report_cleanly(snapshot_file, capsys):
+    exit_code = main(["batch-query", "--snapshot", str(snapshot_file),
+                      "--fault", "a-b", "--fault", "b-c", "--fault", "c-d",
+                      "--pair", "a-c"])
+    assert exit_code == 2
+    assert "faults" in capsys.readouterr().err
+
+
+def test_cli_audit_snapshot_notes_overridden_budget(snapshot_file, edge_file, capsys):
+    exit_code = main(["audit", "--edges", str(edge_file), "--max-faults", "1",
+                      "--snapshot", str(snapshot_file), "--queries", "10"])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "does not apply in snapshot mode" in captured.err
+    assert json.loads(captured.out)["total"] == 10
+
+
+def test_cli_audit_snapshot_graph_mismatch(snapshot_file, tmp_path, capsys):
+    bigger = tmp_path / "bigger.txt"
+    bigger.write_text("a b\nb c\nc d\nd a\nb d\nd e\n")
+    exit_code = main(["audit", "--edges", str(bigger),
+                      "--snapshot", str(snapshot_file), "--queries", "10"])
+    assert exit_code == 2
+    assert "stale" in capsys.readouterr().err
+
+
+def test_cli_audit_from_snapshot(snapshot_file, edge_file, capsys):
+    exit_code = main(["audit", "--edges", str(edge_file),
+                      "--snapshot", str(snapshot_file), "--queries", "25"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 25
+    assert payload["wrong"] == 0
+    assert payload["labels"] == "snapshot"

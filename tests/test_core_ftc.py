@@ -184,6 +184,26 @@ def test_oracle_config_mismatch_rejected():
         FTConnectivityOracle(graph, max_faults=2, config=FTCConfig(max_faults=3))
 
 
+def test_oracle_audit_surfaces_programming_errors():
+    """``audit`` counts only benign ``QueryFailure`` as a failure; genuine
+    defects (KeyError, TypeError, ...) must propagate to the caller."""
+    from repro.core.query import QueryFailure
+
+    graph = random_connected_graph(10, 20, seed=19)
+    oracle = FTConnectivityOracle(graph, max_faults=2)
+    vertices = sorted(graph.vertices())
+    queries = [(vertices[0], vertices[1], [])]
+
+    oracle.connected = lambda s, t, faults=(): (_ for _ in ()).throw(KeyError("bug"))
+    with pytest.raises(KeyError):
+        oracle.audit(queries)
+
+    oracle.connected = lambda s, t, faults=(): (_ for _ in ()).throw(QueryFailure("whp miss"))
+    report = oracle.audit(queries)
+    assert report["failures"] == 1
+    assert report["disagree"] == 0
+
+
 # --------------------------------------------------------------- property tests
 
 @settings(max_examples=15, deadline=None)

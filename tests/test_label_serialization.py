@@ -111,6 +111,78 @@ def test_deserialized_labels_answer_queries():
 # ---------------------------------------------------------------- error paths
 
 
+def test_varint_continuation_run_fails_closed():
+    """A run of continuation bytes must raise, not build a giant integer."""
+    # Truncated: every byte continues, the buffer just ends.
+    with pytest.raises(serialize.LabelDecodeError):
+        serialize.read_varint(b"\xff" * 64, 0)
+    # Unterminated beyond the cap inside a larger buffer: the decoder must
+    # stop at MAX_VARINT_BYTES instead of accumulating bits to the end.
+    runaway = b"\xff" * (serialize.MAX_VARINT_BYTES + 64) + b"\x01"
+    with pytest.raises(serialize.LabelDecodeError):
+        serialize.read_varint(runaway, 0)
+
+
+def test_varint_at_the_cap_still_decodes():
+    value = (1 << (7 * serialize.MAX_VARINT_BYTES)) - 1  # exactly cap bytes
+    out = bytearray()
+    serialize.write_varint(value, out)
+    assert len(out) == serialize.MAX_VARINT_BYTES
+    decoded, offset = serialize.read_varint(bytes(out), 0)
+    assert decoded == value and offset == len(out)
+
+
+def test_label_tree_oversized_tuple_length_rejected():
+    """A declared child count beyond the remaining buffer fails fast."""
+    out = bytearray([0x01])                      # tuple tag
+    serialize.write_varint(1 << 40, out)         # absurd declared length
+    out += b"\x00\x01"                           # one real child
+    with pytest.raises(serialize.LabelDecodeError):
+        serialize.read_label_tree(bytes(out), 0)
+
+
+def test_label_tree_deep_nesting_rejected_without_recursion_error():
+    # 0x01 0x01 == "tuple of one child" repeated: nesting depth = repeat count.
+    data = b"\x01\x01" * 300 + b"\x00\x00"
+    with pytest.raises(serialize.LabelDecodeError):
+        serialize.read_label_tree(data, 0)
+
+
+def test_edge_label_fuzzed_mutations_fail_closed():
+    """Random corruptions either decode to a label or raise LabelDecodeError —
+    never hang, recurse, or allocate unboundedly."""
+    import random
+
+    label = EdgeLabel(ancestry_upper=AncestryLabel(pre=1, post=10),
+                      ancestry_lower=AncestryLabel(pre=2, post=9),
+                      outdetect_subtree_sum=((5, 1 << 90, 7), (0, 3)),
+                      outdetect_bits=321)
+    data = bytearray(label.to_bytes())
+    rng = random.Random(1234)
+    for _ in range(400):
+        mutated = bytearray(data)
+        for _ in range(rng.randint(1, 4)):
+            position = rng.randrange(len(mutated))
+            mutated[position] = rng.randrange(256)
+        try:
+            EdgeLabel.from_bytes(bytes(mutated))
+        except serialize.LabelDecodeError:
+            # Covers invariant violations too (upper must be an ancestor of
+            # lower): structurally valid but absurd bytes are decode errors.
+            pass
+
+
+def test_truncated_label_prefixes_fail_closed():
+    label = EdgeLabel(ancestry_upper=AncestryLabel(pre=0, post=20),
+                      ancestry_lower=AncestryLabel(pre=3, post=12),
+                      outdetect_subtree_sum=(1, 2, 3),
+                      outdetect_bits=64)
+    data = label.to_bytes()
+    for cut in range(len(data)):
+        with pytest.raises(serialize.LabelDecodeError):
+            EdgeLabel.from_bytes(data[:cut])
+
+
 def test_header_validation():
     label = VertexLabel(ancestry=AncestryLabel(pre=3, post=9))
     data = label.to_bytes()

@@ -1,0 +1,400 @@
+"""Whole-labeling snapshots: round-trip fidelity and fail-closed decoding.
+
+The contract under test (ISSUE 2 / ROADMAP "persist whole labelings"):
+
+* ``load_snapshot(labeling.to_snapshot_bytes())`` answers every ``(s, t, F)``
+  query identically to the live scheme on the integration-family workloads,
+  without a graph and without reconstruction;
+* every corrupt byte string — truncated, oversized, wrong magic/version/kind,
+  trailing garbage — raises ``LabelDecodeError`` without hangs or giant
+  allocations.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import (FTCConfig, FTCLabeling, FTCSnapshot, FTConnectivityOracle,
+                        RehydratedOracle, SchemeVariant, load_snapshot)
+from repro.core.serialize import LabelDecodeError
+from repro.core.snapshot import (OutdetectDescriptor, SNAPSHOT_MAGIC,
+                                 build_decode_outdetect, read_svarint,
+                                 read_vertex_key, write_svarint, write_vertex_key)
+from repro.outdetect.rs_threshold import RSThresholdOutdetect
+from repro.outdetect.sketch import SketchOutdetect
+from repro.workloads import FaultModel, GraphFamily, make_graph, make_query_workload
+
+FAMILIES = [GraphFamily.ERDOS_RENYI, GraphFamily.GRID, GraphFamily.TREE_PLUS_CHORDS]
+
+
+def _answers(answerer, queries):
+    """Answers (or failure markers) for a list of (s, t, F) queries."""
+    results = []
+    for s, t, faults in queries:
+        try:
+            results.append(answerer.connected(s, t, faults))
+        except Exception as error:  # compared verbatim against the live scheme
+            results.append(("raised", type(error).__name__))
+    return results
+
+
+# -------------------------------------------------------------- round trips
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_rehydrated_oracle_matches_live_on_integration_families(family):
+    graph = make_graph(family, n=30, seed=41, density=1.8)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    oracle = load_snapshot(labeling.to_snapshot_bytes())
+    assert isinstance(oracle, RehydratedOracle)
+    assert not hasattr(oracle, "graph")
+    assert not hasattr(oracle, "hierarchy")
+    workload = make_query_workload(graph, num_queries=30, max_faults=2,
+                                   model=FaultModel.TREE_BIASED, seed=42)
+    assert _answers(oracle, workload.queries) == _answers(labeling, workload.queries)
+    # Ground truth agreement rides along (deterministic variant is exact).
+    assert _answers(oracle, workload.queries) == workload.ground_truth
+
+
+@pytest.mark.parametrize("variant", [SchemeVariant.DETERMINISTIC_POLY,
+                                     SchemeVariant.RANDOMIZED_FULL,
+                                     SchemeVariant.SKETCH_WHP,
+                                     SchemeVariant.SKETCH_FULL])
+def test_rehydrated_oracle_matches_live_for_every_variant(variant):
+    """Identical answers *and* identical failures under random fault sets."""
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=26, seed=7, density=2.0)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2, variant=variant,
+                                            random_seed=3))
+    oracle = load_snapshot(labeling.to_snapshot_bytes())
+    workload = make_query_workload(graph, num_queries=25, max_faults=2,
+                                   model=FaultModel.ADVERSARIAL, seed=8)
+    assert _answers(oracle, workload.queries) == _answers(labeling, workload.queries)
+
+
+def test_rehydrated_batched_api_matches_live():
+    graph = make_graph(GraphFamily.GRID, n=36, seed=45)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=3))
+    oracle = load_snapshot(labeling.to_snapshot_bytes())
+    rng = random.Random(46)
+    edges = sorted(graph.edges())
+    vertices = sorted(graph.vertices())
+    for trial in range(5):
+        faults = rng.sample(edges, 3)
+        pairs = [tuple(rng.sample(vertices, 2)) for _ in range(30)]
+        assert oracle.connected_many(pairs, faults) == \
+            labeling.connected_many(pairs, faults)
+        live = labeling.batch_session(faults)
+        rehydrated = oracle.batch_session(faults)
+        assert rehydrated.num_fragments() == live.num_fragments()
+        assert rehydrated.num_components() == live.num_components()
+    assert oracle.queries_answered == 5 * 30
+
+
+def test_rehydrated_matches_full_oracle_api():
+    """RehydratedOracle mirrors FTConnectivityOracle's query surface."""
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=24, seed=6, density=1.6)
+    live = FTConnectivityOracle(graph, max_faults=2)
+    rehydrated = load_snapshot(live.labeling.to_snapshot_bytes())
+    for name in ("connected", "connected_many", "batch_session"):
+        assert callable(getattr(rehydrated, name))
+        assert callable(getattr(live, name))
+    edges = sorted(graph.edges())
+    vertices = sorted(graph.vertices())
+    faults = edges[:2]
+    for s, t in [(vertices[0], vertices[-1]), (vertices[2], vertices[5])]:
+        assert rehydrated.connected(s, t, faults) == live.connected(s, t, faults)
+    assert rehydrated.num_vertices() == graph.num_vertices()
+    assert rehydrated.num_edges() == graph.num_edges()
+    assert rehydrated.max_faults == 2
+
+
+def test_snapshot_dataclass_round_trip():
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=20, seed=11)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    snapshot = FTCSnapshot.from_labeling(labeling)
+    restored = FTCSnapshot.from_bytes(snapshot.to_bytes())
+    assert restored == snapshot
+    # A lazily parsed snapshot re-serializes to the identical bytes.
+    lazy = FTCSnapshot.from_bytes(snapshot.to_bytes(), decode_labels=False)
+    assert lazy.to_bytes() == snapshot.to_bytes()
+
+
+def test_snapshot_bytes_are_canonical():
+    """Equal labelings serialize identically regardless of insertion order."""
+    from repro.graphs.graph import Graph
+
+    edges = [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "a")]
+    forward = FTCLabeling(Graph(edges), FTCConfig(max_faults=2))
+    backward = FTCLabeling(Graph(list(reversed(edges))), FTCConfig(max_faults=2))
+    assert forward.to_snapshot_bytes() == backward.to_snapshot_bytes()
+    assert forward.to_snapshot_bytes() == forward.to_snapshot_bytes()
+
+
+def test_snapshot_file_round_trip(tmp_path):
+    graph = make_graph(GraphFamily.GRID, n=16, seed=2)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    path = tmp_path / "labeling.ftcs"
+    byte_count = labeling.save(path)
+    assert path.stat().st_size == byte_count
+    oracle = load_snapshot(path)
+    vertices = sorted(graph.vertices())
+    edges = sorted(graph.edges())
+    assert oracle.connected(vertices[0], vertices[-1], edges[:2]) == \
+        labeling.connected(vertices[0], vertices[-1], edges[:2])
+
+
+def test_rehydrated_budget_and_membership_errors():
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=18, seed=13)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=1))
+    oracle = load_snapshot(labeling.to_snapshot_bytes())
+    vertices = sorted(graph.vertices())
+    edges = sorted(graph.edges())
+    with pytest.raises(ValueError):
+        oracle.connected(vertices[0], vertices[1], edges[:2])  # budget f=1
+    with pytest.raises(KeyError):
+        oracle.connected("nope", vertices[1])
+    with pytest.raises(KeyError):
+        oracle.edge_label("nope", "also-nope")
+    # Restating the same fault twice stays within the deduplicated budget.
+    assert oracle.connected(vertices[0], vertices[1], [edges[0], edges[0]]) == \
+        labeling.connected(vertices[0], vertices[1], [edges[0], edges[0]])
+
+
+# ------------------------------------------------------------ vertex keys
+
+
+def test_vertex_key_round_trip():
+    keys = [0, -7, 123456789, "a", "vertex-42", "", ("x", 3), (1, (2, "y")), ()]
+    for key in keys:
+        out = bytearray()
+        write_vertex_key(key, out)
+        decoded, offset = read_vertex_key(bytes(out), 0)
+        assert decoded == key and offset == len(out)
+
+
+def test_vertex_key_rejects_unsupported_types():
+    for bad in (3.14, None, True, frozenset()):
+        with pytest.raises(TypeError):
+            write_vertex_key(bad, bytearray())
+    with pytest.raises(LabelDecodeError):
+        read_vertex_key(b"\x7f", 0)  # unknown tag
+
+
+def test_svarint_round_trip():
+    for value in (0, 1, -1, 63, -64, 1 << 80, -(1 << 80)):
+        out = bytearray()
+        write_svarint(value, out)
+        decoded, offset = read_svarint(bytes(out), 0)
+        assert decoded == value and offset == len(out)
+
+
+# -------------------------------------------------------- decode-only schemes
+
+
+def test_decode_only_rs_matches_full_scheme():
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=20, seed=5)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    full_levels = labeling.outdetect.level_schemes
+    for level in full_levels:
+        rebuilt = RSThresholdOutdetect.decode_only(level.field, level.threshold,
+                                                   adaptive=level.adaptive)
+        assert rebuilt.zero_label() == level.zero_label()
+        syndrome = level.syndrome_of_edge_set(list(level.edge_ids)[:1]) \
+            if level.edge_ids else level.zero_label()
+        assert rebuilt.decode(syndrome) == level.decode(syndrome)
+        with pytest.raises(KeyError):
+            rebuilt.label_of(0)
+
+
+def test_decode_only_sketch_matches_full_scheme():
+    edge_ids = {(0, 1): 5, (1, 2): 9, (0, 2): 12}
+    full = SketchOutdetect([0, 1, 2], edge_ids, repetitions=4, seed=3)
+    rebuilt = SketchOutdetect.decode_only(full.num_levels, full.repetitions,
+                                          full.seed, full.id_bits)
+    assert rebuilt.zero_label() == full.zero_label()
+    label = full.label_of_set([0])
+    assert rebuilt.decode(label) == full.decode(label)
+    assert rebuilt.label_bit_size(label) == full.label_bit_size(label)
+
+
+def test_decode_only_constructors_reject_invalid_parameters():
+    from repro.gf2.field import GF2m
+
+    with pytest.raises(ValueError):
+        RSThresholdOutdetect.decode_only(GF2m(8), 0)
+    with pytest.raises(ValueError):
+        SketchOutdetect.decode_only(0, 4, 0, 8)
+    with pytest.raises(ValueError):
+        SketchOutdetect.decode_only(4, 0, 0, 8)
+    with pytest.raises(ValueError):
+        SketchOutdetect.decode_only(4, 4, 0, 0)
+
+
+def test_build_decode_outdetect_rejects_bad_descriptors():
+    from repro.gf2.field import GF2m
+    field = GF2m(8)
+    with pytest.raises(LabelDecodeError):
+        build_decode_outdetect(OutdetectDescriptor(kind="layered-rs"), field, True)
+    with pytest.raises(LabelDecodeError):
+        build_decode_outdetect(OutdetectDescriptor(kind="martian"), field, True)
+
+
+# ------------------------------------------------------------- fail closed
+
+
+@pytest.fixture(scope="module")
+def snapshot_bytes():
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=18, seed=9, density=1.5)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=2))
+    return labeling.to_snapshot_bytes()
+
+
+def test_snapshot_header_validation(snapshot_bytes):
+    data = snapshot_bytes
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(b"XXXX" + data[4:])            # bad magic
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(bytes([*data[:4], 99]) + data[5:])  # bad version
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(data + b"\x00")                 # trailing bytes
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(b"FT")                          # too short
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(b"")
+
+
+def test_snapshot_truncation_fails_closed(snapshot_bytes):
+    """Every proper prefix raises LabelDecodeError (eager and lazy paths)."""
+    data = snapshot_bytes
+    cuts = sorted({len(data) * i // 97 for i in range(97)} | {len(data) - 1})
+    for cut in cuts:
+        if cut >= len(data):
+            continue
+        with pytest.raises(LabelDecodeError):
+            FTCSnapshot.from_bytes(data[:cut])
+        with pytest.raises(LabelDecodeError):
+            FTCSnapshot.from_bytes(data[:cut], decode_labels=False)
+
+
+def test_snapshot_fuzzed_mutations_fail_closed(snapshot_bytes):
+    """Random corruption parses fully or raises LabelDecodeError — nothing else.
+
+    (The oracle is intentionally not queried here: a mutation inside a label
+    payload can produce a *valid but different* label, which is corruption the
+    format cannot detect without checksums; the fail-closed guarantee covers
+    the decoding layer.)
+    """
+    rng = random.Random(99)
+    data = snapshot_bytes
+    for _ in range(200):
+        mutated = bytearray(data)
+        for _ in range(rng.randint(1, 8)):
+            mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+        try:
+            FTCSnapshot.from_bytes(bytes(mutated))
+        except LabelDecodeError:
+            pass
+
+
+def test_snapshot_oversized_counts_fail_fast():
+    """Huge declared counts and lengths must fail before any big allocation."""
+    from repro.core.serialize import write_varint
+
+    graph = make_graph(GraphFamily.GRID, n=9, seed=1)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=1))
+    snapshot = FTCSnapshot.from_labeling(labeling)
+    # An otherwise-valid snapshot whose label sections are empty ends with the
+    # two zero count varints, which makes the counts easy to splice.
+    empty = FTCSnapshot(config=snapshot.config, codec_modulus=snapshot.codec_modulus,
+                        field_width=snapshot.field_width,
+                        field_modulus=snapshot.field_modulus,
+                        outdetect=snapshot.outdetect,
+                        vertex_labels={}, edge_labels={})
+    data = empty.to_bytes()
+    assert data.endswith(b"\x00\x00")
+    assert FTCSnapshot.from_bytes(data).vertex_labels == {}
+
+    oversized_vertices = bytearray(data[:-2])
+    write_varint(1 << 50, oversized_vertices)          # absurd vertex count
+    write_varint(0, oversized_vertices)
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(bytes(oversized_vertices))
+
+    oversized_edges = bytearray(data[:-1])
+    write_varint(1 << 50, oversized_edges)             # absurd edge count
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(bytes(oversized_edges))
+
+    bad_key = bytearray([0x02])                        # tuple key ...
+    write_varint(1 << 50, bad_key)                     # ... of absurd arity
+    with pytest.raises(LabelDecodeError):
+        read_vertex_key(bytes(bad_key) + b"\x00\x01", 0)
+
+
+def test_rehydration_rejects_implausible_parameters(snapshot_bytes):
+    """Corrupt decode-side parameters must fail closed at rehydration time —
+    quickly, with LabelDecodeError, and without giant constructions."""
+    import dataclasses
+
+    base = FTCSnapshot.from_bytes(snapshot_bytes)
+
+    def rehydrate_with(**overrides):
+        return dataclasses.replace(base, **overrides).rehydrate()
+
+    with pytest.raises(LabelDecodeError):
+        rehydrate_with(field_width=0)
+    with pytest.raises(LabelDecodeError):
+        rehydrate_with(field_width=1 << 40)              # no giant field search
+    with pytest.raises(LabelDecodeError):
+        rehydrate_with(codec_modulus=0)
+    with pytest.raises(LabelDecodeError):
+        rehydrate_with(codec_modulus=1 << 300)           # domain exceeds the field
+    with pytest.raises(LabelDecodeError):
+        rehydrate_with(field_modulus=3)                  # degree != width
+    with pytest.raises(LabelDecodeError):
+        # Right degree, but reducible (x^w divides by x): arithmetic over a
+        # non-field ring would decode silently wrong edge sets.
+        rehydrate_with(field_modulus=1 << base.field_width)
+    start = time.perf_counter()
+    with pytest.raises(LabelDecodeError):
+        # Huge hostile modulus with a plausible width: the degree check must
+        # reject it before any expensive irreducibility computation.
+        rehydrate_with(field_modulus=(1 << 100_000) | 1)
+    assert time.perf_counter() - start < 1.0
+    with pytest.raises(LabelDecodeError):
+        rehydrate_with(outdetect=OutdetectDescriptor(
+            kind="layered-rs", thresholds=(1 << 40,)))   # no giant zero labels
+    with pytest.raises(LabelDecodeError):
+        rehydrate_with(outdetect=OutdetectDescriptor(
+            kind="sketch", num_levels=1 << 40, repetitions=1 << 20, id_bits=8))
+
+
+def test_lazy_corrupt_label_blob_fails_on_first_use(snapshot_bytes):
+    """Structure-valid but payload-corrupt labels fail closed at query time."""
+    oracle = load_snapshot(snapshot_bytes)
+    vertex = sorted(oracle.vertices())[0]
+    raw = oracle._vertex_labels[vertex]
+    assert isinstance(raw, bytes)  # still lazy
+    oracle._vertex_labels[vertex] = raw[:-1] + b"\x80"  # truncate a varint
+    with pytest.raises(LabelDecodeError):
+        oracle.vertex_label(vertex)
+
+
+def test_audit_scheme_propagates_programming_errors():
+    """audit_scheme tolerates only QueryFailure, mirroring oracle.audit."""
+    from repro.core.query import QueryFailure
+    from repro.workloads.queries import QueryWorkload, audit_scheme
+
+    workload = QueryWorkload(queries=[("a", "b", [])], ground_truth=[True])
+
+    def boom(s, t, faults):
+        raise KeyError("genuine bug")
+
+    with pytest.raises(KeyError):
+        audit_scheme(boom, workload)
+
+    def benign(s, t, faults):
+        raise QueryFailure("whp miss")
+
+    assert audit_scheme(benign, workload)["failed"] == 1
