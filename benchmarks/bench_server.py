@@ -1,0 +1,221 @@
+"""Experiment SERVER: query throughput over the wire, one vs many clients.
+
+The server (:mod:`repro.server`) exists so that many concurrent clients can
+share one snapshot-loaded oracle — and, when they query the same fault set,
+one :class:`~repro.core.batch.BatchQuerySession`.  This benchmark measures,
+against the medium workload snapshot:
+
+* in-process ``connected_many`` throughput (the no-network ceiling),
+* server throughput with a single blocking client,
+* aggregate server throughput with several concurrent clients, and
+* the session hit rate the concurrent clients achieve.
+
+Hard assertions: every answer served over the wire is bit-identical to the
+in-process oracle, and the concurrent clients share sessions (positive hit
+rate with exactly one construction per distinct fault set).  The wall-clock
+claim — concurrency does not collapse aggregate throughput (multi-client
+aggregate >= 0.9x a single client's; the server is GIL-bound, so linear
+scaling is not the claim) — is advisory by default and enforced in the
+strict CI job per the ``REPRO_BENCH_STRICT`` convention.
+
+Runable two ways: under pytest (``pytest benchmarks/bench_server.py``) or
+directly as a CI smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --n 32 --requests 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct script runs without pytest
+    pytest = None
+
+if __package__ is None or __package__ == "":
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import bench_strict, cached_graph, check_speedup, print_table
+from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.ftc import FTCLabeling
+from repro.core.snapshot import load_snapshot
+from repro.server import BackgroundServer, QueryClient
+from repro.workloads import FaultModel
+from repro.workloads.faults import sample_fault_sets
+
+#: The medium workload (same as bench_snapshot's).
+FAMILY = "erdos-renyi"
+N = 160
+SEED = 23
+MAX_FAULTS = 4
+PAIRS_PER_REQUEST = 50
+REQUESTS_PER_CLIENT = 40
+NUM_CLIENTS = 4
+NUM_FAULT_SETS = 5
+#: Aggregate multi-client throughput must be at least this multiple of a
+#: single client's.  The server is GIL-bound, so the honest claim is
+#: "concurrency does not collapse throughput", not linear scaling; the 0.9
+#: floor leaves headroom for shared-runner jitter.
+MIN_CONCURRENT_RATIO = 0.9
+
+
+def build_world(n, seed, max_faults):
+    """Snapshot bytes + a served oracle + a reference oracle + a workload."""
+    graph = cached_graph(FAMILY, n, seed)
+    labeling = FTCLabeling(graph, FTCConfig(
+        max_faults=max_faults, variant=SchemeVariant.DETERMINISTIC_NEARLINEAR))
+    data = labeling.to_snapshot_bytes()
+    served = load_snapshot(data)
+    reference = load_snapshot(data)
+
+    fault_sets = [list(faults) for faults in sample_fault_sets(
+        graph, NUM_FAULT_SETS, max_faults, model=FaultModel.TREE_BIASED, seed=seed)]
+    rng = random.Random(seed + 1)
+    vertices = sorted(graph.vertices())
+    requests = []
+    for index, faults in enumerate(fault_sets):
+        pairs = [tuple(rng.sample(vertices, 2)) for _ in range(PAIRS_PER_REQUEST)]
+        requests.append((faults, pairs, reference.connected_many(pairs, faults)))
+    return served, reference, requests
+
+
+def drive_client(host, port, requests, num_requests) -> float:
+    """Send ``num_requests`` connected_many requests; returns elapsed seconds.
+
+    Answers are hard-checked against the precomputed in-process truth.
+    """
+    with QueryClient(host, port) as client:
+        start = time.perf_counter()
+        for index in range(num_requests):
+            faults, pairs, expected = requests[index % len(requests)]
+            answers = client.connected_many(pairs, faults)
+            assert answers == expected, "server answer diverged from in-process oracle"
+        return time.perf_counter() - start
+
+
+def run_server_benchmark(n=N, seed=SEED, max_faults=MAX_FAULTS,
+                         requests_per_client=REQUESTS_PER_CLIENT,
+                         num_clients=NUM_CLIENTS):
+    served, reference, requests = build_world(n, seed, max_faults)
+
+    # In-process ceiling (no sockets, no JSON).
+    start = time.perf_counter()
+    for index in range(requests_per_client):
+        faults, pairs, expected = requests[index % len(requests)]
+        assert reference.connected_many(pairs, faults) == expected
+    inprocess_seconds = time.perf_counter() - start
+
+    with BackgroundServer(served, max_sessions=32) as server:
+        # Warm up: build every distinct fault set's session once, so both
+        # timed phases measure steady-state serving rather than construction.
+        drive_client(server.host, server.port, requests, len(requests))
+        single_seconds = drive_client(server.host, server.port, requests,
+                                      requests_per_client)
+        single_metrics = server.metrics.snapshot()["sessions"]
+
+        with ThreadPoolExecutor(max_workers=num_clients) as pool:
+            start = time.perf_counter()
+            elapsed = list(pool.map(
+                lambda _: drive_client(server.host, server.port, requests,
+                                       requests_per_client),
+                range(num_clients)))
+            concurrent_wall = time.perf_counter() - start
+        final_metrics = server.metrics.snapshot()["sessions"]
+
+    queries_per_request = PAIRS_PER_REQUEST
+    single_qps = requests_per_client * queries_per_request / single_seconds
+    concurrent_qps = (num_clients * requests_per_client * queries_per_request
+                      / concurrent_wall)
+    inprocess_qps = requests_per_client * queries_per_request / inprocess_seconds
+
+    # Hard session-sharing assertions: one build per distinct fault set, ever.
+    assert final_metrics["misses"] == len(requests), final_metrics
+    assert final_metrics["hit_rate"] > 0.5, final_metrics
+    return {
+        "inprocess_qps": inprocess_qps,
+        "single_client_qps": single_qps,
+        "concurrent_qps": concurrent_qps,
+        "num_clients": num_clients,
+        "concurrent_ratio": concurrent_qps / single_qps,
+        "hit_rate": final_metrics["hit_rate"],
+        "session_builds": final_metrics["misses"],
+        "single_hit_rate": single_metrics["hit_rate"],
+        "per_client_seconds": elapsed,
+    }
+
+
+def _table_rows(result):
+    return [[
+        "%.0f" % result["inprocess_qps"],
+        "%.0f" % result["single_client_qps"],
+        "%.0f" % result["concurrent_qps"],
+        result["num_clients"],
+        "%.2fx" % result["concurrent_ratio"],
+        "%.2f" % result["hit_rate"],
+        result["session_builds"],
+    ]]
+
+
+_HEADERS = ["in-proc q/s", "1-client q/s", "%d-client q/s" % NUM_CLIENTS,
+            "clients", "scaling", "hit rate", "builds"]
+
+
+# --------------------------------------------------------------------- pytest
+
+if pytest is not None:
+
+    def test_server_throughput_and_session_sharing():
+        result = run_server_benchmark(n=64, requests_per_client=15)
+        print_table("Server throughput (%d pairs per request)" % PAIRS_PER_REQUEST,
+                    _HEADERS, _table_rows(result))
+        check_speedup("multi-client aggregate vs single client",
+                      result["concurrent_ratio"], MIN_CONCURRENT_RATIO)
+
+
+# --------------------------------------------------------------------- script
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure server requests/sec, single vs concurrent clients")
+    parser.add_argument("--n", type=int, default=N, help="graph size")
+    parser.add_argument("--max-faults", type=int, default=MAX_FAULTS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--requests", type=int, default=REQUESTS_PER_CLIENT,
+                        help="connected_many requests per client")
+    parser.add_argument("--clients", type=int, default=NUM_CLIENTS,
+                        help="concurrent clients in the multi-client phase")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="fail unless multi-client aggregate throughput is "
+                             "at least this multiple of a single client's; "
+                             "defaults to %.1f when REPRO_BENCH_STRICT=1 and "
+                             "to report-only otherwise" % MIN_CONCURRENT_RATIO)
+    args = parser.parse_args(argv)
+    minimum = args.min_ratio
+    if minimum is None:
+        minimum = MIN_CONCURRENT_RATIO if bench_strict() else 0.0
+
+    result = run_server_benchmark(n=args.n, seed=args.seed,
+                                  max_faults=args.max_faults,
+                                  requests_per_client=args.requests,
+                                  num_clients=args.clients)
+    print_table("Server throughput (%d pairs per request)" % PAIRS_PER_REQUEST,
+                _HEADERS, _table_rows(result))
+    print("all wire answers bit-identical to the in-process oracle; "
+          "%d session builds for %d distinct fault sets"
+          % (result["session_builds"], NUM_FAULT_SETS))
+    if minimum and result["concurrent_ratio"] < minimum:
+        print("FAIL: %d-client aggregate is %.2fx a single client (need %.1fx)"
+              % (result["num_clients"], result["concurrent_ratio"], minimum),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface for the f-FTC labeling scheme.
 
-Seven subcommands cover the typical workflow:
+Nine subcommands cover the typical workflow:
 
 ``stats``
     Build labels for a graph (edge-list file) and print label-size statistics.
@@ -25,6 +25,22 @@ Seven subcommands cover the typical workflow:
 ``load-labeling``
     Load a snapshot, rehydrate the decode-side oracle (no graph, no
     reconstruction), and print a summary.
+``serve``
+    Load a snapshot and serve ``connected`` / ``connected_many`` / ``stats``
+    over the newline-JSON TCP protocol of :mod:`repro.server` to any number
+    of concurrent clients (``--host/--port/--max-sessions``).  The server
+    never constructs a labeling; requests sharing a fault set share one batch
+    session.  On startup it prints one ``{"event": "serving", ...}`` JSON
+    line with the bound address (``--port 0`` picks an ephemeral port).
+``client-query``
+    Connect to a running server and issue one request: a ``connected_many``
+    batch built from ``--fault`` / ``--pair`` / ``--pairs-file`` (the
+    default), or ``--op stats`` / ``--op ping``.
+
+The ``query``, ``batch-query``, ``stats``, and ``client-query`` subcommands
+accept ``--json``: the report is then printed as one compact line in the
+protocol's response envelope (``{"ok": true, "result": ...}``), so scripted
+callers see the same machine-readable format in process and over the wire.
 
 Edge-list format: one edge per line, two whitespace-separated vertex names
 (everything is treated as a string identifier); lines starting with ``#`` are
@@ -60,6 +76,8 @@ Examples
     python -m repro.cli batch-query --snapshot network.ftcs --fault a-b \\
         --pair a-d --pair b-c
     python -m repro.cli audit --edges network.txt --snapshot network.ftcs
+    python -m repro.cli serve --snapshot network.ftcs --port 7421
+    python -m repro.cli client-query --port 7421 --fault a-b --pair a-d --json
 """
 
 from __future__ import annotations
@@ -76,7 +94,16 @@ from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
 from repro.core.snapshot import load_snapshot
 from repro.graphs.graph import Graph
+from repro.server.protocol import dump_envelope, error_response, ok_response
 from repro.workloads.queries import audit_scheme, make_query_workload
+
+
+def _print_report(payload: dict, as_json: bool) -> None:
+    """Print a report: indented for humans, one envelope line with --json."""
+    if as_json:
+        print(dump_envelope(ok_response(payload)))
+    else:
+        print(json.dumps(payload, indent=2, default=str))
 
 
 def load_edge_list(path: str | Path) -> Graph:
@@ -103,6 +130,22 @@ def parse_fault(raw: str) -> tuple:
     raise ValueError("fault %r is not of the form u-v" % raw)
 
 
+def read_pairs_file(path: str | Path) -> list:
+    """Read a file of whitespace-separated ``s t`` pairs (``#`` comments ok)."""
+    pairs = []
+    text = Path(path).read_text()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise ValueError("line %d of %s is not a vertex pair: %r"
+                             % (line_number, path, line))
+        pairs.append((parts[0], parts[1]))
+    return pairs
+
+
 def _build_labeling(args: argparse.Namespace) -> tuple[Graph, FTCLabeling]:
     graph = load_edge_list(args.edges)
     config = FTCConfig(max_faults=args.max_faults,
@@ -114,7 +157,7 @@ def _build_labeling(args: argparse.Namespace) -> tuple[Graph, FTCLabeling]:
 def cmd_stats(args: argparse.Namespace) -> int:
     _, labeling = _build_labeling(args)
     stats = labeling.label_size_stats()
-    print(json.dumps(stats, indent=2, default=str))
+    _print_report(stats, args.json)
     return 0
 
 
@@ -127,13 +170,13 @@ def cmd_query(args: argparse.Namespace) -> int:
             return 2
     answer = labeling.connected(args.source, args.target, faults)
     truth = graph.connected(args.source, args.target, removed=faults)
-    print(json.dumps({
+    _print_report({
         "source": args.source,
         "target": args.target,
         "faults": ["%s-%s" % edge for edge in faults],
         "connected": answer,
         "ground_truth": truth,
-    }, indent=2))
+    }, args.json)
     return 0 if answer == truth else 1
 
 
@@ -187,16 +230,7 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
                 return 2
     pairs = [parse_fault(raw) for raw in args.pair]
     if args.pairs_file:
-        text = Path(args.pairs_file).read_text()
-        for line_number, line in enumerate(text.splitlines(), start=1):
-            stripped = line.strip()
-            if not stripped or stripped.startswith("#"):
-                continue
-            parts = stripped.split()
-            if len(parts) < 2:
-                raise ValueError("line %d of %s is not a vertex pair: %r"
-                                 % (line_number, args.pairs_file, line))
-            pairs.append((parts[0], parts[1]))
+        pairs.extend(read_pairs_file(args.pairs_file))
     if args.random_pairs:
         rng = random.Random(args.seed)
         vertices = sorted(answerer.vertices() if args.snapshot else graph.vertices())
@@ -246,7 +280,7 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
                          if answer != expected)
         report["ground_truth_mismatches"] = mismatches
         exit_code = 0 if mismatches == 0 else 1
-    print(json.dumps(report, indent=2))
+    _print_report(report, args.json)
     return exit_code
 
 
@@ -350,6 +384,81 @@ def cmd_load_labeling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.server import run_server
+
+    # The whole point of the server: load an artifact, never construct.
+    oracle = _load_snapshot_or_report(args.snapshot)
+    if oracle is None:
+        return 2
+    if args.max_sessions < 1:
+        print("error: --max-sessions must be at least 1", file=sys.stderr)
+        return 2
+
+    def announce(event: dict) -> None:
+        event["snapshot"] = args.snapshot
+        print(json.dumps(event), flush=True)
+
+    try:
+        return run_server(oracle, host=args.host, port=args.port,
+                          max_sessions=args.max_sessions,
+                          max_request_bytes=args.max_request_bytes,
+                          announce=announce)
+    except OSError as error:  # e.g. port already in use
+        print("error: cannot serve on %s:%d: %s" % (args.host, args.port, error),
+              file=sys.stderr)
+        return 2
+
+
+def cmd_client_query(args: argparse.Namespace) -> int:
+    from repro.server.client import ProtocolViolation, QueryClient, ServerError
+
+    try:
+        client = QueryClient(args.host, args.port, timeout=args.timeout)
+    except OSError as error:
+        print("error: cannot connect to %s:%d: %s" % (args.host, args.port, error),
+              file=sys.stderr)
+        return 2
+    try:
+        if args.op in ("ping", "stats"):
+            result = client.request(args.op)
+            _print_report(result, args.json)
+            return 0
+        try:
+            faults = [parse_fault(raw) for raw in args.fault]
+            pairs = [parse_fault(raw) for raw in args.pair]
+            if args.pairs_file:
+                pairs.extend(read_pairs_file(args.pairs_file))
+        except ValueError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        if not pairs:
+            print("error: no query pairs given (use --pair / --pairs-file)",
+                  file=sys.stderr)
+            return 2
+        answers = client.connected_many(pairs, faults)
+        report = {
+            "labels": "server",
+            "faults": ["%s-%s" % edge for edge in faults],
+            "num_pairs": len(pairs),
+            "results": [{"source": s, "target": t, "connected": answer}
+                        for (s, t), answer in zip(pairs, answers)],
+        }
+        _print_report(report, args.json)
+        return 0
+    except ServerError as error:
+        if args.json:
+            print(dump_envelope(error_response(error.code, error.message)))
+        else:
+            print("error: server refused the request: %s" % error, file=sys.stderr)
+        return 2
+    except (ProtocolViolation, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="f-fault-tolerant connectivity labeling")
@@ -364,12 +473,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="which Table-1 scheme to build")
         sub.add_argument("--seed", type=int, default=0, help="seed for randomized variants")
 
+    def add_json_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--json", action="store_true",
+                         help="print one compact machine-readable line in the "
+                              "protocol envelope ({\"ok\": true, \"result\": ...})")
+
     stats_parser = subparsers.add_parser("stats", help="print label-size statistics")
     add_common(stats_parser)
+    add_json_flag(stats_parser)
     stats_parser.set_defaults(handler=cmd_stats)
 
     query_parser = subparsers.add_parser("query", help="answer one connectivity query")
     add_common(query_parser)
+    add_json_flag(query_parser)
     query_parser.add_argument("--source", required=True)
     query_parser.add_argument("--target", required=True)
     query_parser.add_argument("--fault", action="append", default=[],
@@ -393,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="additionally sample this many random pairs")
     batch_parser.add_argument("--check", action="store_true",
                               help="compare every answer against BFS ground truth")
+    add_json_flag(batch_parser)
     batch_parser.set_defaults(handler=cmd_batch_query)
 
     audit_parser = subparsers.add_parser("audit", help="audit random queries vs ground truth")
@@ -424,6 +541,42 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument("--snapshot", required=True,
                              help="path of the snapshot file to load")
     load_parser.set_defaults(handler=cmd_load_labeling)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve a snapshot's oracle over the newline-JSON TCP protocol")
+    serve_parser.add_argument("--snapshot", required=True,
+                              help="FTCS snapshot to load at startup (the server "
+                                   "never constructs a labeling)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7421,
+                              help="TCP port (0 picks an ephemeral port, "
+                                   "reported in the startup line)")
+    serve_parser.add_argument("--max-sessions", type=int, default=32,
+                              help="batch sessions kept alive in the LRU "
+                                   "(one per concurrent fault set)")
+    serve_parser.add_argument("--max-request-bytes", type=int,
+                              default=1 << 20,
+                              help="cap on one request line; longer lines get a "
+                                   "structured oversized-request error")
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    client_parser = subparsers.add_parser(
+        "client-query", help="query a running server (connected_many/stats/ping)")
+    client_parser.add_argument("--host", default="127.0.0.1")
+    client_parser.add_argument("--port", type=int, required=True)
+    client_parser.add_argument("--op", default="connected-many",
+                               choices=["connected-many", "stats", "ping"],
+                               help="request type (default: connected-many)")
+    client_parser.add_argument("--fault", action="append", default=[],
+                               help="faulty edge as u-v (repeatable, shared by all pairs)")
+    client_parser.add_argument("--pair", action="append", default=[],
+                               help="query pair as s-t (repeatable)")
+    client_parser.add_argument("--pairs-file", default=None,
+                               help="file with one whitespace-separated s t pair per line")
+    client_parser.add_argument("--timeout", type=float, default=30.0,
+                               help="socket timeout in seconds")
+    add_json_flag(client_parser)
+    client_parser.set_defaults(handler=cmd_client_query)
     return parser
 
 

@@ -21,6 +21,7 @@ loaded back from bytes.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Hashable, Iterable, Sequence
@@ -83,13 +84,26 @@ class LabelBackedQueries:
     oracle (:class:`~repro.core.snapshot.RehydratedOracle`).
 
     Subclasses provide ``vertex_label(v)`` / ``edge_label(u, v)`` lookups and
-    the ``outdetect``, ``codec``, and ``max_faults`` attributes, and must
-    initialize ``self._session_cache`` to an :class:`~collections.OrderedDict`.
-    Everything here sees labels only — never a graph.
+    the ``outdetect``, ``codec``, and ``max_faults`` attributes, and must call
+    :meth:`_init_session_cache` during construction.  Everything here sees
+    labels only — never a graph.
+
+    The session cache is safe under concurrent access from multiple threads
+    (the query server of :mod:`repro.server` shares one oracle between an
+    event loop and a worker-thread executor): every read or write of the LRU
+    happens under one lock, while the expensive
+    :class:`~repro.core.batch.BatchQuerySession` construction happens outside
+    it, so builders of distinct fault sets never serialize each other.
     """
 
     #: Number of batch sessions kept alive (LRU, keyed by the canonical fault set).
     SESSION_CACHE_SIZE = 32
+
+    def _init_session_cache(self) -> None:
+        """Set up the (locked) batch-session LRU; call once per instance."""
+        self._session_cache: OrderedDict[tuple, BatchQuerySession] = OrderedDict()
+        self._session_lock = threading.Lock()
+        self._session_evictions = 0
 
     # ---------------------------------------------------------- label lookups
 
@@ -152,15 +166,43 @@ class LabelBackedQueries:
         redundant restatements of a fault set share one decomposition.
         """
         fault_labels, key = self._fault_labels_keyed(faults)
-        session = self._session_cache.get(key)
+        session = self._cached_session(key)
         if session is not None:
-            self._session_cache.move_to_end(key)
             return session
+        # Build outside the lock: the decomposition decodes every component
+        # and may be slow, and concurrent builds of distinct fault sets must
+        # proceed in parallel.  Two threads racing on the same fault set both
+        # build, but the insert below keeps exactly one (callers wanting
+        # build-once semantics use the single-flight
+        # :class:`repro.server.SessionManager`).
         session = BatchQuerySession(self.outdetect, self.codec, fault_labels)
-        self._session_cache[key] = session
-        while len(self._session_cache) > self.SESSION_CACHE_SIZE:
-            self._session_cache.popitem(last=False)
+        with self._session_lock:
+            existing = self._session_cache.get(key)
+            if existing is not None:
+                self._session_cache.move_to_end(key)
+                return existing
+            self._session_cache[key] = session
+            while len(self._session_cache) > self.SESSION_CACHE_SIZE:
+                self._session_cache.popitem(last=False)
+                self._session_evictions += 1
         return session
+
+    def _cached_session(self, key: tuple) -> BatchQuerySession | None:
+        """Locked LRU lookup by canonical fault key (no construction)."""
+        with self._session_lock:
+            session = self._session_cache.get(key)
+            if session is not None:
+                self._session_cache.move_to_end(key)
+            return session
+
+    def session_cache_info(self) -> dict:
+        """Current occupancy of the batch-session LRU (for stats/metrics)."""
+        with self._session_lock:
+            return {
+                "size": len(self._session_cache),
+                "max_size": self.SESSION_CACHE_SIZE,
+                "evictions": self._session_evictions,
+            }
 
     def connected_many(self, pairs: Sequence[tuple],
                        faults: Iterable[Edge] = ()) -> list[bool]:
@@ -212,7 +254,7 @@ class FTCLabeling(LabelBackedQueries):
         self._tree_labeling = TreeEdgeLabeling(self.instance, self.outdetect)
         self.construction_seconds = time.perf_counter() - start
         self._hierarchy = getattr(self, "_hierarchy", None)
-        self._session_cache: OrderedDict[tuple, BatchQuerySession] = OrderedDict()
+        self._init_session_cache()
 
     # ------------------------------------------------------------ construction
 

@@ -54,7 +54,6 @@ without unbounded allocation.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from typing import Any, Hashable, Iterable, Sequence
@@ -559,7 +558,7 @@ class RehydratedOracle(LabelBackedQueries):
             snapshot.outdetect, field, snapshot.config.adaptive_decoding)
         self._vertex_labels = dict(snapshot.vertex_labels)
         self._edge_labels = dict(snapshot.edge_labels)
-        self._session_cache: OrderedDict = OrderedDict()
+        self._init_session_cache()
         self._queries_answered = 0
 
     # ---------------------------------------------------------- label lookups
@@ -567,7 +566,9 @@ class RehydratedOracle(LabelBackedQueries):
     # The maps may hold raw blobs (lazy load path); a blob is decoded on first
     # use and the decoded object cached in place, so a query touches only the
     # labels it actually needs — the rehydration cost of a snapshot is
-    # structural, not proportional to total label bits.
+    # structural, not proportional to total label bits.  Decoding is
+    # idempotent and the in-place swap is a single (GIL-atomic) dict store, so
+    # concurrent threads may at worst decode the same blob twice.
 
     def vertex_label(self, vertex: Vertex) -> VertexLabel:
         try:

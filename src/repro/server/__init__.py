@@ -1,0 +1,39 @@
+"""Concurrent connectivity query serving over snapshot artifacts.
+
+The paper's oracle is label-only at query time, and the snapshot subsystem
+(:mod:`repro.core.snapshot`) makes that literal: a server process loads an
+``FTCS`` artifact at startup — it never constructs a labeling — and answers
+``connected`` / ``connected_many`` for many concurrent fault-set sessions.
+
+Layers (each separately importable):
+
+* :mod:`repro.server.protocol` — the newline-delimited JSON wire format and
+  the shared response envelope (also used by the CLI's ``--json`` mode).
+* :mod:`repro.server.metrics` — thread-safe request/latency/session counters.
+* :mod:`repro.server.session_manager` — the concurrency front-end over the
+  oracle's batch-session LRU: executor offload plus single-flight dedup.
+* :mod:`repro.server.server` — the asyncio TCP server, a background-thread
+  harness for synchronous embedders, and the blocking CLI driver.
+* :mod:`repro.server.client` — asyncio and blocking client libraries.
+"""
+
+from repro.server.client import (AsyncQueryClient, ProtocolViolation,
+                                 QueryClient, ServerError)
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.server import BackgroundServer, QueryServer, run_server
+from repro.server.session_manager import SessionManager
+
+__all__ = [
+    "AsyncQueryClient",
+    "BackgroundServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ProtocolViolation",
+    "QueryClient",
+    "QueryServer",
+    "run_server",
+    "ServerError",
+    "ServerMetrics",
+    "SessionManager",
+]

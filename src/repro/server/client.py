@@ -1,0 +1,169 @@
+"""Client library for the connectivity query server.
+
+Two clients over the same newline-JSON protocol:
+
+* :class:`AsyncQueryClient` — asyncio streams, for event-loop callers and the
+  test suite.
+* :class:`QueryClient` — a plain blocking socket, for scripts, the
+  ``repro client-query`` CLI, and the benchmarks (safe to use one instance
+  per thread; instances are not shared between threads).
+
+Both raise :class:`ServerError` when the server answers ``ok: false``, with
+the structured error code preserved, and :class:`ProtocolViolation` if the
+server's reply is not a valid response line (which indicates a bug or a
+non-server endpoint, not a query failure).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Iterable, Sequence
+
+from repro.server.protocol import (PROTOCOL_VERSION, encode_line,
+                                   vertex_to_wire)
+
+
+class ServerError(Exception):
+    """The server answered with a structured error response."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__("%s: %s" % (code, message))
+        self.code = code
+        self.message = message
+
+
+class ProtocolViolation(Exception):
+    """The endpoint did not speak the response protocol (truncated/garbage)."""
+
+
+def _edges_to_wire(edges: Iterable) -> list:
+    return [[vertex_to_wire(u), vertex_to_wire(v)] for u, v in edges]
+
+
+def _parse_response_line(line: bytes) -> Any:
+    if not line:
+        raise ProtocolViolation("connection closed before a response arrived")
+    try:
+        response = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolViolation("unparseable response line: %s" % error) from error
+    if not isinstance(response, dict) or "ok" not in response:
+        raise ProtocolViolation("response is not a protocol envelope: %r" % response)
+    if response["ok"]:
+        return response.get("result")
+    error = response.get("error") or {}
+    raise ServerError(str(error.get("code", "unknown")),
+                      str(error.get("message", "")))
+
+
+class _RequestMixin:
+    """Shared request builders; subclasses implement ``request(op, **fields)``."""
+
+    def _connected_request(self, s, t, faults) -> dict:
+        return dict(s=vertex_to_wire(s), t=vertex_to_wire(t),
+                    faults=_edges_to_wire(faults))
+
+    def _connected_many_request(self, pairs, faults) -> dict:
+        return dict(pairs=_edges_to_wire(pairs), faults=_edges_to_wire(faults))
+
+
+#: Stream limit for one response line.  A ``connected_many`` answer grows
+#: with the pair count, so the asyncio default (64 KiB) is far too small;
+#: readline() past the limit raises instead of returning.
+MAX_RESPONSE_BYTES = 1 << 24
+
+
+class AsyncQueryClient(_RequestMixin):
+    """Asyncio client: ``await AsyncQueryClient.connect(host, port)``."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      limit: int = MAX_RESPONSE_BYTES) -> "AsyncQueryClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        return cls(reader, writer)
+
+    async def request(self, op: str, **fields) -> Any:
+        """Send one request, await its response; returns the ``result``."""
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id, **fields}
+        self._writer.write(encode_line(payload))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        return _parse_response_line(line.rstrip(b"\n"))
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def connected(self, s, t, faults: Iterable = ()) -> bool:
+        result = await self.request("connected", **self._connected_request(s, t, faults))
+        return result["connected"]
+
+    async def connected_many(self, pairs: Sequence[tuple],
+                             faults: Iterable = ()) -> list[bool]:
+        result = await self.request("connected_many",
+                                    **self._connected_many_request(pairs, faults))
+        return result["connected"]
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class QueryClient(_RequestMixin):
+    """Blocking client: one TCP connection, synchronous request/response."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def request(self, op: str, **fields) -> Any:
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id, **fields}
+        self._file.write(encode_line(payload))
+        self._file.flush()
+        line = self._file.readline()
+        return _parse_response_line(line.rstrip(b"\n"))
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def connected(self, s, t, faults: Iterable = ()) -> bool:
+        return self.request("connected", **self._connected_request(s, t, faults))["connected"]
+
+    def connected_many(self, pairs: Sequence[tuple],
+                       faults: Iterable = ()) -> list[bool]:
+        return self.request("connected_many",
+                            **self._connected_many_request(pairs, faults))["connected"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["AsyncQueryClient", "QueryClient", "ServerError", "ProtocolViolation",
+           "MAX_RESPONSE_BYTES", "PROTOCOL_VERSION"]

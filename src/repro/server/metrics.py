@@ -1,0 +1,124 @@
+"""Server-side counters: requests, latency, and session-cache effectiveness.
+
+One :class:`ServerMetrics` instance is shared by the event loop (request
+accounting) and the worker threads building sessions, so every mutation takes
+the lock; reads go through :meth:`snapshot`, which returns a plain dict that
+the ``stats`` request and the benchmarks serialize directly.
+
+The headline number is the *session hit rate*: the fraction of fault-set
+lookups served without building a new :class:`~repro.core.batch.BatchQuerySession`
+(LRU hits plus single-flight coalesced waits).  Heavy traffic over a shared
+fault set must drive it toward 1.0 — that is the whole point of the
+session-sharing server.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+
+class ServerMetrics:
+    """Thread-safe request/latency/session counters for one server process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._requests: Counter = Counter()
+        self._errors: Counter = Counter()
+        self._latency_sum: Counter = Counter()
+        self._latency_max: dict[str, float] = {}
+        self._connections_opened = 0
+        self._connections_active = 0
+        self._session_hits = 0
+        self._session_misses = 0
+        self._session_coalesced = 0
+        self._session_failures = 0
+        self._queries_answered = 0
+
+    # ------------------------------------------------------------ recording
+
+    def record_request(self, op: str, seconds: float) -> None:
+        with self._lock:
+            self._requests[op] += 1
+            self._latency_sum[op] += seconds
+            if seconds > self._latency_max.get(op, 0.0):
+                self._latency_max[op] = seconds
+
+    def record_error(self, code: str) -> None:
+        with self._lock:
+            self._errors[code] += 1
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections_opened += 1
+            self._connections_active += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections_active -= 1
+
+    def record_session_hit(self) -> None:
+        with self._lock:
+            self._session_hits += 1
+
+    def record_session_miss(self) -> None:
+        with self._lock:
+            self._session_misses += 1
+
+    def record_session_coalesced(self) -> None:
+        with self._lock:
+            self._session_coalesced += 1
+
+    def record_session_failure(self) -> None:
+        with self._lock:
+            self._session_failures += 1
+
+    def add_queries(self, count: int) -> None:
+        with self._lock:
+            self._queries_answered += count
+
+    # -------------------------------------------------------------- reading
+
+    @property
+    def session_hit_rate(self) -> float:
+        """Fraction of fault-set lookups that did not build a session."""
+        with self._lock:
+            return self._hit_rate_locked()
+
+    def _hit_rate_locked(self) -> float:
+        lookups = self._session_hits + self._session_misses + self._session_coalesced
+        if lookups == 0:
+            return 0.0
+        return (self._session_hits + self._session_coalesced) / lookups
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every counter (what ``stats`` returns)."""
+        with self._lock:
+            total = sum(self._requests.values())
+            latency = {
+                op: {
+                    "count": count,
+                    "mean_ms": 1000.0 * self._latency_sum[op] / count,
+                    "max_ms": 1000.0 * self._latency_max.get(op, 0.0),
+                }
+                for op, count in self._requests.items() if count
+            }
+            return {
+                "requests_total": total,
+                "requests_by_op": dict(self._requests),
+                "errors_by_code": dict(self._errors),
+                "latency_by_op": latency,
+                "connections_opened": self._connections_opened,
+                "connections_active": self._connections_active,
+                "queries_answered": self._queries_answered,
+                "sessions": {
+                    "hits": self._session_hits,
+                    "misses": self._session_misses,
+                    "coalesced": self._session_coalesced,
+                    "failures": self._session_failures,
+                    "hit_rate": self._hit_rate_locked(),
+                },
+            }
+
+
+__all__ = ["ServerMetrics"]

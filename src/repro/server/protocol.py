@@ -1,0 +1,204 @@
+"""The wire protocol of the connectivity query server: newline-delimited JSON.
+
+One request per line, one response line per request, UTF-8 JSON with no
+embedded newlines — trivially scriptable (``nc``, ``jq``) and implementable in
+any language with a socket and a JSON parser.  Requests are objects::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "connected", "s": 3, "t": 9, "faults": [[3, 4], [7, 9]], "id": 1}
+    {"op": "connected_many", "pairs": [[0, 5], [2, 8]], "faults": [[0, 1]]}
+
+and every response is an envelope that echoes the optional ``id``::
+
+    {"ok": true, "id": 1, "result": {"connected": false}}
+    {"ok": false, "error": {"code": "unknown-op", "message": "..."}}
+
+The same envelope (:func:`ok_response` / :func:`error_response`) backs the
+CLI's ``--json`` output mode, so scripted callers see one machine-readable
+format whether they query in process or over the wire.
+
+Vertex identifiers on the wire are JSON strings, integers, or arrays of those
+(arrays map to the tuple vertex keys the graph families produce, mirroring the
+tagged key encoding of :mod:`repro.core.snapshot`).  Anything else — floats,
+booleans, null, objects, over-deep nesting — is rejected with a structured
+error, and so are malformed JSON, non-object requests, and oversized lines:
+the server must *fail closed per request* and never kill the connection
+handler on adversarial input.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Wire-protocol version, reported by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Default cap on one request line (bytes, including the newline).  A line
+#: larger than this is drained and answered with ``oversized-request``.
+MAX_REQUEST_BYTES = 1 << 20
+
+#: Nesting cap for tuple vertex ids (mirrors the snapshot key codec's cap).
+MAX_VERTEX_DEPTH = 16
+
+# Error codes (the machine-readable half of every failure response).
+E_MALFORMED = "malformed-json"
+E_OVERSIZED = "oversized-request"
+E_BAD_REQUEST = "bad-request"
+E_UNKNOWN_OP = "unknown-op"
+E_UNKNOWN_VERTEX = "unknown-vertex"
+E_UNKNOWN_EDGE = "unknown-edge"
+E_OVER_BUDGET = "over-budget"
+E_DECODE = "label-decode-failed"
+E_QUERY_FAILED = "query-failed"
+E_INTERNAL = "internal-error"
+
+#: Request types the server understands.
+KNOWN_OPS = ("ping", "stats", "connected", "connected_many")
+
+
+class ProtocolError(Exception):
+    """A request that must be answered with a structured error response."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+# ------------------------------------------------------------- vertex codec
+
+def vertex_from_wire(value: Any, _depth: int = 0) -> Any:
+    """Convert a JSON value into a vertex key (str, int, or tuple of those)."""
+    if _depth > MAX_VERTEX_DEPTH:
+        raise ProtocolError(E_BAD_REQUEST, "vertex id nested deeper than %d levels"
+                            % MAX_VERTEX_DEPTH)
+    if isinstance(value, bool):  # bool is an int subclass; reject it first
+        raise ProtocolError(E_BAD_REQUEST, "booleans are not vertex ids")
+    if isinstance(value, (str, int)):
+        return value
+    if isinstance(value, list):
+        return tuple(vertex_from_wire(part, _depth + 1) for part in value)
+    raise ProtocolError(E_BAD_REQUEST, "vertex ids must be strings, integers, or "
+                                       "arrays of those, got %s"
+                        % type(value).__name__)
+
+
+def vertex_to_wire(vertex: Any) -> Any:
+    """Convert a vertex key back to its JSON representation (tuples -> arrays)."""
+    if isinstance(vertex, tuple):
+        return [vertex_to_wire(part) for part in vertex]
+    return vertex
+
+
+def _pair_list(request: dict, field: str, what: str) -> list:
+    """Extract a list of ``[u, v]`` pairs (vertex pairs or fault edges)."""
+    raw = request.get(field, [])
+    if not isinstance(raw, list):
+        raise ProtocolError(E_BAD_REQUEST, "%r must be an array of %s" % (field, what))
+    pairs = []
+    for entry in raw:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise ProtocolError(E_BAD_REQUEST, "each %s must be a two-element array"
+                                % what)
+        pairs.append((vertex_from_wire(entry[0]), vertex_from_wire(entry[1])))
+    return pairs
+
+
+# ---------------------------------------------------------------- requests
+
+def parse_request(line: bytes) -> dict:
+    """Parse one request line; raises :class:`ProtocolError` on anything bad.
+
+    Returns the decoded request object with a validated ``op`` field; the
+    per-op payload fields are validated by the extractors below.
+    """
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(E_MALFORMED, "request is not UTF-8: %s" % error) from error
+    try:
+        request = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(E_MALFORMED, "request is not valid JSON: %s" % error) from error
+    if not isinstance(request, dict):
+        raise ProtocolError(E_BAD_REQUEST, "request must be a JSON object, got %s"
+                            % type(request).__name__)
+    op = request.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError(E_BAD_REQUEST, "request must carry a string 'op' field")
+    request_id = request.get("id")
+    if isinstance(request_id, bool) or \
+            (request_id is not None and not isinstance(request_id, (str, int))):
+        raise ProtocolError(E_BAD_REQUEST, "'id' must be a string or integer")
+    return request
+
+
+def extract_faults(request: dict) -> list:
+    """The shared fault set of a query request (possibly empty).
+
+    Self-loops are structurally invalid as fault edges (no graph has them),
+    so they are rejected here with a ``bad-request`` — downstream they would
+    surface as a :class:`ValueError` and be mislabeled as a budget error.
+    """
+    faults = _pair_list(request, "faults", "fault edge")
+    for u, v in faults:
+        if u == v:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "fault edges cannot be self-loops: %r" % (u,))
+    return faults
+
+
+def extract_pair(request: dict) -> tuple:
+    """The single ``(s, t)`` pair of a ``connected`` request."""
+    if "s" not in request or "t" not in request:
+        raise ProtocolError(E_BAD_REQUEST, "'connected' needs 's' and 't' fields")
+    return vertex_from_wire(request["s"]), vertex_from_wire(request["t"])
+
+
+def extract_pairs(request: dict) -> list:
+    """The pair list of a ``connected_many`` request (must be non-empty)."""
+    pairs = _pair_list(request, "pairs", "query pair")
+    if not pairs:
+        raise ProtocolError(E_BAD_REQUEST, "'connected_many' needs a non-empty "
+                                           "'pairs' array")
+    return pairs
+
+
+# --------------------------------------------------------------- responses
+
+def ok_response(result: Any, request_id: Any = None) -> dict:
+    """The success envelope shared by the server and the CLI ``--json`` mode."""
+    response = {"ok": True, "result": result}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(code: str, message: str, request_id: Any = None) -> dict:
+    """The failure envelope (structured code + human-readable message)."""
+    response = {"ok": False, "error": {"code": code, "message": message}}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def encode_line(payload: dict) -> bytes:
+    """Serialize one protocol object to a compact, newline-terminated line."""
+    return json.dumps(payload, separators=(",", ":"), default=str).encode("utf-8") + b"\n"
+
+
+def dump_envelope(payload: dict) -> str:
+    """The CLI ``--json`` rendering: one compact line, no trailing newline."""
+    return json.dumps(payload, separators=(",", ":"), default=str)
+
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_REQUEST_BYTES", "MAX_VERTEX_DEPTH", "KNOWN_OPS",
+    "E_MALFORMED", "E_OVERSIZED", "E_BAD_REQUEST", "E_UNKNOWN_OP",
+    "E_UNKNOWN_VERTEX", "E_UNKNOWN_EDGE", "E_OVER_BUDGET", "E_DECODE",
+    "E_QUERY_FAILED", "E_INTERNAL",
+    "ProtocolError", "vertex_from_wire", "vertex_to_wire", "parse_request",
+    "extract_faults", "extract_pair", "extract_pairs",
+    "ok_response", "error_response", "encode_line", "dump_envelope",
+]

@@ -1,0 +1,380 @@
+"""The asyncio connectivity query server.
+
+A server process wraps one oracle — in production a
+:class:`~repro.core.snapshot.RehydratedOracle` loaded from an ``FTCS``
+snapshot at startup, never a fresh construction — and serves the
+newline-JSON protocol of :mod:`repro.server.protocol` to any number of
+concurrent clients.  Per-connection handlers are cheap coroutines; all oracle
+work (session construction, label decoding, component lookups) runs on the
+:class:`~repro.server.session_manager.SessionManager` worker pool, and
+requests sharing a canonical fault set share one
+:class:`~repro.core.batch.BatchQuerySession`.
+
+Adversarial input fails closed per request: malformed JSON, oversized lines,
+unknown ops, and bad vertex ids each produce one structured error response on
+the same connection — a hostile line never kills the handler, and a handler
+crash (a bug) is answered with ``internal-error`` rather than a dropped
+connection.
+
+Three entry points:
+
+* :class:`QueryServer` — the asyncio object (``await start()`` / ``close()``),
+  used directly by asyncio applications and the test suite.
+* :class:`BackgroundServer` — runs a :class:`QueryServer` on a dedicated
+  thread with its own event loop, for synchronous embedders and benchmarks.
+* :func:`run_server` — the blocking CLI entry point (``repro serve``) with
+  signal-triggered graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+import time
+from typing import Any, Callable
+
+from repro.core.query import QueryFailure
+from repro.core.serialize import LabelDecodeError
+from repro.server import protocol
+from repro.server.protocol import (ProtocolError, encode_line, error_response,
+                                   ok_response, parse_request)
+from repro.server.session_manager import SessionManager
+
+#: How much is read from the socket at a time while assembling lines.
+_READ_CHUNK = 1 << 16
+
+
+class QueryServer:
+    """Serve one oracle's ``connected`` / ``connected_many`` over TCP."""
+
+    def __init__(self, oracle, host: str = "127.0.0.1", port: int = 0,
+                 max_sessions: int | None = None,
+                 max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
+                 executor=None):
+        self._requested_host = host
+        self._requested_port = port
+        self.max_request_bytes = max_request_bytes
+        self.sessions = SessionManager(oracle, max_sessions=max_sessions,
+                                       executor=executor)
+        self.oracle = oracle
+        self.metrics = self.sessions.metrics
+        self._server: asyncio.base_events.Server | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self.host: str | None = None
+        self.port: int | None = None
+        self._handlers: dict[str, Callable] = {
+            "ping": self._op_ping,
+            "stats": self._op_stats,
+            "connected": self._op_connected,
+            "connected_many": self._op_connected_many,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        Pass ``port=0`` to bind an ephemeral port (tests, parallel CI jobs).
+        """
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._requested_host, self._requested_port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, drop open connections, and stop the worker pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._writers.clear()
+        self.sessions.close()
+
+    # ---------------------------------------------------------- connections
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.metrics.connection_opened()
+        self._writers.add(writer)
+        carry = bytearray()
+        try:
+            while True:
+                line, oversized = await self._read_line(reader, carry)
+                if oversized:
+                    self.metrics.record_error(protocol.E_OVERSIZED)
+                    await self._send(writer, error_response(
+                        protocol.E_OVERSIZED,
+                        "request line exceeds %d bytes" % self.max_request_bytes))
+                    if line is None:  # EOF while draining the oversized line
+                        break
+                    continue
+                if line is None:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                await self._send(writer, response)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # client went away (or the server is shutting down)
+        finally:
+            self._writers.discard(writer)
+            self.metrics.connection_closed()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_line(self, reader: asyncio.StreamReader,
+                         carry: bytearray) -> tuple[bytes | None, bool]:
+        """Read one newline-terminated line with an explicit byte cap.
+
+        Buffers in ``carry`` (bytes past a newline are kept for the next
+        call, so pipelined requests survive).  Returns ``(line, False)``
+        normally, ``(None, False)`` at EOF, and ``(b"", True)`` after
+        draining a line that exceeded ``max_request_bytes`` — the caller
+        answers with a structured error and keeps the connection.
+        """
+        while True:
+            newline = carry.find(b"\n")
+            if newline != -1:
+                if newline > self.max_request_bytes:
+                    del carry[:newline + 1]
+                    return b"", True
+                line = bytes(carry[:newline])
+                del carry[:newline + 1]
+                return line, False
+            if len(carry) > self.max_request_bytes:
+                # Drain the rest of the oversized line, preserving anything
+                # already received past its terminating newline.
+                while True:
+                    newline = carry.find(b"\n")
+                    if newline != -1:
+                        del carry[:newline + 1]
+                        return b"", True
+                    carry.clear()
+                    chunk = await reader.read(_READ_CHUNK)
+                    if not chunk:
+                        return None, True
+                    carry += chunk
+            chunk = await reader.read(_READ_CHUNK)
+            if not chunk:
+                if carry:  # final request without a trailing newline
+                    line = bytes(carry)
+                    carry.clear()
+                    return line, False
+                return None, False
+            carry += chunk
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(encode_line(payload))
+        await writer.drain()
+
+    # ------------------------------------------------------------- dispatch
+
+    async def _dispatch(self, line: bytes) -> dict:
+        """Turn one request line into one response object (never raises)."""
+        request_id: Any = None
+        # Metrics are keyed by op, so only a *known* op name may become a
+        # counter key — attacker-chosen strings must not grow the Counters.
+        op = "invalid"
+        start = time.perf_counter()
+        try:
+            request = parse_request(line)
+            request_id = request.get("id")
+            handler = self._handlers.get(request["op"])
+            if handler is None:
+                raise ProtocolError(protocol.E_UNKNOWN_OP,
+                                    "unknown op %r (known: %s)"
+                                    % (request["op"], ", ".join(protocol.KNOWN_OPS)))
+            op = request["op"]
+            result = await handler(request)
+            response = ok_response(result, request_id)
+        except ProtocolError as error:
+            self.metrics.record_error(error.code)
+            response = error_response(error.code, str(error), request_id)
+        except KeyError as error:
+            # Unknown vertex/edge ids surface as KeyError from label lookups.
+            message = error.args[0] if error.args else str(error)
+            code = protocol.E_UNKNOWN_EDGE if str(message).startswith("edge") \
+                else protocol.E_UNKNOWN_VERTEX
+            self.metrics.record_error(code)
+            response = error_response(code, str(message), request_id)
+        except ValueError as error:
+            # Typically: more distinct faults than the scheme's budget f.
+            self.metrics.record_error(protocol.E_OVER_BUDGET)
+            response = error_response(protocol.E_OVER_BUDGET, str(error), request_id)
+        except LabelDecodeError as error:
+            self.metrics.record_error(protocol.E_DECODE)
+            response = error_response(protocol.E_DECODE,
+                                      "label data is corrupt: %s" % error, request_id)
+        except QueryFailure as error:
+            self.metrics.record_error(protocol.E_QUERY_FAILED)
+            response = error_response(protocol.E_QUERY_FAILED, str(error), request_id)
+        except Exception as error:  # fail closed per request, never per connection
+            self.metrics.record_error(protocol.E_INTERNAL)
+            response = error_response(protocol.E_INTERNAL,
+                                      "%s: %s" % (type(error).__name__, error),
+                                      request_id)
+        self.metrics.record_request(op, time.perf_counter() - start)
+        return response
+
+    # ------------------------------------------------------------------ ops
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"pong": True, "protocol": protocol.PROTOCOL_VERSION}
+
+    async def _op_stats(self, request: dict) -> dict:
+        oracle = self.oracle
+        info: dict = {"max_faults": oracle.max_faults}
+        for attribute in ("num_vertices", "num_edges"):
+            method = getattr(oracle, attribute, None)
+            if callable(method):
+                info[attribute.removeprefix("num_")] = method()
+        config = getattr(oracle, "config", None)
+        if config is not None:
+            info["variant"] = config.variant.value
+        return {"server": self.sessions.stats(), "oracle": info}
+
+    async def _op_connected(self, request: dict) -> dict:
+        source, target = protocol.extract_pair(request)
+        faults = protocol.extract_faults(request)
+        answers = await self.sessions.connected_many([(source, target)], faults)
+        return {"connected": answers[0]}
+
+    async def _op_connected_many(self, request: dict) -> dict:
+        pairs = protocol.extract_pairs(request)
+        faults = protocol.extract_faults(request)
+        answers = await self.sessions.connected_many(pairs, faults)
+        return {"connected": answers, "count": len(answers)}
+
+
+# ------------------------------------------------------- synchronous harness
+
+class BackgroundServer:
+    """A :class:`QueryServer` on its own thread + event loop.
+
+    For synchronous embedders: benchmarks, the blocking client's tests, or an
+    application that wants to expose its oracle without adopting asyncio::
+
+        with BackgroundServer(oracle, max_sessions=64) as server:
+            client = QueryClient(server.host, server.port)
+    """
+
+    def __init__(self, oracle, host: str = "127.0.0.1", port: int = 0,
+                 **server_kwargs):
+        self._server = QueryServer(oracle, host=host, port=port, **server_kwargs)
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, name="repro-server",
+                                        daemon=True)
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def metrics(self):
+        return self._server.metrics
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join()
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self._server.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self._server.close()
+
+
+# --------------------------------------------------------------- CLI driver
+
+def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
+               max_sessions: int | None = None,
+               max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
+               announce: Callable[[dict], None] | None = None) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Starts the server, reports the bound address through ``announce`` (the
+    CLI prints it as a JSON line so scripts can wait for readiness and learn
+    an ephemeral port), and serves until SIGTERM/SIGINT, then shuts down
+    cleanly.  Returns a process exit code.
+    """
+
+    async def _main() -> None:
+        server = QueryServer(oracle, host=host, port=port,
+                             max_sessions=max_sessions,
+                             max_request_bytes=max_request_bytes)
+        bound_host, bound_port = await server.start()
+        if announce is not None:
+            announce({"event": "serving", "host": bound_host, "port": bound_port,
+                      "max_faults": oracle.max_faults,
+                      "vertices": server_vertex_count(oracle)})
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # platforms without add_signal_handler
+        pass
+    return 0
+
+
+def server_vertex_count(oracle) -> int | None:
+    """Vertex count if the oracle exposes one (snapshots do), else ``None``."""
+    method = getattr(oracle, "num_vertices", None)
+    return method() if callable(method) else None
+
+
+__all__ = ["QueryServer", "BackgroundServer", "run_server"]

@@ -1,0 +1,135 @@
+"""Sharing batch-query sessions between concurrent clients.
+
+Everything expensive about a query depends only on the fault set ``F``
+(:mod:`repro.core.batch`), so a server under heavy traffic wins exactly when
+concurrent requests carrying the same canonical fault set share one
+:class:`~repro.core.batch.BatchQuerySession`.  :class:`SessionManager` makes
+that sharing safe and non-blocking on top of the oracle's (lock-protected)
+session LRU:
+
+* **Shared LRU** — sessions live in the oracle's own ``batch_session`` cache,
+  keyed by :func:`~repro.core.query.canonical_fault_key`, so the server, the
+  in-process API, and any other thread see one cache with one eviction policy
+  (``max_sessions`` resizes it).
+* **Executor offload** — constructing a session decodes the full component
+  decomposition; that work runs on a worker thread, never on the event loop.
+* **Single-flight** — a thundering herd of requests for one *novel* fault set
+  triggers exactly one construction; every other request awaits the same
+  future and is counted as ``coalesced`` in the metrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.core.batch import BatchQuerySession
+from repro.core.query import QueryFailure
+from repro.server.metrics import ServerMetrics
+
+
+class SessionManager:
+    """Concurrency front-end over one oracle's batch-session LRU.
+
+    ``oracle`` is anything with the :class:`~repro.core.ftc.LabelBackedQueries`
+    surface — a live :class:`~repro.core.ftc.FTCLabeling` or (the server case)
+    a :class:`~repro.core.snapshot.RehydratedOracle`.  All methods that touch
+    the oracle are coroutines; the oracle work itself runs on the executor.
+    """
+
+    def __init__(self, oracle, max_sessions: int | None = None,
+                 executor: ThreadPoolExecutor | None = None,
+                 metrics: ServerMetrics | None = None):
+        self.oracle = oracle
+        if max_sessions is not None:
+            if max_sessions < 1:
+                raise ValueError("max_sessions must be at least 1")
+            # Instance attribute shadows the class default; the oracle's own
+            # LRU (shared with in-process callers) enforces the bound.
+            oracle.SESSION_CACHE_SIZE = max_sessions
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._own_executor = executor is None
+        self._executor = executor if executor is not None else ThreadPoolExecutor(
+            thread_name_prefix="repro-session")
+        #: canonical fault key -> future of the in-flight construction.
+        self._inflight: dict[tuple, asyncio.Future] = {}
+
+    # ------------------------------------------------------------- sessions
+
+    async def session(self, faults: Iterable) -> BatchQuerySession:
+        """The shared session for ``faults`` (hit, coalesced wait, or build).
+
+        Raises whatever the oracle raises: :class:`KeyError` for unknown
+        fault edges, :class:`ValueError` for over-budget fault sets,
+        :class:`~repro.core.query.QueryFailure` when the eager decomposition
+        cannot decode (randomized labels — callers fall back per query).
+        """
+        loop = asyncio.get_running_loop()
+        fault_list = list(faults)
+        # Keying decodes at most f (small) edge labels — cheap enough for the
+        # loop, and required before we can dedup in-flight construction.
+        _, key = self.oracle._fault_labels_keyed(fault_list)
+        session = self.oracle._cached_session(key)
+        if session is not None:
+            self.metrics.record_session_hit()
+            return session
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.metrics.record_session_coalesced()
+            return await asyncio.shield(inflight)
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self.metrics.record_session_miss()
+        try:
+            session = await loop.run_in_executor(
+                self._executor, self.oracle.batch_session, fault_list)
+        except BaseException as error:
+            self.metrics.record_session_failure()
+            future.set_exception(error)
+            # Mark retrieved so a herd of zero coalesced waiters does not
+            # leave an "exception was never retrieved" warning behind.
+            future.exception()
+            raise
+        else:
+            future.set_result(session)
+            return session
+        finally:
+            self._inflight.pop(key, None)
+
+    async def connected_many(self, pairs: Sequence[tuple],
+                             faults: Iterable = ()) -> list[bool]:
+        """Answer many ``(s, t)`` pairs on the shared session for ``faults``.
+
+        The session is ensured first (single-flight), then the answers are
+        computed on the executor; a :class:`QueryFailure` during construction
+        falls through to the oracle's own per-query fallback.
+        """
+        loop = asyncio.get_running_loop()
+        fault_list = list(faults)
+        pair_list = list(pairs)
+        try:
+            await self.session(fault_list)
+        except QueryFailure:
+            pass  # oracle.connected_many falls back to the per-query engines
+        answers = await loop.run_in_executor(
+            self._executor, self.oracle.connected_many, pair_list, fault_list)
+        self.metrics.add_queries(len(answers))
+        return answers
+
+    # ---------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        """Metrics plus the oracle's cache occupancy, as one JSON-ready dict."""
+        stats = self.metrics.snapshot()
+        stats["session_cache"] = self.oracle.session_cache_info()
+        stats["inflight_builds"] = len(self._inflight)
+        return stats
+
+    def close(self) -> None:
+        """Shut down the worker pool (only if this manager created it)."""
+        if self._own_executor:
+            self._executor.shutdown(wait=True)
+
+
+__all__ = ["SessionManager"]

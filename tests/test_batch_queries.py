@@ -207,3 +207,54 @@ def test_fast_engine_alive_counter_large_fault_set():
         expected = graph.connected(s, t, removed=faults)
         assert answer == expected
         assert labeling.connected(s, t, faults, use_fast_engine=True) == expected
+
+
+def test_session_cache_threaded_stress():
+    """Satellite: the session LRU must survive concurrent access — threaded
+    executors and the query server share one oracle, so hammering
+    ``batch_session`` / ``connected_many`` from many threads over more fault
+    sets than the cache holds (constant eviction churn) must corrupt nothing
+    and change no answers."""
+    import threading
+
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=30, seed=19)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=3))
+    labeling.SESSION_CACHE_SIZE = 3  # force eviction churn
+    workloads = []
+    for seed in range(9):  # 3x more distinct fault sets than cache slots
+        faults, pairs = _shared_fault_queries(graph, 3, num_pairs=6, seed=seed)
+        expected = [graph.connected(s, t, removed=faults) for s, t in pairs]
+        workloads.append((faults, pairs, expected))
+
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def worker(worker_index):
+        rng = random.Random(worker_index)
+        barrier.wait()
+        try:
+            for _ in range(30):
+                faults, pairs, expected = workloads[rng.randrange(len(workloads))]
+                if rng.random() < 0.5:
+                    session = labeling.batch_session(faults)
+                    # A cached session must always be the right decomposition.
+                    assert session.key == canonical_fault_key(
+                        [labeling.edge_label(u, v) for u, v in faults])
+                else:
+                    assert labeling.connected_many(pairs, faults) == expected
+        except Exception as error:  # pragma: no cover - only on regression
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    info = labeling.session_cache_info()
+    assert info["size"] <= info["max_size"] == 3
+    assert info["evictions"] > 0
+    # The cache still works normally after the stampede.
+    faults, pairs, expected = workloads[0]
+    assert labeling.connected_many(pairs, faults) == expected
+    assert labeling.batch_session(faults) is labeling.batch_session(list(reversed(faults)))

@@ -267,3 +267,112 @@ def test_cli_audit_from_snapshot(snapshot_file, edge_file, capsys):
     assert payload["total"] == 25
     assert payload["wrong"] == 0
     assert payload["labels"] == "snapshot"
+
+
+# ------------------------------------------------------- --json output mode
+
+
+def test_cli_stats_json_envelope(edge_file, capsys):
+    assert main(["stats", "--edges", str(edge_file), "--max-faults", "2",
+                 "--json"]) == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) == 1  # one compact line
+    envelope = json.loads(out)
+    assert envelope["ok"] is True
+    assert envelope["result"]["n"] == 4
+
+
+def test_cli_query_json_envelope(edge_file, capsys):
+    assert main(["query", "--edges", str(edge_file), "--max-faults", "2",
+                 "--source", "a", "--target", "c", "--fault", "b-c",
+                 "--json"]) == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["ok"] is True
+    assert envelope["result"]["connected"] is True
+
+
+def test_cli_batch_query_json_matches_plain_output(edge_file, capsys):
+    arguments = ["batch-query", "--edges", str(edge_file), "--max-faults", "2",
+                 "--fault", "b-c", "--pair", "a-c", "--pair", "b-d"]
+    assert main(arguments) == 0
+    plain = json.loads(capsys.readouterr().out)
+    assert main(arguments + ["--json"]) == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["ok"] is True
+    assert envelope["result"] == plain
+
+
+# ------------------------------------------------------ serve / client-query
+
+
+@pytest.fixture
+def running_server(snapshot_file):
+    from repro.core.snapshot import load_snapshot
+    from repro.server import BackgroundServer
+
+    with BackgroundServer(load_snapshot(snapshot_file), max_sessions=4) as server:
+        yield server
+
+
+def test_cli_client_query_matches_batch_query(running_server, snapshot_file, capsys):
+    """Acceptance: the wire path and the in-process path print one format."""
+    query = ["--fault", "b-c", "--fault", "c-d", "--pair", "a-c", "--pair", "b-d"]
+    assert main(["client-query", "--host", running_server.host,
+                 "--port", str(running_server.port), "--json"] + query) == 0
+    remote = json.loads(capsys.readouterr().out)
+    assert main(["batch-query", "--snapshot", str(snapshot_file), "--json"] + query) == 0
+    local = json.loads(capsys.readouterr().out)
+    assert remote["ok"] is True and local["ok"] is True
+    assert remote["result"]["results"] == local["result"]["results"]
+    assert remote["result"]["results"][0] == {"source": "a", "target": "c",
+                                              "connected": False}
+
+
+def test_cli_client_query_pairs_file_ping_and_stats(running_server, tmp_path, capsys):
+    pairs_file = tmp_path / "pairs.txt"
+    pairs_file.write_text("# pairs\na c\nb d\n")
+    address = ["--host", running_server.host, "--port", str(running_server.port)]
+    assert main(["client-query"] + address + ["--pairs-file", str(pairs_file)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["num_pairs"] == 2
+    assert main(["client-query"] + address + ["--op", "ping"]) == 0
+    assert json.loads(capsys.readouterr().out)["pong"] is True
+    assert main(["client-query"] + address + ["--op", "stats", "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["result"]["server"]["requests_total"] >= 2
+
+
+def test_cli_client_query_server_error_is_reported(running_server, capsys):
+    address = ["--host", running_server.host, "--port", str(running_server.port)]
+    assert main(["client-query"] + address + ["--fault", "a-z", "--pair", "a-c",
+                                              "--json"]) == 2
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["ok"] is False
+    assert envelope["error"]["code"] == "unknown-edge"
+    assert main(["client-query"] + address + ["--pair", "a-c", "--fault", "a-z"]) == 2
+    assert "server refused" in capsys.readouterr().err
+
+
+def test_cli_client_query_requires_pairs(running_server, capsys):
+    assert main(["client-query", "--host", running_server.host,
+                 "--port", str(running_server.port)]) == 2
+
+
+def test_cli_client_query_bad_fault_syntax_reports_cleanly(running_server, capsys):
+    """A malformed --fault exits 2 with a message, not a traceback."""
+    assert main(["client-query", "--host", running_server.host,
+                 "--port", str(running_server.port),
+                 "--fault", "nodash", "--pair", "a-c"]) == 2
+    assert "not of the form" in capsys.readouterr().err
+
+
+def test_cli_client_query_connection_refused(capsys):
+    # An ephemeral port nobody is listening on.
+    import socket
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    assert main(["client-query", "--port", str(port), "--pair", "a-c"]) == 2
+    assert "cannot connect" in capsys.readouterr().err

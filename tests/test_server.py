@@ -1,0 +1,478 @@
+"""Tests for the concurrent connectivity query server (:mod:`repro.server`).
+
+The server's contract, in order of importance:
+
+1. **Bit-identity** — answers over the wire equal
+   ``load_snapshot(X).connected_many(...)`` in process, always.
+2. **Session sharing** — concurrent requests carrying one canonical fault set
+   build one :class:`~repro.core.batch.BatchQuerySession` (LRU hit or
+   single-flight coalesce), visible in the hit-rate metric.
+3. **Fail closed per request** — adversarial input (malformed JSON, oversized
+   lines, unknown ops, non-vertex ids) gets a structured error response and
+   the connection keeps working.
+4. **Clean shutdown** — close() drops clients and stops accepting.
+
+The suite drives the asyncio server with ``asyncio.run`` from synchronous
+tests (no pytest-asyncio dependency).
+"""
+
+import asyncio
+import json
+import random
+import threading
+
+import pytest
+
+from repro.core.config import FTCConfig
+from repro.core.ftc import FTCLabeling
+from repro.core.snapshot import load_snapshot
+from repro.server import (AsyncQueryClient, BackgroundServer, QueryClient,
+                          QueryServer, ServerError, SessionManager)
+from repro.server import protocol
+from repro.server.protocol import (ProtocolError, parse_request,
+                                   vertex_from_wire, vertex_to_wire)
+from repro.workloads import FaultModel, GraphFamily, make_graph
+from repro.workloads.faults import sample_fault_sets
+
+MAX_FAULTS = 3
+
+
+@pytest.fixture(scope="module")
+def world():
+    """One graph + snapshot shared by the whole module (construction is slow)."""
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=30, seed=7)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=MAX_FAULTS))
+    data = labeling.to_snapshot_bytes()
+    return graph, data
+
+
+@pytest.fixture
+def oracle(world):
+    _, data = world
+    return load_snapshot(data)
+
+
+def workload(graph, num_sets, num_pairs, seed=0):
+    """Distinct fault sets plus query pairs, with BFS ground truth."""
+    fault_sets = sample_fault_sets(graph, num_sets, MAX_FAULTS,
+                                   model=FaultModel.TREE_BIASED, seed=seed)
+    rng = random.Random(seed + 1)
+    vertices = sorted(graph.vertices())
+    out = []
+    for faults in fault_sets:
+        faults = list(faults)
+        pairs = [tuple(rng.sample(vertices, 2)) for _ in range(num_pairs)]
+        truth = [graph.connected(s, t, removed=faults) for s, t in pairs]
+        out.append((faults, pairs, truth))
+    return out
+
+
+async def _start(oracle, **kwargs):
+    server = QueryServer(oracle, port=0, **kwargs)
+    await server.start()
+    return server
+
+
+# ------------------------------------------------------------ protocol unit
+
+def test_vertex_wire_round_trip():
+    for vertex in [0, -3, "a", "with space", (1, 2), ("grid", (3, 4))]:
+        assert vertex_from_wire(json.loads(json.dumps(vertex_to_wire(vertex)))) == vertex
+
+
+@pytest.mark.parametrize("bad", [True, False, None, 1.5, {"a": 1}, [1, [True]]])
+def test_vertex_from_wire_rejects_non_vertex_values(bad):
+    with pytest.raises(ProtocolError) as info:
+        vertex_from_wire(bad)
+    assert info.value.code == protocol.E_BAD_REQUEST
+
+
+def test_vertex_from_wire_rejects_deep_nesting():
+    nested = 0
+    for _ in range(protocol.MAX_VERTEX_DEPTH + 2):
+        nested = [nested]
+    with pytest.raises(ProtocolError):
+        vertex_from_wire(nested)
+
+
+@pytest.mark.parametrize("line,code", [
+    (b"\xff\xfe garbage", protocol.E_MALFORMED),
+    (b"not json", protocol.E_MALFORMED),
+    (b"[1, 2]", protocol.E_BAD_REQUEST),
+    (b'"ping"', protocol.E_BAD_REQUEST),
+    (b"{}", protocol.E_BAD_REQUEST),
+    (b'{"op": 5}', protocol.E_BAD_REQUEST),
+    (b'{"op": "ping", "id": true}', protocol.E_BAD_REQUEST),
+    (b'{"op": "ping", "id": [1]}', protocol.E_BAD_REQUEST),
+])
+def test_parse_request_fails_closed(line, code):
+    with pytest.raises(ProtocolError) as info:
+        parse_request(line)
+    assert info.value.code == code
+
+
+def test_parse_request_fuzz_never_raises_anything_else():
+    """Random bytes must yield ProtocolError or a dict — nothing else."""
+    rng = random.Random(99)
+    corpus = [bytes(rng.randrange(256) for _ in range(rng.randrange(0, 60)))
+              for _ in range(300)]
+    corpus += [b'{"op":' + bytes([b]) + b"}" for b in range(32, 127)]
+    for line in corpus:
+        try:
+            request = parse_request(line)
+        except ProtocolError:
+            continue
+        assert isinstance(request, dict)
+
+
+# ------------------------------------------------------------- bit-identity
+
+def test_server_answers_bit_identical_to_inprocess(world, oracle):
+    """Acceptance: wire answers == load_snapshot(X).connected_many(...)."""
+    graph, data = world
+    reference = load_snapshot(data)  # independent in-process oracle
+
+    async def scenario():
+        server = await _start(oracle)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        for faults, pairs, truth in workload(graph, num_sets=4, num_pairs=15):
+            answers = await client.connected_many(pairs, faults)
+            assert answers == reference.connected_many(pairs, faults)
+            assert answers == truth
+            # Single-pair op agrees with the batch op.
+            assert (await client.connected(*pairs[0], faults)) == answers[0]
+        await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_ping_and_stats_ops(oracle):
+    async def scenario():
+        server = await _start(oracle)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        pong = await client.ping()
+        assert pong == {"pong": True, "protocol": protocol.PROTOCOL_VERSION}
+        stats = await client.stats()
+        assert stats["oracle"]["max_faults"] == MAX_FAULTS
+        assert stats["oracle"]["vertices"] == oracle.num_vertices()
+        assert stats["server"]["requests_by_op"]["ping"] == 1
+        assert stats["server"]["session_cache"]["size"] == 0
+        await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+# --------------------------------------------------------- session sharing
+
+def test_concurrent_clients_share_one_session(world, oracle):
+    """A thundering herd on one fault set builds exactly one session."""
+    graph, _ = world
+    (faults, pairs, truth), = workload(graph, num_sets=1, num_pairs=10)
+    num_clients = 8
+
+    async def scenario():
+        server = await _start(oracle)
+        clients = [await AsyncQueryClient.connect(server.host, server.port)
+                   for _ in range(num_clients)]
+        results = await asyncio.gather(
+            *[client.connected_many(pairs, faults) for client in clients])
+        assert all(result == truth for result in results)
+        sessions = server.metrics.snapshot()["sessions"]
+        # One construction; everyone else reused it (cache hit before the
+        # build started, coalesced onto the in-flight build after).
+        assert sessions["misses"] == 1
+        assert sessions["hits"] + sessions["coalesced"] == num_clients - 1
+        assert sessions["hit_rate"] == pytest.approx((num_clients - 1) / num_clients)
+        assert oracle.session_cache_info()["size"] == 1
+        for client in clients:
+            await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_distinct_fault_sets_get_distinct_sessions(world, oracle):
+    graph, _ = world
+    batches = workload(graph, num_sets=3, num_pairs=6, seed=5)
+
+    async def scenario():
+        server = await _start(oracle)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        for faults, pairs, truth in batches:
+            assert (await client.connected_many(pairs, faults)) == truth
+        sessions = server.metrics.snapshot()["sessions"]
+        distinct = len({tuple(sorted(map(tuple, faults)))
+                        for faults, _, _ in batches})
+        assert sessions["misses"] == distinct
+        await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_session_eviction_under_max_sessions_pressure(world, oracle):
+    """Satellite: with --max-sessions pressure, evicted sessions rebuild
+    correctly and the metrics report the eviction count."""
+    graph, _ = world
+    batches = workload(graph, num_sets=4, num_pairs=8, seed=11)
+
+    async def scenario():
+        server = await _start(oracle, max_sessions=2)
+        assert oracle.SESSION_CACHE_SIZE == 2
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        for faults, pairs, truth in batches:  # 4 distinct sets through 2 slots
+            assert (await client.connected_many(pairs, faults)) == truth
+        info = oracle.session_cache_info()
+        assert info["size"] <= 2
+        assert info["evictions"] >= 2
+        stats = (await client.stats())["server"]
+        assert stats["session_cache"]["evictions"] == info["evictions"]
+        assert stats["sessions"]["misses"] == len(batches)
+        # The evicted first fault set rebuilds and still answers correctly.
+        faults, pairs, truth = batches[0]
+        assert (await client.connected_many(pairs, faults)) == truth
+        assert (await client.stats())["server"]["sessions"]["misses"] == len(batches) + 1
+        await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+# -------------------------------------------------------- adversarial input
+
+def _recv_json(reader):
+    async def inner():
+        return json.loads(await reader.readline())
+    return inner()
+
+
+def test_malformed_lines_get_structured_errors_and_connection_survives(oracle):
+    probes = [
+        (b"total garbage\n", protocol.E_MALFORMED),
+        (b"\xc3\x28 invalid utf8\n", protocol.E_MALFORMED),
+        (b"[1,2,3]\n", protocol.E_BAD_REQUEST),
+        (b'{"op": "launch-missiles"}\n', protocol.E_UNKNOWN_OP),
+        (b'{"op": "connected"}\n', protocol.E_BAD_REQUEST),
+        (b'{"op": "connected", "s": 1.5, "t": 2, "faults": []}\n', protocol.E_BAD_REQUEST),
+        (b'{"op": "connected", "s": true, "t": 2}\n', protocol.E_BAD_REQUEST),
+        (b'{"op": "connected_many", "pairs": []}\n', protocol.E_BAD_REQUEST),
+        (b'{"op": "connected_many", "pairs": [[1]]}\n', protocol.E_BAD_REQUEST),
+        (b'{"op": "connected_many", "pairs": 7}\n', protocol.E_BAD_REQUEST),
+        (b'{"op": "connected", "s": "no-such-vertex", "t": "also-missing"}\n',
+         protocol.E_UNKNOWN_VERTEX),
+        (b'{"op": "connected", "s": 0, "t": 1, "faults": [["x", "y"]]}\n',
+         protocol.E_UNKNOWN_EDGE),
+        (b'{"op": "connected", "s": 0, "t": 1, "faults": [[2, 2]]}\n',
+         protocol.E_BAD_REQUEST),  # self-loop fault, not an over-budget error
+    ]
+
+    async def scenario():
+        server = await _start(oracle)
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        for line, code in probes:
+            writer.write(line)
+            await writer.drain()
+            response = await _recv_json(reader)
+            assert response["ok"] is False, line
+            assert response["error"]["code"] == code, line
+        # The connection handler survived every probe.
+        writer.write(b'{"op": "ping"}\n')
+        await writer.drain()
+        response = await _recv_json(reader)
+        assert response["ok"] is True
+        writer.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_over_budget_fault_set_is_structured_error(world, oracle):
+    graph, _ = world
+    edges = sorted(graph.edges())[:MAX_FAULTS + 2]  # distinct tree/non-tree mix
+
+    async def scenario():
+        server = await _start(oracle)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        vertices = sorted(graph.vertices())
+        with pytest.raises(ServerError) as info:
+            await client.connected_many([(vertices[0], vertices[1])], edges)
+        assert info.value.code == protocol.E_OVER_BUDGET
+        # Connection still serves afterwards.
+        assert (await client.ping())["pong"] is True
+        await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_oversized_line_is_drained_and_reported(oracle):
+    async def scenario():
+        server = await _start(oracle, max_request_bytes=4096)
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        # One huge (valid-JSON!) line plus a pipelined ping in the same write.
+        huge = b'{"op": "ping", "pad": "' + b"x" * 10000 + b'"}\n'
+        writer.write(huge + b'{"op": "ping"}\n')
+        await writer.drain()
+        response = await _recv_json(reader)
+        assert response["ok"] is False
+        assert response["error"]["code"] == protocol.E_OVERSIZED
+        # The pipelined request after the oversized line still got served.
+        response = await _recv_json(reader)
+        assert response["ok"] is True
+        writer.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_unknown_op_names_do_not_pollute_metrics(oracle):
+    """Attacker-chosen op strings must not become metrics counter keys."""
+
+    async def scenario():
+        server = await _start(oracle)
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        for index in range(20):
+            writer.write(b'{"op": "bogus-%d"}\n' % index)
+            await writer.drain()
+            assert (await _recv_json(reader))["ok"] is False
+        by_op = server.metrics.snapshot()["requests_by_op"]
+        assert set(by_op) == {"invalid"}
+        assert by_op["invalid"] == 20
+        writer.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_async_client_handles_large_responses(world, oracle):
+    """A connected_many answer far past asyncio's 64 KiB default stream limit
+    must round-trip (regression: the client passes an explicit limit)."""
+    graph, _ = world
+    (faults, _, _), = workload(graph, num_sets=1, num_pairs=1)
+    vertices = sorted(graph.vertices())
+    rng = random.Random(2)
+    pairs = [tuple(rng.sample(vertices, 2)) for _ in range(15000)]
+
+    async def scenario():
+        server = await _start(oracle)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        answers = await client.connected_many(pairs, faults)
+        assert answers == oracle.connected_many(pairs, faults)
+        await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_wire_fuzz_random_bytes_never_kill_the_handler(oracle):
+    rng = random.Random(1234)
+
+    async def scenario():
+        server = await _start(oracle, max_request_bytes=4096)
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        for _ in range(60):
+            blob = bytes(rng.randrange(1, 256) for _ in range(rng.randrange(1, 80)))
+            writer.write(blob.replace(b"\n", b" ") + b"\n")
+            await writer.drain()
+            response = await _recv_json(reader)
+            assert response["ok"] is False
+        writer.write(b'{"op": "ping"}\n')
+        await writer.drain()
+        assert (await _recv_json(reader))["ok"] is True
+        writer.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------- shutdown
+
+def test_clean_shutdown_drops_clients_and_stops_accepting(world, oracle):
+    graph, _ = world
+    (faults, pairs, truth), = workload(graph, num_sets=1, num_pairs=5)
+
+    async def scenario():
+        server = await _start(oracle)
+        host, port = server.host, server.port
+        client = await AsyncQueryClient.connect(host, port)
+        assert (await client.connected_many(pairs, faults)) == truth
+        await server.close()
+        # The open connection is gone: the next request fails.
+        with pytest.raises((ConnectionError, ServerError, Exception)):
+            await asyncio.wait_for(client.ping(), timeout=5)
+        # And nobody is listening anymore.
+        with pytest.raises(OSError):
+            await asyncio.wait_for(asyncio.open_connection(host, port), timeout=5)
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+# -------------------------------------------------- blocking client/harness
+
+def test_blocking_client_and_background_server(world, oracle):
+    """The synchronous surface: BackgroundServer + QueryClient, many threads."""
+    graph, data = world
+    reference = load_snapshot(data)
+    batches = workload(graph, num_sets=2, num_pairs=8, seed=3)
+    errors = []
+
+    def hammer(batch_index):
+        faults, pairs, truth = batches[batch_index % len(batches)]
+        try:
+            with QueryClient(server.host, server.port) as client:
+                for _ in range(5):
+                    assert client.connected_many(pairs, faults) == truth
+        except Exception as error:  # pragma: no cover - only on regression
+            errors.append(error)
+
+    with BackgroundServer(oracle, max_sessions=8) as server:
+        with QueryClient(server.host, server.port) as client:
+            assert client.ping()["pong"] is True
+            faults, pairs, truth = batches[0]
+            assert client.connected_many(pairs, faults) == \
+                reference.connected_many(pairs, faults) == truth
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        sessions = server.metrics.snapshot()["sessions"]
+        assert sessions["misses"] == len(batches)
+        assert sessions["hit_rate"] > 0.5
+    # After shutdown the port no longer accepts.
+    with pytest.raises(OSError):
+        QueryClient(server.host, server.port, timeout=2)
+
+
+# -------------------------------------------------------- session manager
+
+def test_session_manager_rejects_bad_max_sessions(oracle):
+    with pytest.raises(ValueError):
+        SessionManager(oracle, max_sessions=0)
+
+
+def test_session_manager_single_flight_counts(world, oracle):
+    """Direct (serverless) check of the single-flight dedup."""
+    graph, _ = world
+    (faults, pairs, truth), = workload(graph, num_sets=1, num_pairs=4, seed=8)
+
+    async def scenario():
+        manager = SessionManager(oracle, max_sessions=4)
+        try:
+            results = await asyncio.gather(
+                *[manager.connected_many(pairs, faults) for _ in range(6)])
+            assert all(result == truth for result in results)
+            stats = manager.stats()
+            assert stats["sessions"]["misses"] == 1
+            assert stats["sessions"]["hits"] + stats["sessions"]["coalesced"] == 5
+            assert stats["inflight_builds"] == 0
+            session = await manager.session(faults)
+            assert session is oracle.batch_session(faults)
+        finally:
+            manager.close()
+
+    asyncio.run(scenario())
