@@ -42,10 +42,9 @@ if __package__ is None or __package__ == "":
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from common import bench_strict, cached_graph, check_speedup, print_table
-from repro.core.config import FTCConfig, SchemeVariant
-from repro.core.ftc import FTCLabeling
-from repro.core.snapshot import load_snapshot
-from repro.server import BackgroundServer, QueryClient
+from repro.api import Oracle
+from repro.core.config import SchemeVariant
+from repro.server import BackgroundServer
 from repro.workloads import FaultModel
 from repro.workloads.faults import sample_fault_sets
 
@@ -68,11 +67,11 @@ MIN_CONCURRENT_RATIO = 0.9
 def build_world(n, seed, max_faults):
     """Snapshot bytes + a served oracle + a reference oracle + a workload."""
     graph = cached_graph(FAMILY, n, seed)
-    labeling = FTCLabeling(graph, FTCConfig(
-        max_faults=max_faults, variant=SchemeVariant.DETERMINISTIC_NEARLINEAR))
-    data = labeling.to_snapshot_bytes()
-    served = load_snapshot(data)
-    reference = load_snapshot(data)
+    built = Oracle.build(graph, max_faults=max_faults,
+                         variant=SchemeVariant.DETERMINISTIC_NEARLINEAR)
+    data = built.to_snapshot_bytes()
+    served = Oracle.load(data)
+    reference = Oracle.load(data)
 
     fault_sets = [list(faults) for faults in sample_fault_sets(
         graph, NUM_FAULT_SETS, max_faults, model=FaultModel.TREE_BIASED, seed=seed)]
@@ -88,9 +87,11 @@ def build_world(n, seed, max_faults):
 def drive_client(host, port, requests, num_requests) -> float:
     """Send ``num_requests`` connected_many requests; returns elapsed seconds.
 
-    Answers are hard-checked against the precomputed in-process truth.
+    Answers are hard-checked against the precomputed in-process truth.  Each
+    client is the facade's "tcp" transport (``Oracle.connect``), so the
+    benchmark exercises exactly what protocol callers use.
     """
-    with QueryClient(host, port) as client:
+    with Oracle.connect(host, port) as client:
         start = time.perf_counter()
         for index in range(num_requests):
             faults, pairs, expected = requests[index % len(requests)]

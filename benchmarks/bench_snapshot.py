@@ -38,9 +38,9 @@ if __package__ is None or __package__ == "":
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from common import bench_strict, cached_graph, check_speedup, print_table
+from repro.api import Oracle
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.ftc import FTCLabeling
-from repro.core.snapshot import load_snapshot
 from repro.workloads import FaultModel
 from repro.workloads.faults import sample_fault_sets
 
@@ -79,7 +79,7 @@ def run_snapshot_cycle(family, n, seed, max_faults, num_pairs,
     serialize_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    oracle = load_snapshot(data)
+    oracle = Oracle.load(data)
     rehydrate_seconds = time.perf_counter() - start
 
     faults = sample_fault_sets(graph, 1, max_faults,

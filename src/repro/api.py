@@ -1,0 +1,581 @@
+"""One oracle protocol, three transports: the ``repro.api`` facade.
+
+The paper's oracle abstraction (Section 1.4) says any f-FTC labeling doubles
+as a centralized connectivity oracle.  This module makes that one *contract*
+with three interchangeable transports:
+
+========== ============================================== =====================
+transport   backing                                        factory
+========== ============================================== =====================
+``build``   labels constructed in process from a graph     :meth:`Oracle.build`
+``snapshot`` labels rehydrated from an ``FTCS`` artifact   :meth:`Oracle.load`
+``tcp``     a :mod:`repro.server` process over the wire    :meth:`Oracle.connect`
+========== ============================================== =====================
+
+Every transport satisfies :class:`OracleProtocol` — ``connected``,
+``connected_many``, ``batch_session``, ``stats() -> OracleStats``,
+``close()``, and context-manager use — and answers queries bit-identically
+(the conformance suite in ``tests/test_oracle_protocol.py`` enforces this).
+Callers program against the protocol; which transport they got is a
+deployment detail selected by one URI via :func:`open_oracle`::
+
+    with open_oracle("snapshot:network.ftcs") as oracle:
+        oracle.connected_many([("a", "c")], faults=[("b", "c")])
+
+    with open_oracle("tcp://127.0.0.1:7421") as oracle:
+        print(oracle.stats().to_prometheus())
+
+Error contract (shared by all transports):
+
+* unknown vertices/edges raise :class:`KeyError`;
+* over-budget fault sets raise :class:`ValueError`;
+* unreliable decodes raise :class:`~repro.core.query.QueryFailure`;
+* everything above is (or is mirrored by) an
+  :class:`~repro.errors.OracleError`; the remote transport additionally
+  raises :class:`~repro.errors.TransportError` when the *connection* — not
+  the query — fails.
+
+The remote transport maps the server's structured error codes onto
+``Remote*`` exception classes that inherit from both the local exception type
+and :class:`RemoteOracleError` (which preserves the wire ``code``), so
+``except KeyError`` and ``except OracleError`` both keep working.
+
+``batch_session(faults)`` pins one fault set on every transport.  The uniform
+surface of the returned session is ``num_components()`` / ``num_fragments()``
+plus fault-set-pinned queries; local transports return the label-level
+:class:`~repro.core.batch.BatchQuerySession` itself (with its identity-cached
+LRU semantics), while the remote transport returns a
+:class:`RemoteBatchSession` backed by the server's ``session_info`` op.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field as dataclass_field
+from typing import (Any, Hashable, Iterable, Mapping, Protocol, Sequence,
+                    runtime_checkable)
+
+from repro.core.config import FTCConfig, SchemeVariant, resolve_ftc_config
+from repro.core.query import QueryFailure
+from repro.core.serialize import LabelDecodeError
+from repro.errors import OracleError, TransportError
+
+Vertex = Hashable
+
+#: The transport tags, in the order the conformance suite exercises them.
+TRANSPORTS = ("build", "snapshot", "tcp")
+
+
+# ------------------------------------------------------------------- stats
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_PROM_BY_LABEL = re.compile(r"^(.+)_by_([a-z][a-z0-9_]*)$")
+
+
+def _prom_metric_name(parts: Sequence[str]) -> str:
+    return _PROM_BAD_CHARS.sub("_", "_".join(parts))
+
+
+def _prom_escape(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _prom_walk(parts: list, labels: list, obj: Any, add) -> None:
+    """Flatten nested numeric dicts into Prometheus samples.
+
+    A mapping under a key of the form ``<base>_by_<label>`` (the metrics
+    module's ``requests_by_op`` / ``errors_by_code`` / ``latency_by_op``
+    convention) becomes one family ``<base>`` with a ``<label>`` label per
+    key; every other mapping nests into the metric name.  Non-numeric leaves
+    (strings, None) are skipped — they belong in ``_info`` labels.
+    """
+    if isinstance(obj, bool) or isinstance(obj, (int, float)):
+        add(parts, labels, obj)
+        return
+    if isinstance(obj, Mapping):
+        match = _PROM_BY_LABEL.match(parts[-1]) if parts else None
+        if match is not None:
+            base = parts[:-1] + [match.group(1)]
+            label = match.group(2)
+            for key in sorted(obj, key=str):
+                _prom_walk(base, labels + [(label, key)], obj[key], add)
+        else:
+            for key in sorted(obj, key=str):
+                _prom_walk(parts + [str(key)], labels, obj[key], add)
+
+
+@dataclass(frozen=True)
+class OracleStats:
+    """The normalized ``stats()`` payload of every oracle transport.
+
+    ``extra`` carries transport-specific detail (the remote transport puts
+    the server's full metrics snapshot under ``extra["server"]``); everything
+    else is uniform, so dashboards and the conformance suite read one shape.
+    """
+
+    transport: str
+    max_faults: int
+    vertices: int | None = None
+    edges: int | None = None
+    queries_answered: int | None = None
+    variant: str | None = None
+    session_cache: Mapping | None = None
+    extra: Mapping = dataclass_field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view (what the CLI's ``--json`` mode prints)."""
+        payload: dict = {"transport": self.transport, "max_faults": self.max_faults}
+        for name in ("vertices", "edges", "queries_answered", "variant"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.session_cache is not None:
+            payload["session_cache"] = dict(self.session_cache)
+        if self.extra:
+            payload["extra"] = {key: value for key, value in self.extra.items()}
+        return payload
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Render as Prometheus text exposition format (one gauge per leaf).
+
+        Counter-style dicts keyed ``*_by_op`` / ``*_by_code`` become labeled
+        families (``repro_server_requests{op="connected_many"} 5``); the
+        transport and variant ride on ``<prefix>_oracle_info``.
+        """
+        families: dict[str, list] = {}
+
+        def add(parts: list, labels: list, value: Any) -> None:
+            families.setdefault(_prom_metric_name(parts), []).append(
+                (tuple(labels), value))
+
+        base = [prefix, "oracle"]
+        add(base + ["max_faults"], [], self.max_faults)
+        for name in ("vertices", "edges", "queries_answered"):
+            value = getattr(self, name)
+            if value is not None:
+                add(base + [name], [], value)
+        info_labels = [("transport", self.transport)]
+        if self.variant is not None:
+            info_labels.append(("variant", self.variant))
+        add(base + ["info"], info_labels, 1)
+        if self.session_cache is not None:
+            _prom_walk([prefix, "session_cache"], [], self.session_cache, add)
+        for key, value in (self.extra or {}).items():
+            _prom_walk([prefix, str(key)], [], value, add)
+
+        lines = []
+        for name in sorted(families):
+            lines.append("# TYPE %s gauge" % name)
+            for labels, value in families[name]:
+                rendered = ""
+                if labels:
+                    rendered = "{%s}" % ",".join(
+                        '%s="%s"' % (key, _prom_escape(val)) for key, val in labels)
+                lines.append("%s%s %s" % (name, rendered, _prom_value(value)))
+        return "\n".join(lines) + "\n"
+
+
+def local_oracle_stats(oracle, session_cache: Mapping) -> OracleStats:
+    """Assemble :class:`OracleStats` for an in-process transport.
+
+    Shared by the "build" and "snapshot" oracles so the normalized shape is
+    defined exactly once; ``oracle`` supplies ``transport``, ``config``,
+    ``num_vertices``/``num_edges``, and ``queries_answered``.
+    """
+    return OracleStats(
+        transport=oracle.transport,
+        max_faults=oracle.config.max_faults,
+        vertices=oracle.num_vertices(),
+        edges=oracle.num_edges(),
+        queries_answered=oracle.queries_answered,
+        variant=oracle.config.variant.value,
+        session_cache=session_cache,
+    )
+
+
+# ---------------------------------------------------------------- protocol
+
+@runtime_checkable
+class OracleProtocol(Protocol):
+    """The contract every oracle transport satisfies.
+
+    ``isinstance(obj, OracleProtocol)`` checks the surface at runtime; the
+    conformance suite additionally checks *behavior* (bit-identical answers,
+    shared error contract) across all three transports.
+    """
+
+    transport: str
+    max_faults: int
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable = ()) -> bool: ...
+
+    def connected_many(self, pairs: Sequence[tuple],
+                       faults: Iterable = ()) -> list: ...
+
+    def batch_session(self, faults: Iterable = ()) -> Any:
+        """Pin one fault set; the returned session's *uniform* surface is
+        ``num_components()`` / ``num_fragments()``.  Query methods on the
+        session are transport-specific — local transports expose the
+        label-level :class:`~repro.core.batch.BatchQuerySession`, the remote
+        transport a vertex-level :class:`RemoteBatchSession` — so portable
+        callers query through the oracle's own ``connected_many`` instead."""
+        ...
+
+    def stats(self) -> OracleStats: ...
+
+    def close(self) -> None: ...
+
+    def __enter__(self): ...
+
+    def __exit__(self, *exc_info): ...
+
+
+# --------------------------------------------------------- remote transport
+
+class RemoteOracleError(OracleError):
+    """A structured server-side error, mapped into the local hierarchy.
+
+    ``code`` preserves the wire error code (``unknown-vertex``,
+    ``over-budget``, ...); subclasses additionally inherit the builtin type
+    local transports raise for the same condition, so one ``except`` clause
+    covers every transport.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__("%s: %s" % (code, message))
+        self.code = code
+        self.message = message
+
+
+#: Builtin exception types all define ``__init__``/``__str__`` in their own
+#: class dict, so without these explicit bindings the MRO would pick
+#: ``KeyError.__init__`` over :class:`RemoteOracleError`'s and drop ``code``.
+
+class RemoteLookupError(KeyError, RemoteOracleError):
+    """Unknown vertex or edge (the local transports raise ``KeyError``)."""
+
+    __init__ = RemoteOracleError.__init__
+    __str__ = Exception.__str__
+
+
+class RemoteBudgetError(ValueError, RemoteOracleError):
+    """Fault set exceeds the scheme's budget (locally a ``ValueError``)."""
+
+    __init__ = RemoteOracleError.__init__
+
+
+class RemoteQueryFailure(QueryFailure, RemoteOracleError):
+    """Server-side :class:`~repro.core.query.QueryFailure` (randomized labels)."""
+
+    __init__ = RemoteOracleError.__init__
+
+
+class RemoteDecodeError(LabelDecodeError, RemoteOracleError):
+    """Server-side label corruption (locally a ``LabelDecodeError``)."""
+
+    __init__ = RemoteOracleError.__init__
+
+
+def map_server_error(error) -> RemoteOracleError:
+    """Translate a client :class:`~repro.server.client.ServerError` into the
+    shared hierarchy, preserving the wire code."""
+    from repro.server import protocol as wire
+
+    exception_class = {
+        wire.E_UNKNOWN_VERTEX: RemoteLookupError,
+        wire.E_UNKNOWN_EDGE: RemoteLookupError,
+        wire.E_OVER_BUDGET: RemoteBudgetError,
+        wire.E_QUERY_FAILED: RemoteQueryFailure,
+        wire.E_DECODE: RemoteDecodeError,
+    }.get(error.code, RemoteOracleError)
+    return exception_class(error.code, error.message)
+
+
+class RemoteBatchSession:
+    """A fault-set-pinned view of a server-side batch session.
+
+    Created by :meth:`RemoteOracle.batch_session`; the server has already
+    built (or reused) the shared :class:`~repro.core.batch.BatchQuerySession`
+    for this fault set, so the structure counts are local reads and every
+    query rides the existing session via the pinned fault list.  Unlike the
+    local label-level session, ``connected``/``connected_many`` here take
+    vertex ids — the protocol's uniform session surface is the structure
+    counts plus fault-set-pinned querying.
+    """
+
+    def __init__(self, oracle: "RemoteOracle", faults: list, info: Mapping):
+        self._oracle = oracle
+        self._faults = list(faults)
+        self._info = dict(info)
+
+    def connected(self, s: Vertex, t: Vertex) -> bool:
+        return self._oracle.connected(s, t, self._faults)
+
+    def connected_many(self, pairs: Sequence[tuple]) -> list:
+        return self._oracle.connected_many(pairs, self._faults)
+
+    def num_components(self) -> int:
+        return self._info.get("num_components")
+
+    def num_fragments(self) -> int:
+        return self._info.get("num_fragments")
+
+
+class RemoteOracle:
+    """The "tcp" transport: an oracle served by a :mod:`repro.server` process.
+
+    Wraps the blocking :class:`~repro.server.client.QueryClient`; every
+    server-side error is mapped into the shared hierarchy by
+    :func:`map_server_error`, and transport failures (connection refused or
+    lost, non-protocol bytes, use after ``close()``) raise
+    :class:`~repro.errors.TransportError`.  Like the underlying client, one
+    instance belongs to one thread.
+    """
+
+    #: Transport tag of the oracle protocol.
+    transport = "tcp"
+
+    def __init__(self, client, host: str | None = None, port: int | None = None):
+        self._client = client
+        self.host = host
+        self.port = port
+        self._closed = False
+        self._max_faults: int | None = None
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 30.0) -> "RemoteOracle":
+        from repro.server.client import QueryClient
+
+        try:
+            client = QueryClient(host, port, timeout=timeout)
+        except OSError as error:
+            raise TransportError("cannot connect to %s:%d: %s"
+                                 % (host, port, error)) from error
+        oracle = cls(client, host, port)
+        # Prime max_faults now: on Python < 3.12, a runtime_checkable
+        # isinstance(oracle, OracleProtocol) probes the max_faults property
+        # with getattr, and a property that performed I/O would turn a type
+        # check into a network round-trip (or a TransportError).  One stats
+        # call here makes the property a cached read for the oracle's
+        # lifetime — it also validates that the endpoint speaks the protocol.
+        oracle.stats()
+        return oracle
+
+    # ------------------------------------------------------------- plumbing
+
+    def _call(self, method, *args):
+        from repro.server.client import ProtocolViolation, ServerError
+
+        if self._closed:
+            raise TransportError("remote oracle %s:%s is closed" % (self.host, self.port))
+        try:
+            return method(*args)
+        except ServerError as error:
+            raise map_server_error(error) from error
+        except ProtocolViolation as error:
+            raise TransportError("endpoint %s:%s broke protocol: %s"
+                                 % (self.host, self.port, error)) from error
+        except OSError as error:
+            raise TransportError("connection to %s:%s failed: %s"
+                                 % (self.host, self.port, error)) from error
+
+    # -------------------------------------------------------------- queries
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable = ()) -> bool:
+        return self._call(self._client.connected, s, t, list(faults))
+
+    def connected_many(self, pairs: Sequence[tuple],
+                       faults: Iterable = ()) -> list:
+        return self._call(self._client.connected_many, list(pairs), list(faults))
+
+    def batch_session(self, faults: Iterable = ()) -> RemoteBatchSession:
+        fault_list = list(faults)
+        info = self._call(self._client.session_info, fault_list)
+        return RemoteBatchSession(self, fault_list, info)
+
+    # ---------------------------------------------------------------- stats
+
+    def ping(self) -> dict:
+        return self._call(self._client.ping)
+
+    def server_stats(self) -> dict:
+        """The raw ``stats`` wire payload (``{"server": ..., "oracle": ...}``)."""
+        return self._call(self._client.stats)
+
+    def stats(self) -> OracleStats:
+        payload = self.server_stats()
+        server = payload.get("server") or {}
+        oracle = payload.get("oracle") or {}
+        if isinstance(oracle.get("max_faults"), int):
+            self._max_faults = oracle["max_faults"]
+        # Keys promoted to normalized OracleStats fields are dropped from the
+        # embedded server snapshot, so to_dict()/to_prometheus() report each
+        # counter exactly once.
+        residual = {key: value for key, value in server.items()
+                    if key not in ("session_cache", "queries_answered")}
+        return OracleStats(
+            transport=self.transport,
+            max_faults=oracle.get("max_faults", -1),
+            vertices=oracle.get("vertices"),
+            edges=oracle.get("edges"),
+            queries_answered=server.get("queries_answered"),
+            variant=oracle.get("variant"),
+            session_cache=server.get("session_cache"),
+            extra={"server": residual},
+        )
+
+    @property
+    def max_faults(self) -> int:
+        """The served scheme's fault budget (fetched once, then cached)."""
+        if self._max_faults is None:
+            self.stats()
+        if self._max_faults is None:
+            raise TransportError("server at %s:%s did not report max_faults"
+                                 % (self.host, self.port))
+        return self._max_faults
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Close the connection.  Idempotent, even on a dead socket."""
+        if self._closed:
+            return
+        self._closed = True
+        self._client.close()
+
+    def __enter__(self) -> "RemoteOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------- factories
+
+class Oracle:
+    """The factory surface of the oracle protocol — not instantiable.
+
+    ``Oracle.build`` constructs labels in process, ``Oracle.load`` rehydrates
+    a snapshot, ``Oracle.connect`` dials a server.  All three return objects
+    satisfying :class:`OracleProtocol`.
+    """
+
+    def __new__(cls, *args, **kwargs):
+        raise TypeError("Oracle is a factory namespace; use Oracle.build(...), "
+                        "Oracle.load(...), or Oracle.connect(...)")
+
+    @staticmethod
+    def build(graph, max_faults: int | None = None, *,
+              config: FTCConfig | None = None,
+              variant: SchemeVariant | str | None = None,
+              random_seed: int | None = None,
+              use_fast_engine: bool = True, **overrides):
+        """Construct labels for ``graph`` and return the "build" transport.
+
+        Configuration is normalized through
+        :func:`~repro.core.config.resolve_ftc_config`: pass either
+        ``config=FTCConfig(...)`` or loose parameters, not both.
+        """
+        from repro.core.oracle import FTConnectivityOracle
+
+        resolved = resolve_ftc_config(max_faults=max_faults, config=config,
+                                      variant=variant, random_seed=random_seed,
+                                      **overrides)
+        return FTConnectivityOracle(graph, config=resolved,
+                                    use_fast_engine=use_fast_engine)
+
+    @staticmethod
+    def load(source):
+        """Rehydrate the "snapshot" transport from ``FTCS`` bytes or a path."""
+        from repro.core.snapshot import load_snapshot
+
+        return load_snapshot(source)
+
+    @staticmethod
+    def connect(host: str, port: int, timeout: float = 30.0) -> RemoteOracle:
+        """Dial a running :mod:`repro.server` and return the "tcp" transport."""
+        return RemoteOracle.connect(host, port, timeout=timeout)
+
+
+def parse_oracle_uri(uri: str) -> tuple:
+    """Split an oracle URI into ``(kind, rest)``.
+
+    Accepted forms: ``snapshot:PATH``, ``tcp://HOST:PORT``, ``build:PATH``
+    (an edge-list file; the empty path means "caller supplies the graph"),
+    and — as a convenience — a bare path ending in ``.ftcs``.
+    """
+    if not isinstance(uri, str):
+        raise TypeError("oracle URI must be a string, got %r" % type(uri).__name__)
+    for scheme, kind in (("tcp://", "tcp"), ("snapshot:", "snapshot"),
+                         ("build:", "build")):
+        if uri.startswith(scheme):
+            return kind, uri[len(scheme):]
+    if uri.endswith(".ftcs"):
+        return "snapshot", uri
+    raise ValueError("unsupported oracle URI %r (expected snapshot:PATH, "
+                     "tcp://HOST:PORT, or build:EDGELIST)" % (uri,))
+
+
+def open_oracle(uri: str, *, graph=None, config: FTCConfig | None = None,
+                max_faults: int | None = None,
+                variant: SchemeVariant | str | None = None,
+                random_seed: int | None = None, timeout: float = 30.0):
+    """Open an oracle by URI — the CLI's one-flag transport selection.
+
+    * ``snapshot:network.ftcs`` (or a bare ``*.ftcs`` path) →
+      :meth:`Oracle.load`;
+    * ``tcp://127.0.0.1:7421`` → :meth:`Oracle.connect`;
+    * ``build:edges.txt`` → read the edge list and :meth:`Oracle.build` with
+      the given construction parameters (``build:`` with an empty path uses
+      the ``graph=`` keyword instead).
+    """
+    kind, rest = parse_oracle_uri(uri)
+    if kind == "tcp":
+        host, separator, port = rest.rpartition(":")
+        if not separator or not port.isdigit():
+            raise ValueError("tcp:// oracle URI needs HOST:PORT, got %r" % (uri,))
+        if host.startswith("[") and host.endswith("]"):
+            host = host[1:-1]  # bracketed IPv6 literal: tcp://[::1]:7421
+        return Oracle.connect(host or "127.0.0.1", int(port), timeout=timeout)
+    if kind == "snapshot":
+        if not rest:
+            raise ValueError("snapshot: oracle URI needs a path")
+        return Oracle.load(rest)
+    if rest:
+        from repro.graphs.graph import read_edge_list
+
+        graph = read_edge_list(rest)
+    if graph is None:
+        raise ValueError("build: oracle URI needs an edge-list path or graph=")
+    return Oracle.build(graph, max_faults=max_faults, config=config,
+                        variant=variant, random_seed=random_seed)
+
+
+__all__ = [
+    "Oracle",
+    "OracleProtocol",
+    "OracleStats",
+    "OracleError",
+    "TransportError",
+    "RemoteOracle",
+    "RemoteBatchSession",
+    "RemoteOracleError",
+    "RemoteLookupError",
+    "RemoteBudgetError",
+    "RemoteQueryFailure",
+    "RemoteDecodeError",
+    "QueryFailure",
+    "TRANSPORTS",
+    "local_oracle_stats",
+    "map_server_error",
+    "open_oracle",
+    "parse_oracle_uri",
+]

@@ -1,16 +1,25 @@
 """Command-line interface for the f-FTC labeling scheme.
 
+Every subcommand that answers queries programs against the oracle protocol of
+:mod:`repro.api` — it never constructs a transport-specific oracle class,
+rehydrates a snapshot, or opens a socket directly.  Transport selection is one flag: ``--oracle`` takes
+a URI (``build:EDGELIST``, ``snapshot:PATH.ftcs``, ``tcp://HOST:PORT``) and
+the legacy ``--edges`` / ``--snapshot`` flags are sugar for the first two.
+
 Nine subcommands cover the typical workflow:
 
 ``stats``
-    Build labels for a graph (edge-list file) and print label-size statistics.
+    Build labels for a graph (edge-list file) and print label-size
+    statistics; with ``--oracle`` print any transport's normalized
+    ``OracleStats`` instead (``--prometheus`` renders them in Prometheus
+    text exposition format).
 ``query``
     Build labels and answer one connectivity query under faults.
 ``batch-query``
     Fix one fault set and answer many ``(s, t)`` pairs through a shared
-    :class:`~repro.core.batch.BatchQuerySession`.  Accepts ``--snapshot`` to
-    serve the queries from a saved labeling instead of rebuilding (``--edges``
-    is then only needed for ``--check``).
+    batch session.  ``--oracle`` selects the transport; ``--snapshot``
+    serves from a saved labeling (``--edges`` is then only needed for
+    ``--check``), and ``tcp://`` URIs query a running server.
 ``audit``
     Audit a batch of random queries against BFS ground truth.  Accepts
     ``--snapshot`` to answer from a saved labeling (``--edges`` is still
@@ -35,7 +44,8 @@ Nine subcommands cover the typical workflow:
 ``client-query``
     Connect to a running server and issue one request: a ``connected_many``
     batch built from ``--fault`` / ``--pair`` / ``--pairs-file`` (the
-    default), or ``--op stats`` / ``--op ping``.
+    default), ``--op stats`` / ``--op ping``, or ``--prometheus`` for the
+    server's stats in Prometheus text format.
 
 The ``query``, ``batch-query``, ``stats``, and ``client-query`` subcommands
 accept ``--json``: the report is then printed as one compact line in the
@@ -55,7 +65,7 @@ the edge-id codec and GF(2^w) parameters, the outdetect descriptor (per-level
 Reed--Solomon thresholds, or the sketch's levels/repetitions/seed), and every
 vertex and edge label as the self-describing ``FTCL`` per-label blobs.  All
 integers are LEB128 varints.  ``repro.core.snapshot`` documents the exact
-byte layout; ``load_snapshot`` answers queries identically to the live scheme
+byte layout; ``Oracle.load`` answers queries identically to the live scheme
 without ever seeing the graph.
 
 Examples
@@ -68,16 +78,15 @@ Examples
     python -m repro.cli batch-query --edges network.txt --max-faults 2 \\
         --fault a-b --pair a-d --pair b-c
     python -m repro.cli audit --edges network.txt --max-faults 2 --queries 200
-    python -m repro.cli export-labels --edges network.txt --max-faults 2 \\
-        --output labels.json
     python -m repro.cli save-labeling --edges network.txt --max-faults 2 \\
         --output network.ftcs
     python -m repro.cli load-labeling --snapshot network.ftcs
-    python -m repro.cli batch-query --snapshot network.ftcs --fault a-b \\
-        --pair a-d --pair b-c
-    python -m repro.cli audit --edges network.txt --snapshot network.ftcs
+    python -m repro.cli batch-query --oracle snapshot:network.ftcs \\
+        --fault a-b --pair a-d --pair b-c
     python -m repro.cli serve --snapshot network.ftcs --port 7421
-    python -m repro.cli client-query --port 7421 --fault a-b --pair a-d --json
+    python -m repro.cli batch-query --oracle tcp://127.0.0.1:7421 \\
+        --fault a-b --pair a-d --json
+    python -m repro.cli client-query --port 7421 --op stats --prometheus
 """
 
 from __future__ import annotations
@@ -88,14 +97,13 @@ import random
 import sys
 from pathlib import Path
 
-from repro.core.config import FTCConfig, SchemeVariant
-from repro.core.ftc import FTCLabeling
+from repro.api import (Oracle, RemoteOracleError, TransportError, open_oracle,
+                       parse_oracle_uri)
+from repro.core.config import SchemeVariant
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
-from repro.core.snapshot import load_snapshot
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, read_edge_list
 from repro.server.protocol import dump_envelope, error_response, ok_response
-from repro.workloads.queries import audit_scheme, make_query_workload
 
 
 def _print_report(payload: dict, as_json: bool) -> None:
@@ -108,17 +116,7 @@ def _print_report(payload: dict, as_json: bool) -> None:
 
 def load_edge_list(path: str | Path) -> Graph:
     """Read a whitespace-separated edge list into a :class:`Graph`."""
-    graph = Graph()
-    text = Path(path).read_text()
-    for line_number, line in enumerate(text.splitlines(), start=1):
-        stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        parts = stripped.split()
-        if len(parts) < 2:
-            raise ValueError("line %d of %s is not an edge: %r" % (line_number, path, line))
-        graph.add_edge(parts[0], parts[1])
-    return graph
+    return read_edge_list(path)
 
 
 def parse_fault(raw: str) -> tuple:
@@ -146,30 +144,99 @@ def read_pairs_file(path: str | Path) -> list:
     return pairs
 
 
-def _build_labeling(args: argparse.Namespace) -> tuple[Graph, FTCLabeling]:
+def _build_oracle(args: argparse.Namespace):
+    """The "build" transport from the common construction flags."""
     graph = load_edge_list(args.edges)
-    config = FTCConfig(max_faults=args.max_faults,
-                       variant=SchemeVariant(args.variant),
-                       random_seed=args.seed)
-    return graph, FTCLabeling(graph, config)
+    oracle = Oracle.build(graph, max_faults=args.max_faults,
+                          variant=args.variant, random_seed=args.seed)
+    return graph, oracle
+
+
+def _open_snapshot_or_report(path: str):
+    """Load a snapshot file, printing a CLI error instead of a traceback."""
+    try:
+        return Oracle.load(path)
+    except FileNotFoundError:
+        print("error: snapshot file %r does not exist" % path, file=sys.stderr)
+    except LabelDecodeError as error:
+        print("error: %r is not a valid labeling snapshot: %s" % (path, error),
+              file=sys.stderr)
+    return None
+
+
+def _fold_oracle_uri(args: argparse.Namespace) -> str | None:
+    """Fold ``--oracle`` into the legacy flags; returns the kind or ``None``.
+
+    ``snapshot:`` and ``build:`` URIs set ``args.snapshot`` / ``args.edges``
+    so the existing membership-check flow runs unchanged; ``tcp`` is returned
+    for the caller to branch on.  Prints the CLI error itself on a bad URI.
+    """
+    if not getattr(args, "oracle", None):
+        return None
+    try:
+        kind, rest = parse_oracle_uri(args.oracle)
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return "error"
+    if kind == "snapshot":
+        if args.snapshot and args.snapshot != rest:
+            print("error: --oracle %s conflicts with --snapshot %s"
+                  % (args.oracle, args.snapshot), file=sys.stderr)
+            return "error"
+        args.snapshot = rest
+    elif kind == "build":
+        if rest:
+            if args.edges and args.edges != rest:
+                print("error: --oracle %s conflicts with --edges %s"
+                      % (args.oracle, args.edges), file=sys.stderr)
+                return "error"
+            args.edges = rest
+        elif not args.edges:
+            print("error: build: oracle URI needs an edge-list path", file=sys.stderr)
+            return "error"
+    return kind
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    _, labeling = _build_labeling(args)
-    stats = labeling.label_size_stats()
-    _print_report(stats, args.json)
+    if args.oracle:
+        try:
+            oracle = open_oracle(args.oracle, max_faults=args.max_faults,
+                                 variant=args.variant, random_seed=args.seed)
+        except (TransportError, FileNotFoundError, LabelDecodeError,
+                ValueError) as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        try:
+            with oracle:
+                stats = oracle.stats()
+                if args.prometheus:
+                    print(stats.to_prometheus(), end="")
+                else:
+                    _print_report(stats.to_dict(), args.json)
+            return 0
+        except (TransportError, RemoteOracleError) as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+    if not args.edges:
+        print("error: stats needs --edges or --oracle", file=sys.stderr)
+        return 2
+    _, oracle = _build_oracle(args)
+    if args.prometheus:
+        print(oracle.stats().to_prometheus(), end="")
+        return 0
+    _print_report(oracle.label_size_stats(), args.json)
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    graph, labeling = _build_labeling(args)
+    graph, oracle = _build_oracle(args)
     faults = [parse_fault(raw) for raw in args.fault]
     for u, v in faults:
-        if not graph.has_edge(u, v):
+        if not oracle.has_edge(u, v):
             print("error: fault edge %s-%s is not in the graph" % (u, v), file=sys.stderr)
             return 2
-    answer = labeling.connected(args.source, args.target, faults)
-    truth = graph.connected(args.source, args.target, removed=faults)
+    answer = oracle.connected(args.source, args.target, faults)
+    truth = oracle.connected_exact(args.source, args.target, faults)
     _print_report({
         "source": args.source,
         "target": args.target,
@@ -180,34 +247,120 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0 if answer == truth else 1
 
 
-def _load_snapshot_or_report(path: str):
-    """Load a snapshot file, printing a CLI error instead of a traceback."""
+def _parse_query_args(args: argparse.Namespace) -> tuple | None:
+    """``(faults, pairs)`` from the flags; prints the error on bad syntax.
+
+    ``OSError`` covers an unreadable/missing ``--pairs-file`` — a CLI error,
+    not a traceback.
+    """
     try:
-        return load_snapshot(path)
-    except FileNotFoundError:
-        print("error: snapshot file %r does not exist" % path, file=sys.stderr)
-    except LabelDecodeError as error:
-        print("error: %r is not a valid labeling snapshot: %s" % (path, error),
+        faults = [parse_fault(raw) for raw in args.fault]
+        pairs = [parse_fault(raw) for raw in args.pair]
+        if args.pairs_file:
+            pairs.extend(read_pairs_file(args.pairs_file))
+    except (ValueError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return None
+    return faults, pairs
+
+
+def _batch_report(source: str, faults: list, pairs: list, answers: list) -> dict:
+    return {
+        "labels": source,
+        "faults": ["%s-%s" % edge for edge in faults],
+        "num_pairs": len(pairs),
+        "results": [{"source": s, "target": t, "connected": answer}
+                    for (s, t), answer in zip(pairs, answers)],
+    }
+
+
+def _attach_session_structure(report: dict, answerer, faults: list) -> None:
+    """Best-effort decomposition structure (uniform across transports)."""
+    try:
+        session = answerer.batch_session(faults)
+    except QueryFailure:
+        # Randomized / heuristic labels: the answers above came from the
+        # per-query fallback, so session statistics are unavailable.
+        report["batched"] = False
+    else:
+        report["batched"] = True
+        report["num_fragments"] = session.num_fragments()
+        report["num_components"] = session.num_components()
+
+
+def _cmd_batch_query_remote(args: argparse.Namespace) -> int:
+    """The tcp:// transport of ``batch-query``: membership checks happen
+    server-side and come back as structured errors."""
+    if args.random_pairs:
+        print("error: --random-pairs needs a local transport (the server does "
+              "not enumerate vertices); sample pairs locally instead",
               file=sys.stderr)
-    return None
+        return 2
+    graph = load_edge_list(args.edges) if args.edges else None
+    if args.check and graph is None:
+        print("error: --check compares against BFS ground truth and needs --edges",
+              file=sys.stderr)
+        return 2
+    parsed = _parse_query_args(args)
+    if parsed is None:
+        return 2
+    faults, pairs = parsed
+    if not pairs:
+        print("error: no query pairs given (use --pair / --pairs-file)",
+              file=sys.stderr)
+        return 2
+    try:
+        oracle = open_oracle(args.oracle, timeout=args.timeout)
+    except (TransportError, ValueError) as error:
+        # ValueError: a scheme-valid but malformed URI (e.g. tcp:// without
+        # a port) must be a clean CLI error, not a traceback.
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    try:
+        with oracle:
+            answers = oracle.connected_many(pairs, faults)
+            report = _batch_report("server", faults, pairs, answers)
+            _attach_session_structure(report, oracle, faults)
+    except RemoteOracleError as error:
+        if args.json:
+            print(dump_envelope(error_response(error.code, error.message)))
+        else:
+            print("error: server refused the request: %s" % error, file=sys.stderr)
+        return 2
+    except TransportError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    exit_code = 0
+    if args.check:
+        truth = [graph.connected(s, t, removed=faults) for s, t in pairs]
+        mismatches = sum(1 for answer, expected in zip(answers, truth)
+                         if answer != expected)
+        report["ground_truth_mismatches"] = mismatches
+        exit_code = 0 if mismatches == 0 else 1
+    _print_report(report, args.json)
+    return exit_code
 
 
 def cmd_batch_query(args: argparse.Namespace) -> int:
+    kind = _fold_oracle_uri(args)
+    if kind == "error":
+        return 2
+    if kind == "tcp":
+        return _cmd_batch_query_remote(args)
     graph = load_edge_list(args.edges) if args.edges else None
     if args.snapshot:
         # Serve from a saved labeling: no graph access, no reconstruction.
-        answerer = _load_snapshot_or_report(args.snapshot)
+        answerer = _open_snapshot_or_report(args.snapshot)
         if answerer is None:
             return 2
         source = "snapshot"
     else:
         if graph is None:
-            print("error: batch-query needs --edges or --snapshot", file=sys.stderr)
+            print("error: batch-query needs --edges, --snapshot, or --oracle",
+                  file=sys.stderr)
             return 2
-        config = FTCConfig(max_faults=args.max_faults,
-                           variant=SchemeVariant(args.variant),
-                           random_seed=args.seed)
-        answerer = FTCLabeling(graph, config)
+        answerer = Oracle.build(graph, max_faults=args.max_faults,
+                                variant=args.variant, random_seed=args.seed)
         source = "constructed"
     if args.check and graph is None:
         print("error: --check compares against BFS ground truth and needs --edges",
@@ -221,16 +374,16 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
         memberships.append(("graph", graph))
     if args.snapshot:
         memberships.append(("snapshot", answerer))
-    faults = [parse_fault(raw) for raw in args.fault]
+    parsed = _parse_query_args(args)
+    if parsed is None:
+        return 2
+    faults, pairs = parsed
     for u, v in faults:
         for name, membership in memberships:
             if not membership.has_edge(u, v):
                 print("error: fault edge %s-%s is not in the %s" % (u, v, name),
                       file=sys.stderr)
                 return 2
-    pairs = [parse_fault(raw) for raw in args.pair]
-    if args.pairs_file:
-        pairs.extend(read_pairs_file(args.pairs_file))
     if args.random_pairs:
         rng = random.Random(args.seed)
         vertices = sorted(answerer.vertices() if args.snapshot else graph.vertices())
@@ -256,23 +409,8 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
         # Typically: more distinct faults than the scheme's budget f.
         print("error: %s" % error, file=sys.stderr)
         return 2
-    report = {
-        "labels": source,
-        "faults": ["%s-%s" % edge for edge in faults],
-        "num_pairs": len(pairs),
-        "results": [{"source": s, "target": t, "connected": answer}
-                    for (s, t), answer in zip(pairs, answers)],
-    }
-    try:
-        session = answerer.batch_session(faults)
-    except QueryFailure:
-        # Randomized / heuristic labels: the answers above came from the
-        # per-query fallback, so session statistics are unavailable.
-        report["batched"] = False
-    else:
-        report["batched"] = True
-        report["num_fragments"] = session.num_fragments()
-        report["num_components"] = session.num_components()
+    report = _batch_report(source, faults, pairs, answers)
+    _attach_session_structure(report, answerer, faults)
     exit_code = 0
     if args.check:
         truth = [graph.connected(s, t, removed=faults) for s, t in pairs]
@@ -285,17 +423,17 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
 
 
 def cmd_export_labels(args: argparse.Namespace) -> int:
-    graph, labeling = _build_labeling(args)
+    graph, oracle = _build_oracle(args)
     payload = {
         "format": "ftc-labels",
         "max_faults": args.max_faults,
         "variant": args.variant,
-        "vertex_labels": {str(vertex): labeling.vertex_label(vertex).to_bytes().hex()
+        "vertex_labels": {str(vertex): oracle.vertex_label(vertex).to_bytes().hex()
                           for vertex in graph.vertices()},
         # A list with explicit endpoints: vertex names may themselves contain
         # separator characters, so "u-v" strings would be ambiguous.
         "edge_labels": [{"u": u, "v": v,
-                         "label": labeling.edge_label(u, v).to_bytes().hex()}
+                         "label": oracle.edge_label(u, v).to_bytes().hex()}
                         for u, v in graph.edges()],
     }
     text = json.dumps(payload, indent=2)
@@ -310,11 +448,13 @@ def cmd_export_labels(args: argparse.Namespace) -> int:
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.workloads.queries import audit_scheme, make_query_workload
+
     # Ground truth is BFS on the graph, so --edges stays required; --snapshot
     # only replaces where the *answers* come from (no reconstruction).
     graph = load_edge_list(args.edges)
     if args.snapshot:
-        answerer = _load_snapshot_or_report(args.snapshot)
+        answerer = _open_snapshot_or_report(args.snapshot)
         if answerer is None:
             return 2
         # The workload samples arbitrary graph vertices and edges, so a graph
@@ -337,10 +477,8 @@ def cmd_audit(args: argparse.Namespace) -> int:
                   "(--max-faults %d does not apply in snapshot mode)"
                   % (max_faults, args.max_faults), file=sys.stderr)
     else:
-        config = FTCConfig(max_faults=args.max_faults,
-                           variant=SchemeVariant(args.variant),
-                           random_seed=args.seed)
-        answerer = FTCLabeling(graph, config)
+        answerer = Oracle.build(graph, max_faults=args.max_faults,
+                                variant=args.variant, random_seed=args.seed)
         max_faults = args.max_faults
     workload = make_query_workload(graph, num_queries=args.queries,
                                    max_faults=max_faults, seed=args.seed)
@@ -356,8 +494,8 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 
 def cmd_save_labeling(args: argparse.Namespace) -> int:
-    graph, labeling = _build_labeling(args)
-    byte_count = labeling.save(args.output)
+    graph, oracle = _build_oracle(args)
+    byte_count = oracle.save(args.output)
     print(json.dumps({
         "written": args.output,
         "bytes": byte_count,
@@ -365,7 +503,7 @@ def cmd_save_labeling(args: argparse.Namespace) -> int:
         "edge_labels": graph.num_edges(),
         "variant": args.variant,
         "max_faults": args.max_faults,
-        "construction_seconds": labeling.construction_seconds,
+        "construction_seconds": oracle.construction_seconds,
     }, indent=2))
     return 0
 
@@ -373,7 +511,7 @@ def cmd_save_labeling(args: argparse.Namespace) -> int:
 def cmd_load_labeling(args: argparse.Namespace) -> int:
     # The lazy path: the summary needs structure and counts, never the
     # decoded label payloads.
-    oracle = _load_snapshot_or_report(args.snapshot)
+    oracle = _open_snapshot_or_report(args.snapshot)
     if oracle is None:
         return 2
     summary = oracle.snapshot.describe()
@@ -388,7 +526,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.server import run_server
 
     # The whole point of the server: load an artifact, never construct.
-    oracle = _load_snapshot_or_report(args.snapshot)
+    oracle = _open_snapshot_or_report(args.snapshot)
     if oracle is None:
         return 2
     if args.max_sessions < 1:
@@ -411,52 +549,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_client_query(args: argparse.Namespace) -> int:
-    from repro.server.client import ProtocolViolation, QueryClient, ServerError
-
+    if args.prometheus:
+        # Prometheus output is a stats rendering; the flag implies the op.
+        args.op = "stats"
     try:
-        client = QueryClient(args.host, args.port, timeout=args.timeout)
-    except OSError as error:
-        print("error: cannot connect to %s:%d: %s" % (args.host, args.port, error),
-              file=sys.stderr)
+        oracle = Oracle.connect(args.host, args.port, timeout=args.timeout)
+    except TransportError as error:
+        print("error: %s" % error, file=sys.stderr)
         return 2
     try:
-        if args.op in ("ping", "stats"):
-            result = client.request(args.op)
-            _print_report(result, args.json)
+        with oracle:
+            if args.op == "ping":
+                _print_report(oracle.ping(), args.json)
+                return 0
+            if args.op == "stats":
+                if args.prometheus:
+                    print(oracle.stats().to_prometheus(), end="")
+                else:
+                    _print_report(oracle.server_stats(), args.json)
+                return 0
+            parsed = _parse_query_args(args)
+            if parsed is None:
+                return 2
+            faults, pairs = parsed
+            if not pairs:
+                print("error: no query pairs given (use --pair / --pairs-file)",
+                      file=sys.stderr)
+                return 2
+            answers = oracle.connected_many(pairs, faults)
+            _print_report(_batch_report("server", faults, pairs, answers), args.json)
             return 0
-        try:
-            faults = [parse_fault(raw) for raw in args.fault]
-            pairs = [parse_fault(raw) for raw in args.pair]
-            if args.pairs_file:
-                pairs.extend(read_pairs_file(args.pairs_file))
-        except ValueError as error:
-            print("error: %s" % error, file=sys.stderr)
-            return 2
-        if not pairs:
-            print("error: no query pairs given (use --pair / --pairs-file)",
-                  file=sys.stderr)
-            return 2
-        answers = client.connected_many(pairs, faults)
-        report = {
-            "labels": "server",
-            "faults": ["%s-%s" % edge for edge in faults],
-            "num_pairs": len(pairs),
-            "results": [{"source": s, "target": t, "connected": answer}
-                        for (s, t), answer in zip(pairs, answers)],
-        }
-        _print_report(report, args.json)
-        return 0
-    except ServerError as error:
+    except RemoteOracleError as error:
         if args.json:
             print(dump_envelope(error_response(error.code, error.message)))
         else:
             print("error: server refused the request: %s" % error, file=sys.stderr)
         return 2
-    except (ProtocolViolation, OSError) as error:
+    except TransportError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
-    finally:
-        client.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -478,9 +609,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print one compact machine-readable line in the "
                               "protocol envelope ({\"ok\": true, \"result\": ...})")
 
+    def add_oracle_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--oracle", default=None, metavar="URI",
+                         help="oracle transport URI: build:EDGELIST, "
+                              "snapshot:PATH.ftcs, or tcp://HOST:PORT "
+                              "(--edges/--snapshot are sugar for the first two)")
+
     stats_parser = subparsers.add_parser("stats", help="print label-size statistics")
-    add_common(stats_parser)
+    add_common(stats_parser, edges_required=False)
     add_json_flag(stats_parser)
+    add_oracle_flag(stats_parser)
+    stats_parser.add_argument("--prometheus", action="store_true",
+                              help="print the oracle's stats in Prometheus "
+                                   "text exposition format")
     stats_parser.set_defaults(handler=cmd_stats)
 
     query_parser = subparsers.add_parser("query", help="answer one connectivity query")
@@ -495,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser = subparsers.add_parser(
         "batch-query", help="answer many (s, t) pairs against one shared fault set")
     add_common(batch_parser, edges_required=False)
+    add_oracle_flag(batch_parser)
     batch_parser.add_argument("--snapshot", default=None,
                               help="serve queries from this saved labeling snapshot "
                                    "instead of rebuilding (--edges then only needed "
@@ -509,6 +651,8 @@ def build_parser() -> argparse.ArgumentParser:
                               help="additionally sample this many random pairs")
     batch_parser.add_argument("--check", action="store_true",
                               help="compare every answer against BFS ground truth")
+    batch_parser.add_argument("--timeout", type=float, default=30.0,
+                              help="socket timeout in seconds (tcp:// oracles)")
     add_json_flag(batch_parser)
     batch_parser.set_defaults(handler=cmd_batch_query)
 
@@ -575,6 +719,9 @@ def build_parser() -> argparse.ArgumentParser:
                                help="file with one whitespace-separated s t pair per line")
     client_parser.add_argument("--timeout", type=float, default=30.0,
                                help="socket timeout in seconds")
+    client_parser.add_argument("--prometheus", action="store_true",
+                               help="print the server's stats in Prometheus text "
+                                    "exposition format (implies --op stats)")
     add_json_flag(client_parser)
     client_parser.set_defaults(handler=cmd_client_query)
     return parser

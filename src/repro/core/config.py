@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 
@@ -89,3 +91,69 @@ class FTCConfig:
         if self.variant is SchemeVariant.SKETCH_FULL:
             return self.sketch_repetitions * max(self.max_faults, 1)
         return self.sketch_repetitions
+
+
+def resolve_ftc_config(max_faults: int | None = None,
+                       config: FTCConfig | None = None,
+                       variant: SchemeVariant | str | None = None,
+                       random_seed: int | None = None,
+                       **overrides) -> FTCConfig:
+    """Normalize every construction entry point onto one :class:`FTCConfig`.
+
+    This is the single resolver behind ``Oracle.build``, the CLI, and the
+    :class:`~repro.core.oracle.FTConnectivityOracle` shim.  Exactly one source
+    of truth is expected:
+
+    * ``config=FTCConfig(...)`` alone — returned as-is (the canonical shape);
+    * loose parameters alone — ``max_faults`` (required), plus optional
+      ``variant`` (enum or its string value), ``random_seed``, and any other
+      :class:`FTCConfig` field as a keyword.
+
+    Passing loose parameters *alongside* ``config`` is deprecated: it warns,
+    and if any loose value disagrees with the config it raises ``ValueError``
+    (the one place the old ``max_faults``-vs-``config`` disagreement check now
+    lives).
+    """
+    if variant is not None and not isinstance(variant, SchemeVariant):
+        variant = SchemeVariant(variant)
+    if config is not None:
+        if not isinstance(config, FTCConfig):
+            raise TypeError("config must be an FTCConfig, got %r"
+                            % type(config).__name__)
+        known = {field.name for field in dataclasses.fields(FTCConfig)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            # Same failure mode as the loose path's FTCConfig(**fields):
+            # a typo'd keyword must be a TypeError, not an AttributeError
+            # from the disagreement check below.
+            raise TypeError("unknown FTCConfig field(s): %s" % ", ".join(unknown))
+        legacy = dict(overrides)
+        if max_faults is not None:
+            legacy["max_faults"] = max_faults
+        if variant is not None:
+            legacy["variant"] = variant
+        if random_seed is not None:
+            legacy["random_seed"] = random_seed
+        if legacy:
+            warnings.warn(
+                "passing %s alongside config= is deprecated; pass one "
+                "FTCConfig (or only loose parameters) instead"
+                % "/".join(sorted(legacy)),
+                DeprecationWarning, stacklevel=3)
+            disagreements = {name: value for name, value in legacy.items()
+                             if getattr(config, name) != value}
+            if disagreements:
+                raise ValueError(
+                    "explicit arguments disagree with config: "
+                    + ", ".join("%s=%r vs config.%s=%r"
+                                % (name, value, name, getattr(config, name))
+                                for name, value in sorted(disagreements.items())))
+        return config
+    if max_faults is None:
+        raise TypeError("either max_faults or config is required")
+    fields = dict(overrides, max_faults=max_faults)
+    if variant is not None:
+        fields["variant"] = variant
+    if random_seed is not None:
+        fields["random_seed"] = random_seed
+    return FTCConfig(**fields)

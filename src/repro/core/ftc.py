@@ -204,6 +204,25 @@ class LabelBackedQueries:
                 "evictions": self._session_evictions,
             }
 
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release every cached batch session.  Idempotent.
+
+        Labels stay usable — ``close()`` only drops the (potentially large)
+        component decompositions, matching the ``close()`` required by the
+        oracle protocol of :mod:`repro.api`.  Local transports hold no
+        sockets, so this is the whole teardown.
+        """
+        with self._session_lock:
+            self._session_cache.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def connected_many(self, pairs: Sequence[tuple],
                        faults: Iterable[Edge] = ()) -> list[bool]:
         """Answer many ``(s, t)`` queries against one shared fault set.

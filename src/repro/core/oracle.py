@@ -2,8 +2,11 @@
 
 Any f-FTC labeling scheme doubles as a centralized connectivity oracle by
 simply storing all labels (Section 1.4); this wrapper does exactly that and is
-the object the benchmarks and examples interact with.  It also exposes the
-exact recomputation answer for auditing.
+the "build" transport of the oracle protocol (:mod:`repro.api`): the same
+``connected`` / ``connected_many`` / ``batch_session`` / ``stats`` / ``close``
+surface is served by a snapshot-rehydrated oracle and by the TCP client, so
+transports are swappable deployment details.  It also exposes the exact
+recomputation answer for auditing.
 
 Queries are served through the batched session pipeline of
 :mod:`repro.core.batch`: ``connected_many`` answers any number of ``(s, t)``
@@ -17,8 +20,9 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Sequence
 
 from repro.core.batch import BatchQuerySession
-from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.config import FTCConfig, SchemeVariant, resolve_ftc_config
 from repro.core.ftc import FTCLabeling
+from repro.core.labels import EdgeLabel, VertexLabel
 from repro.core.query import QueryFailure
 from repro.graphs.graph import Edge, Graph
 
@@ -26,19 +30,25 @@ Vertex = Hashable
 
 
 class FTConnectivityOracle:
-    """Answers ``connected(s, t, F)`` queries for one graph under a fault budget."""
+    """Answers ``connected(s, t, F)`` queries for one graph under a fault budget.
 
-    def __init__(self, graph: Graph, max_faults: int,
-                 variant: SchemeVariant = SchemeVariant.DETERMINISTIC_NEARLINEAR,
+    The canonical construction shape is ``FTConnectivityOracle(graph,
+    config=FTCConfig(...))`` (or the :func:`repro.api.Oracle.build` factory);
+    the legacy loose parameters (``max_faults`` / ``variant``) still work and
+    are normalized through :func:`~repro.core.config.resolve_ftc_config`,
+    which warns when they are passed redundantly alongside ``config``.
+    """
+
+    #: Transport tag of the oracle protocol (:mod:`repro.api`).
+    transport = "build"
+
+    def __init__(self, graph: Graph, max_faults: int | None = None,
+                 variant: SchemeVariant | str | None = None,
                  config: FTCConfig | None = None, use_fast_engine: bool = True):
-        if config is None:
-            config = FTCConfig(max_faults=max_faults, variant=variant)
-        elif config.max_faults != max_faults:
-            raise ValueError("config.max_faults (%d) disagrees with max_faults (%d)"
-                             % (config.max_faults, max_faults))
+        self.config = resolve_ftc_config(max_faults=max_faults, config=config,
+                                         variant=variant)
         self.graph = graph
-        self.config = config
-        self.labeling = FTCLabeling(graph, config)
+        self.labeling = FTCLabeling(graph, self.config)
         self.use_fast_engine = use_fast_engine
         self._queries_answered = 0
 
@@ -71,8 +81,8 @@ class FTConnectivityOracle:
     def batch_session(self, faults: Iterable[Edge] = ()) -> BatchQuerySession:
         """The (LRU-cached) batched query session for one fault set.
 
-        Exposed so callers holding an oracle — live or rehydrated from a
-        snapshot (:mod:`repro.core.snapshot`) — see the same
+        Exposed so callers holding an oracle — live, rehydrated from a
+        snapshot (:mod:`repro.core.snapshot`), or remote — see the same
         ``connected`` / ``connected_many`` / ``batch_session`` surface.
         """
         return self.labeling.batch_session(faults)
@@ -114,9 +124,71 @@ class FTConnectivityOracle:
             "accuracy": agree / total if total else 1.0,
         }
 
+    # ------------------------------------------------------------- topology
+
+    @property
+    def max_faults(self) -> int:
+        return self.config.max_faults
+
+    def vertices(self) -> list:
+        return list(self.graph.vertices())
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return self.graph.has_vertex(vertex)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return self.graph.has_edge(u, v)
+
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices()
+
+    def num_edges(self) -> int:
+        return self.graph.num_edges()
+
+    # ---------------------------------------------------------------- labels
+
+    def vertex_label(self, vertex: Vertex) -> VertexLabel:
+        return self.labeling.vertex_label(vertex)
+
+    def edge_label(self, u: Vertex, v: Vertex) -> EdgeLabel:
+        return self.labeling.edge_label(u, v)
+
+    # ----------------------------------------------------------- persistence
+
+    def to_snapshot_bytes(self) -> bytes:
+        """Serialize the whole labeling to the FTCS snapshot format."""
+        return self.labeling.to_snapshot_bytes()
+
+    def save(self, path) -> int:
+        """Write the snapshot bytes to ``path``; returns the byte count."""
+        return self.labeling.save(path)
+
+    @property
+    def construction_seconds(self) -> float:
+        return self.labeling.construction_seconds
+
+    # ------------------------------------------------------------ statistics
+
     def label_size_stats(self) -> dict:
         return self.labeling.label_size_stats()
+
+    def stats(self):
+        """Normalized :class:`~repro.api.OracleStats` (the protocol's view)."""
+        from repro.api import local_oracle_stats
+        return local_oracle_stats(self, self.labeling.session_cache_info())
 
     @property
     def queries_answered(self) -> int:
         return self._queries_answered
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Drop cached batch sessions (labels stay usable).  Idempotent."""
+        self.labeling.close()
+
+    def __enter__(self) -> "FTConnectivityOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

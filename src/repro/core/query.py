@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.labels import EdgeLabel, VertexLabel
+from repro.errors import OracleError
 from repro.labeling.ancestry import AncestryLabel
 from repro.labeling.edge_ids import EdgeIdCodec
 from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
@@ -26,11 +27,13 @@ from repro.outdetect.base import OutdetectDecodeError, OutdetectScheme
 ROOT_FRAGMENT = -1
 
 
-class QueryFailure(Exception):
+class QueryFailure(OracleError):
     """Raised when a query cannot be answered reliably.
 
     This can only happen for the randomized whp scheme or the heuristic
     PRACTICAL threshold rule; the deterministic PAPER schemes never raise.
+    Part of the shared :class:`~repro.errors.OracleError` hierarchy, so it
+    means the same thing through every transport of :mod:`repro.api`.
     """
 
 

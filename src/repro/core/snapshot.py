@@ -522,7 +522,11 @@ class RehydratedOracle(LabelBackedQueries):
     stored label maps and a decode-side outdetect scheme rebuilt from the
     snapshot's parameters.  There is no graph, no hierarchy, and no access to
     anything but labels, so answers are byte-for-byte the universal decoder's.
+    This is the "snapshot" transport of the oracle protocol (:mod:`repro.api`).
     """
+
+    #: Transport tag of the oracle protocol (:mod:`repro.api`).
+    transport = "snapshot"
 
     def __init__(self, snapshot: FTCSnapshot):
         self.snapshot = snapshot
@@ -635,6 +639,13 @@ class RehydratedOracle(LabelBackedQueries):
     @property
     def queries_answered(self) -> int:
         return self._queries_answered
+
+    # ------------------------------------------------------------ statistics
+
+    def stats(self):
+        """Normalized :class:`~repro.api.OracleStats` (the protocol's view)."""
+        from repro.api import local_oracle_stats
+        return local_oracle_stats(self, self.session_cache_info())
 
 
 # ------------------------------------------------------------------ loading

@@ -203,3 +203,26 @@ class Graph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Graph(n=%d, m=%d)" % (self.num_vertices(), self.num_edges())
+
+
+def read_edge_list(path) -> Graph:
+    """Read a whitespace-separated edge-list file into a :class:`Graph`.
+
+    One edge per line, two whitespace-separated vertex names (everything is
+    treated as a string identifier); blank lines and lines starting with
+    ``#`` are ignored.  This is the format of the CLI and of the ``build:``
+    oracle URIs of :mod:`repro.api`.
+    """
+    from pathlib import Path
+
+    graph = Graph()
+    text = Path(path).read_text()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise ValueError("line %d of %s is not an edge: %r" % (line_number, path, line))
+        graph.add_edge(parts[0], parts[1])
+    return graph

@@ -12,6 +12,15 @@ Both raise :class:`ServerError` when the server answers ``ok: false``, with
 the structured error code preserved, and :class:`ProtocolViolation` if the
 server's reply is not a valid response line (which indicates a bug or a
 non-server endpoint, not a query failure).
+
+Both are context managers (``with QueryClient(...)`` /
+``async with await AsyncQueryClient.connect(...)``) and ``close()`` is
+idempotent — closing twice, or closing after the peer vanished, never raises.
+
+Most callers should prefer the transport-agnostic
+:class:`repro.api.RemoteOracle` (``Oracle.connect``), which wraps
+:class:`QueryClient` and maps :class:`ServerError` into the shared
+:class:`~repro.errors.OracleError` hierarchy.
 """
 
 from __future__ import annotations
@@ -82,6 +91,7 @@ class AsyncQueryClient(_RequestMixin):
         self._reader = reader
         self._writer = writer
         self._next_id = 0
+        self._closed = False
 
     @classmethod
     async def connect(cls, host: str, port: int,
@@ -114,12 +124,27 @@ class AsyncQueryClient(_RequestMixin):
                                     **self._connected_many_request(pairs, faults))
         return result["connected"]
 
+    async def session_info(self, faults: Iterable = ()) -> dict:
+        """Ensure the server-side batch session for ``faults``; returns its
+        structure (``num_components`` / ``num_fragments``)."""
+        return await self.request("session_info", faults=_edges_to_wire(faults))
+
     async def close(self) -> None:
+        """Close the connection; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        except OSError:
+            pass  # the peer is already gone; the socket is closed regardless
+
+    async def __aenter__(self) -> "AsyncQueryClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
 
 
 class QueryClient(_RequestMixin):
@@ -129,6 +154,7 @@ class QueryClient(_RequestMixin):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self._closed = False
 
     def request(self, op: str, **fields) -> Any:
         self._next_id += 1
@@ -152,11 +178,26 @@ class QueryClient(_RequestMixin):
         return self.request("connected_many",
                             **self._connected_many_request(pairs, faults))["connected"]
 
+    def session_info(self, faults: Iterable = ()) -> dict:
+        """Ensure the server-side batch session for ``faults``; returns its
+        structure (``num_components`` / ``num_fragments``)."""
+        return self.request("session_info", faults=_edges_to_wire(faults))
+
     def close(self) -> None:
+        """Close the connection; safe to call more than once, even after the
+        peer died (flushing buffered bytes to a dead socket must not raise)."""
+        if self._closed:
+            return
+        self._closed = True
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "QueryClient":
         return self

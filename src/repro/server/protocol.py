@@ -54,8 +54,10 @@ E_DECODE = "label-decode-failed"
 E_QUERY_FAILED = "query-failed"
 E_INTERNAL = "internal-error"
 
-#: Request types the server understands.
-KNOWN_OPS = ("ping", "stats", "connected", "connected_many")
+#: Request types the server understands.  ``session_info`` ensures the batch
+#: session for one fault set (building it if needed) and reports its
+#: structure — the wire backing of the remote transport's ``batch_session``.
+KNOWN_OPS = ("ping", "stats", "connected", "connected_many", "session_info")
 
 
 class ProtocolError(Exception):

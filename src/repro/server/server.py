@@ -69,6 +69,7 @@ class QueryServer:
             "stats": self._op_stats,
             "connected": self._op_connected,
             "connected_many": self._op_connected_many,
+            "session_info": self._op_session_info,
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -211,14 +212,16 @@ class QueryServer:
                 else protocol.E_UNKNOWN_VERTEX
             self.metrics.record_error(code)
             response = error_response(code, str(message), request_id)
+        except LabelDecodeError as error:
+            # Checked before ValueError: LabelDecodeError *is* a ValueError,
+            # so the other order would mislabel corruption as over-budget.
+            self.metrics.record_error(protocol.E_DECODE)
+            response = error_response(protocol.E_DECODE,
+                                      "label data is corrupt: %s" % error, request_id)
         except ValueError as error:
             # Typically: more distinct faults than the scheme's budget f.
             self.metrics.record_error(protocol.E_OVER_BUDGET)
             response = error_response(protocol.E_OVER_BUDGET, str(error), request_id)
-        except LabelDecodeError as error:
-            self.metrics.record_error(protocol.E_DECODE)
-            response = error_response(protocol.E_DECODE,
-                                      "label data is corrupt: %s" % error, request_id)
         except QueryFailure as error:
             self.metrics.record_error(protocol.E_QUERY_FAILED)
             response = error_response(protocol.E_QUERY_FAILED, str(error), request_id)
@@ -258,6 +261,21 @@ class QueryServer:
         faults = protocol.extract_faults(request)
         answers = await self.sessions.connected_many(pairs, faults)
         return {"connected": answers, "count": len(answers)}
+
+    async def _op_session_info(self, request: dict) -> dict:
+        """Ensure the batch session for one fault set and report its structure.
+
+        Backs the remote transport's ``batch_session``: a
+        :class:`~repro.api.RemoteBatchSession` is this answer plus the pinned
+        fault list.  A :class:`QueryFailure` during the eager decomposition
+        surfaces as the structured ``query-failed`` error, mirroring what the
+        local ``batch_session`` raises.
+        """
+        faults = protocol.extract_faults(request)
+        session = await self.sessions.session(faults)
+        return {"num_components": session.num_components(),
+                "num_fragments": session.num_fragments(),
+                "queries_answered": session.queries_answered}
 
 
 # ------------------------------------------------------- synchronous harness

@@ -366,6 +366,81 @@ def test_cli_client_query_bad_fault_syntax_reports_cleanly(running_server, capsy
     assert "not of the form" in capsys.readouterr().err
 
 
+def test_cli_batch_query_oracle_uri_selects_transport(running_server, snapshot_file,
+                                                      capsys):
+    """One --oracle flag switches batch-query between snapshot and tcp
+    transports; the reports agree."""
+    query = ["--fault", "b-c", "--pair", "a-c", "--pair", "b-d", "--json"]
+    uri = "tcp://%s:%d" % (running_server.host, running_server.port)
+    assert main(["batch-query", "--oracle", uri] + query) == 0
+    remote = json.loads(capsys.readouterr().out)
+    assert main(["batch-query", "--oracle", "snapshot:%s" % snapshot_file] + query) == 0
+    local = json.loads(capsys.readouterr().out)
+    assert remote["ok"] is True and local["ok"] is True
+    assert remote["result"]["results"] == local["result"]["results"]
+    assert remote["result"]["labels"] == "server"
+    assert local["result"]["labels"] == "snapshot"
+    # Both transports report the same decomposition structure.
+    assert remote["result"]["num_components"] == local["result"]["num_components"]
+    assert remote["result"]["num_fragments"] == local["result"]["num_fragments"]
+
+
+def test_cli_batch_query_oracle_uri_build_and_errors(edge_file, capsys):
+    assert main(["batch-query", "--oracle", "build:%s" % edge_file,
+                 "--max-faults", "2", "--fault", "b-c", "--pair", "a-c",
+                 "--check"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["labels"] == "constructed"
+    assert report["ground_truth_mismatches"] == 0
+    assert main(["batch-query", "--oracle", "ftp://nope", "--pair", "a-c"]) == 2
+    assert "unsupported oracle URI" in capsys.readouterr().err
+
+
+def test_cli_oracle_uri_conflicting_flags_rejected(edge_file, snapshot_file, capsys):
+    """--oracle must not silently override an explicit conflicting flag."""
+    assert main(["batch-query", "--oracle", "snapshot:other.ftcs",
+                 "--snapshot", str(snapshot_file), "--pair", "a-c"]) == 2
+    assert "conflicts with --snapshot" in capsys.readouterr().err
+    assert main(["batch-query", "--oracle", "build:other.txt",
+                 "--edges", str(edge_file), "--pair", "a-c"]) == 2
+    assert "conflicts with --edges" in capsys.readouterr().err
+
+
+def test_cli_batch_query_remote_server_error(running_server, capsys):
+    uri = "tcp://%s:%d" % (running_server.host, running_server.port)
+    assert main(["batch-query", "--oracle", uri, "--fault", "a-z",
+                 "--pair", "a-c", "--json"]) == 2
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["ok"] is False
+    assert envelope["error"]["code"] == "unknown-edge"
+
+
+def test_cli_stats_oracle_uri_and_prometheus(running_server, snapshot_file, capsys):
+    """stats --oracle prints the normalized OracleStats for any transport."""
+    assert main(["stats", "--oracle", "snapshot:%s" % snapshot_file, "--json"]) == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["result"]["transport"] == "snapshot"
+    assert envelope["result"]["max_faults"] == 2
+    uri = "tcp://%s:%d" % (running_server.host, running_server.port)
+    assert main(["stats", "--oracle", uri, "--prometheus"]) == 0
+    text = capsys.readouterr().out
+    assert "repro_oracle_max_faults 2" in text
+    assert 'repro_oracle_info{transport="tcp"' in text
+
+
+def test_cli_client_query_prometheus(running_server, capsys):
+    """client-query --prometheus exposes the server stats as text metrics."""
+    address = ["--host", running_server.host, "--port", str(running_server.port)]
+    assert main(["client-query"] + address + ["--pair", "a-c"]) == 0
+    capsys.readouterr()
+    assert main(["client-query"] + address + ["--prometheus"]) == 0
+    text = capsys.readouterr().out
+    assert "# TYPE repro_server_requests_total gauge" in text
+    assert "repro_server_requests_total" in text
+    assert 'repro_server_requests{op="connected_many"}' in text
+    assert 'repro_oracle_info{transport="tcp"' in text
+
+
 def test_cli_client_query_connection_refused(capsys):
     # An ephemeral port nobody is listening on.
     import socket

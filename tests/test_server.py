@@ -147,6 +147,61 @@ def test_server_answers_bit_identical_to_inprocess(world, oracle):
     asyncio.run(scenario())
 
 
+def test_session_info_op_reports_local_structure(world, oracle):
+    """``session_info`` (the wire backing of the remote ``batch_session``)
+    matches the in-process session's decomposition, shares the LRU, and maps
+    an over-budget fault set to the structured error."""
+    graph, _ = world
+
+    async def scenario():
+        server = await _start(oracle)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        (faults, _, _), = workload(graph, num_sets=1, num_pairs=2, seed=21)
+        info = await client.session_info(faults)
+        local = oracle.batch_session(faults)
+        assert info["num_components"] == local.num_components()
+        assert info["num_fragments"] == local.num_fragments()
+        # The op ensured the shared session: a second ask is a cache hit.
+        before = server.metrics.snapshot()["sessions"]
+        await client.session_info(faults)
+        after = server.metrics.snapshot()["sessions"]
+        assert after["hits"] == before["hits"] + 1
+        over_budget = sorted(graph.edges())[:MAX_FAULTS + 1]
+        with pytest.raises(ServerError) as caught:
+            await client.session_info(over_budget)
+        assert caught.value.code == protocol.E_OVER_BUDGET
+        await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_corrupt_label_payload_reports_decode_error(world):
+    """A lazily decoded corrupt label blob must surface as ``label-decode-
+    failed`` — not ``over-budget`` (LabelDecodeError *is* a ValueError, so
+    the dispatch order matters)."""
+    from repro.core.snapshot import FTCSnapshot
+
+    _, data = world
+    lazy = FTCSnapshot.from_bytes(data, decode_labels=False)
+    vertex = next(iter(lazy.vertex_labels))
+    blob = lazy.vertex_labels[vertex]
+    lazy.vertex_labels[vertex] = blob[:-1] + b"\x80"  # same length, truncated varint
+    poisoned = load_snapshot(lazy.to_bytes())
+    other = next(v for v in poisoned.vertices() if v != vertex)
+
+    async def scenario():
+        server = await _start(poisoned)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        with pytest.raises(ServerError) as caught:
+            await client.connected(vertex, other)
+        assert caught.value.code == protocol.E_DECODE
+        await client.close()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
 def test_ping_and_stats_ops(oracle):
     async def scenario():
         server = await _start(oracle)
