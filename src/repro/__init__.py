@@ -28,12 +28,15 @@ from repro.graphs import Graph
 from repro.hierarchy.config import ThresholdRule
 from repro.api import (Oracle, OracleProtocol, OracleStats, RemoteOracle,
                        open_oracle)
+from repro.build import BuildExecutor, BuildReport, build_labeling
 from repro.errors import OracleError, TransportError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
+    "BuildExecutor",
+    "BuildReport",
     "FTCConfig",
     "FTCLabeling",
     "FTCSnapshot",
@@ -47,6 +50,7 @@ __all__ = [
     "SchemeVariant",
     "ThresholdRule",
     "TransportError",
+    "build_labeling",
     "load_snapshot",
     "open_oracle",
     "__version__",

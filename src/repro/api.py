@@ -55,7 +55,8 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import (Any, Hashable, Iterable, Mapping, Protocol, Sequence,
                     runtime_checkable)
 
-from repro.core.config import FTCConfig, SchemeVariant, resolve_ftc_config
+from repro.core.config import (FTCConfig, SchemeVariant, resolve_build_executor,
+                               resolve_ftc_config)
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
 from repro.errors import OracleError, TransportError
@@ -477,12 +478,18 @@ class Oracle:
               config: FTCConfig | None = None,
               variant: SchemeVariant | str | None = None,
               random_seed: int | None = None,
-              use_fast_engine: bool = True, **overrides):
+              use_fast_engine: bool = True,
+              executor=None, jobs: int | None = None, **overrides):
         """Construct labels for ``graph`` and return the "build" transport.
 
         Configuration is normalized through
         :func:`~repro.core.config.resolve_ftc_config`: pass either
-        ``config=FTCConfig(...)`` or loose parameters, not both.
+        ``config=FTCConfig(...)`` or loose parameters, not both.  Construction
+        itself runs through the staged plan of :mod:`repro.build`;
+        ``executor`` / ``jobs`` select the execution strategy (``jobs=4``
+        fans the outdetect shards out to four processes) via
+        :func:`~repro.core.config.resolve_build_executor` — the labels are
+        byte-identical whichever strategy runs.
         """
         from repro.core.oracle import FTConnectivityOracle
 
@@ -490,7 +497,8 @@ class Oracle:
                                       variant=variant, random_seed=random_seed,
                                       **overrides)
         return FTConnectivityOracle(graph, config=resolved,
-                                    use_fast_engine=use_fast_engine)
+                                    use_fast_engine=use_fast_engine,
+                                    executor=resolve_build_executor(executor, jobs))
 
     @staticmethod
     def load(source):
@@ -510,7 +518,9 @@ def parse_oracle_uri(uri: str) -> tuple:
 
     Accepted forms: ``snapshot:PATH``, ``tcp://HOST:PORT``, ``build:PATH``
     (an edge-list file; the empty path means "caller supplies the graph"),
-    and — as a convenience — a bare path ending in ``.ftcs``.
+    and — as a convenience — a bare path ending in ``.ftcs``.  ``build:``
+    URIs additionally accept a query string of construction options
+    (``build:edges.txt?jobs=4``), split off by :func:`parse_build_query`.
     """
     if not isinstance(uri, str):
         raise TypeError("oracle URI must be a string, got %r" % type(uri).__name__)
@@ -524,10 +534,40 @@ def parse_oracle_uri(uri: str) -> tuple:
                      "tcp://HOST:PORT, or build:EDGELIST)" % (uri,))
 
 
+def parse_build_query(rest: str) -> tuple:
+    """Split a ``build:`` URI remainder into ``(path, options)``.
+
+    The query string accepts ``jobs=N`` (a positive integer) and
+    ``executor=SPEC`` (a :func:`~repro.core.config.resolve_build_executor`
+    spec such as ``process:4``); anything else is a :class:`ValueError`, so
+    typos fail loudly instead of silently building serially.
+    """
+    path, separator, query = rest.partition("?")
+    options: dict = {}
+    if not separator:
+        return path, options
+    for item in query.split("&"):
+        if not item:
+            continue
+        key, equals, value = item.partition("=")
+        if key == "jobs" and equals:
+            if not value.isdigit() or int(value) < 1:
+                raise ValueError("build: oracle URI option jobs=%r must be a "
+                                 "positive integer" % value)
+            options["jobs"] = int(value)
+        elif key == "executor" and equals and value:
+            options["executor"] = value
+        else:
+            raise ValueError("unsupported build: oracle URI option %r "
+                             "(expected jobs=N and/or executor=SPEC)" % item)
+    return path, options
+
+
 def open_oracle(uri: str, *, graph=None, config: FTCConfig | None = None,
                 max_faults: int | None = None,
                 variant: SchemeVariant | str | None = None,
-                random_seed: int | None = None, timeout: float = 30.0):
+                random_seed: int | None = None, timeout: float = 30.0,
+                executor=None, jobs: int | None = None):
     """Open an oracle by URI — the CLI's one-flag transport selection.
 
     * ``snapshot:network.ftcs`` (or a bare ``*.ftcs`` path) →
@@ -535,9 +575,24 @@ def open_oracle(uri: str, *, graph=None, config: FTCConfig | None = None,
     * ``tcp://127.0.0.1:7421`` → :meth:`Oracle.connect`;
     * ``build:edges.txt`` → read the edge list and :meth:`Oracle.build` with
       the given construction parameters (``build:`` with an empty path uses
-      the ``graph=`` keyword instead).
+      the ``graph=`` keyword instead).  A query string selects the build
+      executor — ``build:edges.txt?jobs=4`` shards label construction across
+      four processes (``executor=thread:2`` etc. also accepted); each URI
+      option replaces the same-named keyword, and the combined result goes
+      through :func:`~repro.build.executors.resolve_executor`, which raises
+      ``ValueError`` on genuine conflicts (e.g. ``?executor=process:2`` with
+      ``jobs=4``).  On ``snapshot:`` / ``tcp://`` URIs the ``executor=`` /
+      ``jobs=`` keywords raise ``ValueError`` — construction options must
+      never silently do nothing.
     """
     kind, rest = parse_oracle_uri(uri)
+    if kind != "build" and (executor is not None or jobs is not None):
+        # The PR-wide rule: a construction option must never silently do
+        # nothing.  Snapshot and tcp transports serve labels that were
+        # already constructed elsewhere.
+        raise ValueError("executor=/jobs= apply only to build: oracle URIs; "
+                         "the %s transport serves already-constructed labels"
+                         % kind)
     if kind == "tcp":
         host, separator, port = rest.rpartition(":")
         if not separator or not port.isdigit():
@@ -549,14 +604,18 @@ def open_oracle(uri: str, *, graph=None, config: FTCConfig | None = None,
         if not rest:
             raise ValueError("snapshot: oracle URI needs a path")
         return Oracle.load(rest)
-    if rest:
+    path, options = parse_build_query(rest)
+    executor = options.get("executor", executor)
+    jobs = options.get("jobs", jobs)
+    if path:
         from repro.graphs.graph import read_edge_list
 
-        graph = read_edge_list(rest)
+        graph = read_edge_list(path)
     if graph is None:
         raise ValueError("build: oracle URI needs an edge-list path or graph=")
     return Oracle.build(graph, max_faults=max_faults, config=config,
-                        variant=variant, random_seed=random_seed)
+                        variant=variant, random_seed=random_seed,
+                        executor=executor, jobs=jobs)
 
 
 __all__ = [
@@ -577,5 +636,6 @@ __all__ = [
     "local_oracle_stats",
     "map_server_error",
     "open_oracle",
+    "parse_build_query",
     "parse_oracle_uri",
 ]

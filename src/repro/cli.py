@@ -5,6 +5,10 @@ Every subcommand that answers queries programs against the oracle protocol of
 rehydrates a snapshot, or opens a socket directly.  Transport selection is one flag: ``--oracle`` takes
 a URI (``build:EDGELIST``, ``snapshot:PATH.ftcs``, ``tcp://HOST:PORT``) and
 the legacy ``--edges`` / ``--snapshot`` flags are sugar for the first two.
+Construction likewise goes through the one build facade of
+:mod:`repro.build`: ``--jobs N`` (or a ``build:...?jobs=N`` URI) shards
+label construction across N processes, byte-identical to a serial build;
+on ``serve`` the flag instead bounds the session-building worker threads.
 
 Nine subcommands cover the typical workflow:
 
@@ -98,7 +102,7 @@ import sys
 from pathlib import Path
 
 from repro.api import (Oracle, RemoteOracleError, TransportError, open_oracle,
-                       parse_oracle_uri)
+                       parse_build_query, parse_oracle_uri)
 from repro.core.config import SchemeVariant
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
@@ -144,11 +148,35 @@ def read_pairs_file(path: str | Path) -> list:
     return pairs
 
 
+def _cli_executor(args: argparse.Namespace):
+    """Resolve ``--jobs`` / URI executor options, or ``None`` after a CLI error.
+
+    Flag mistakes (``--jobs 0``, ``?executor=bogus``, conflicting values) must
+    print one ``error:`` line and exit 2 like every other CLI misuse — never
+    escape as a traceback.
+    """
+    from repro.core.config import resolve_build_executor
+
+    try:
+        return resolve_build_executor(getattr(args, "build_executor", None),
+                                      getattr(args, "jobs", None))
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return None
+
+
 def _build_oracle(args: argparse.Namespace):
-    """The "build" transport from the common construction flags."""
+    """The "build" transport from the common construction flags.
+
+    Returns ``(graph, oracle)``, or ``None`` after printing a CLI error.
+    """
+    executor = _cli_executor(args)
+    if executor is None:
+        return None
     graph = load_edge_list(args.edges)
     oracle = Oracle.build(graph, max_faults=args.max_faults,
-                          variant=args.variant, random_seed=args.seed)
+                          variant=args.variant, random_seed=args.seed,
+                          executor=executor)
     return graph, oracle
 
 
@@ -185,23 +213,81 @@ def _fold_oracle_uri(args: argparse.Namespace) -> str | None:
             return "error"
         args.snapshot = rest
     elif kind == "build":
-        if rest:
-            if args.edges and args.edges != rest:
+        try:
+            path, options = parse_build_query(rest)
+        except ValueError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return "error"
+        if not _merge_uri_build_options(args, options):
+            return "error"
+        if path:
+            if args.edges and args.edges != path:
                 print("error: --oracle %s conflicts with --edges %s"
                       % (args.oracle, args.edges), file=sys.stderr)
                 return "error"
-            args.edges = rest
+            args.edges = path
         elif not args.edges:
             print("error: build: oracle URI needs an edge-list path", file=sys.stderr)
             return "error"
     return kind
 
 
+def _merge_uri_build_options(args: argparse.Namespace, options: dict) -> bool:
+    """Fold a ``build:`` URI's query options into the flags.
+
+    One copy of the conflict rule for every subcommand: ``?jobs=N`` that
+    disagrees with an explicit ``--jobs`` is a CLI error (printed here),
+    agreement or absence folds the value in.
+    """
+    if "jobs" in options:
+        if args.jobs is not None and args.jobs != options["jobs"]:
+            print("error: --oracle %s conflicts with --jobs %d"
+                  % (args.oracle, args.jobs), file=sys.stderr)
+            return False
+        args.jobs = options["jobs"]
+    if "executor" in options:
+        args.build_executor = options["executor"]
+    return True
+
+
+def _note_jobs_not_applicable(args: argparse.Namespace, why: str) -> None:
+    """Tell the user an explicit ``--jobs`` is doing nothing on this path.
+
+    Labels served from a snapshot or a server were already constructed, so a
+    construction flag must not silently pretend to parallelize anything.
+    """
+    if getattr(args, "jobs", None) is not None:
+        print("note: --jobs %d does not apply (%s)" % (args.jobs, why),
+              file=sys.stderr)
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     if args.oracle:
         try:
+            kind, rest = parse_oracle_uri(args.oracle)
+        except ValueError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        executor = None
+        if kind == "build":
+            try:
+                _, options = parse_build_query(rest)
+            except ValueError as error:
+                print("error: %s" % error, file=sys.stderr)
+                return 2
+            if not _merge_uri_build_options(args, options):
+                return 2
+            executor = _cli_executor(args)
+            if executor is None:
+                return 2
+        else:
+            _note_jobs_not_applicable(args, "the %s transport serves "
+                                            "already-constructed labels" % kind)
+        try:
             oracle = open_oracle(args.oracle, max_faults=args.max_faults,
-                                 variant=args.variant, random_seed=args.seed)
+                                 variant=args.variant, random_seed=args.seed,
+                                 executor=executor,
+                                 jobs=args.jobs if kind == "build" else None)
         except (TransportError, FileNotFoundError, LabelDecodeError,
                 ValueError) as error:
             print("error: %s" % error, file=sys.stderr)
@@ -220,7 +306,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if not args.edges:
         print("error: stats needs --edges or --oracle", file=sys.stderr)
         return 2
-    _, oracle = _build_oracle(args)
+    built = _build_oracle(args)
+    if built is None:
+        return 2
+    _, oracle = built
     if args.prometheus:
         print(oracle.stats().to_prometheus(), end="")
         return 0
@@ -229,7 +318,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    graph, oracle = _build_oracle(args)
+    built = _build_oracle(args)
+    if built is None:
+        return 2
+    graph, oracle = built
     faults = [parse_fault(raw) for raw in args.fault]
     for u, v in faults:
         if not oracle.has_edge(u, v):
@@ -291,6 +383,7 @@ def _attach_session_structure(report: dict, answerer, faults: list) -> None:
 def _cmd_batch_query_remote(args: argparse.Namespace) -> int:
     """The tcp:// transport of ``batch-query``: membership checks happen
     server-side and come back as structured errors."""
+    _note_jobs_not_applicable(args, "the server already holds its labels")
     if args.random_pairs:
         print("error: --random-pairs needs a local transport (the server does "
               "not enumerate vertices); sample pairs locally instead",
@@ -350,6 +443,8 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
     graph = load_edge_list(args.edges) if args.edges else None
     if args.snapshot:
         # Serve from a saved labeling: no graph access, no reconstruction.
+        _note_jobs_not_applicable(args, "the snapshot serves "
+                                        "already-constructed labels")
         answerer = _open_snapshot_or_report(args.snapshot)
         if answerer is None:
             return 2
@@ -359,8 +454,12 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
             print("error: batch-query needs --edges, --snapshot, or --oracle",
                   file=sys.stderr)
             return 2
+        executor = _cli_executor(args)
+        if executor is None:
+            return 2
         answerer = Oracle.build(graph, max_faults=args.max_faults,
-                                variant=args.variant, random_seed=args.seed)
+                                variant=args.variant, random_seed=args.seed,
+                                executor=executor)
         source = "constructed"
     if args.check and graph is None:
         print("error: --check compares against BFS ground truth and needs --edges",
@@ -423,7 +522,10 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
 
 
 def cmd_export_labels(args: argparse.Namespace) -> int:
-    graph, oracle = _build_oracle(args)
+    built = _build_oracle(args)
+    if built is None:
+        return 2
+    graph, oracle = built
     payload = {
         "format": "ftc-labels",
         "max_faults": args.max_faults,
@@ -454,6 +556,8 @@ def cmd_audit(args: argparse.Namespace) -> int:
     # only replaces where the *answers* come from (no reconstruction).
     graph = load_edge_list(args.edges)
     if args.snapshot:
+        _note_jobs_not_applicable(args, "the snapshot serves "
+                                        "already-constructed labels")
         answerer = _open_snapshot_or_report(args.snapshot)
         if answerer is None:
             return 2
@@ -477,8 +581,12 @@ def cmd_audit(args: argparse.Namespace) -> int:
                   "(--max-faults %d does not apply in snapshot mode)"
                   % (max_faults, args.max_faults), file=sys.stderr)
     else:
+        executor = _cli_executor(args)
+        if executor is None:
+            return 2
         answerer = Oracle.build(graph, max_faults=args.max_faults,
-                                variant=args.variant, random_seed=args.seed)
+                                variant=args.variant, random_seed=args.seed,
+                                executor=executor)
         max_faults = args.max_faults
     workload = make_query_workload(graph, num_queries=args.queries,
                                    max_faults=max_faults, seed=args.seed)
@@ -494,7 +602,10 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 
 def cmd_save_labeling(args: argparse.Namespace) -> int:
-    graph, oracle = _build_oracle(args)
+    built = _build_oracle(args)
+    if built is None:
+        return 2
+    graph, oracle = built
     byte_count = oracle.save(args.output)
     print(json.dumps({
         "written": args.output,
@@ -504,6 +615,7 @@ def cmd_save_labeling(args: argparse.Namespace) -> int:
         "variant": args.variant,
         "max_faults": args.max_faults,
         "construction_seconds": oracle.construction_seconds,
+        "build_report": oracle.build_report.to_dict(),
     }, indent=2))
     return 0
 
@@ -537,10 +649,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         event["snapshot"] = args.snapshot
         print(json.dumps(event), flush=True)
 
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
     try:
         return run_server(oracle, host=args.host, port=args.port,
                           max_sessions=args.max_sessions,
                           max_request_bytes=args.max_request_bytes,
+                          jobs=args.jobs,
                           announce=announce)
     except OSError as error:  # e.g. port already in use
         print("error: cannot serve on %s:%d: %s" % (args.host, args.port, error),
@@ -603,6 +719,11 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=[variant.value for variant in SchemeVariant],
                          help="which Table-1 scheme to build")
         sub.add_argument("--seed", type=int, default=0, help="seed for randomized variants")
+        sub.add_argument("--jobs", type=int, default=None,
+                         help="shard label construction across N workers "
+                              "(N > 1 uses the multiprocessing executor of "
+                              "repro.build; results are byte-identical to a "
+                              "serial build)")
 
     def add_json_flag(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--json", action="store_true",
@@ -702,6 +823,9 @@ def build_parser() -> argparse.ArgumentParser:
                               default=1 << 20,
                               help="cap on one request line; longer lines get a "
                                    "structured oversized-request error")
+    serve_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker threads building batch sessions "
+                                   "(default: the executor's own sizing)")
     serve_parser.set_defaults(handler=cmd_serve)
 
     client_parser = subparsers.add_parser(

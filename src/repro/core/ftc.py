@@ -22,25 +22,17 @@ loaded back from bytes.
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
 from typing import Hashable, Iterable, Sequence
 
 from repro.core.batch import BatchQuerySession
-from repro.core.config import FTCConfig, SchemeVariant
+from repro.core.config import FTCConfig
 from repro.core.fast_query import FastQueryEngine
 from repro.core.labels import EdgeLabel, VertexLabel
 from repro.core.query import BasicQueryEngine, QueryFailure, canonical_fault_key
-from repro.core.transform import TransformedInstance, build_transformed_instance
-from repro.core.tree_scheme import TreeEdgeLabeling
+from repro.core.transform import TransformedInstance
 from repro.graphs.graph import Edge, Graph, canonical_edge
-from repro.hierarchy.config import HierarchyConfig
-from repro.hierarchy.deterministic import build_deterministic_hierarchy
-from repro.hierarchy.randomized import build_randomized_hierarchy
 from repro.outdetect.base import OutdetectScheme
-from repro.outdetect.layered import LayeredOutdetect
-from repro.outdetect.rs_threshold import RSThresholdOutdetect
-from repro.outdetect.sketch import SketchOutdetect
 
 Vertex = Hashable
 
@@ -256,64 +248,32 @@ class LabelBackedQueries:
 
 
 class FTCLabeling(LabelBackedQueries):
-    """Labels of one graph for one fault budget, plus the matching decoder."""
+    """Labels of one graph for one fault budget, plus the matching decoder.
 
-    def __init__(self, graph: Graph, config: FTCConfig, root: Vertex | None = None):
-        if graph.num_vertices() < 1:
-            raise ValueError("the input graph must have at least one vertex")
-        if not graph.is_connected():
-            raise ValueError("the input graph must be connected "
-                             "(run one labeling per connected component)")
+    Construction is delegated entirely to the staged
+    :class:`~repro.build.plan.BuildPlan` — this class is a thin shim that
+    runs the plan and exposes the result through the query surface, so no
+    caller constructs labelings ad hoc anymore.  ``executor`` / ``jobs``
+    select the execution strategy (serial by default; see
+    :mod:`repro.build.executors`), and the resulting
+    :class:`~repro.build.plan.BuildReport` is kept as ``build_report``.
+    Every executor produces a byte-identical labeling.
+    """
+
+    def __init__(self, graph: Graph, config: FTCConfig, root: Vertex | None = None,
+                 executor=None, jobs: int | None = None):
+        from repro.build.plan import BuildPlan
+
         self.graph = graph
         self.config = config
-        start = time.perf_counter()
-        self.instance: TransformedInstance = build_transformed_instance(
-            graph, root=root, edge_id_mode=config.edge_id_mode)
-        self.outdetect: OutdetectScheme = self._build_outdetect()
-        self._tree_labeling = TreeEdgeLabeling(self.instance, self.outdetect)
-        self.construction_seconds = time.perf_counter() - start
-        self._hierarchy = getattr(self, "_hierarchy", None)
+        result = BuildPlan(graph, config, root=root).run(executor, jobs)
+        self.instance: TransformedInstance = result.instance
+        self.outdetect: OutdetectScheme = result.outdetect
+        self._tree_labeling = result.tree_labeling
+        self._hierarchy = result.hierarchy
+        self.build_report = result.report
+        self.construction_seconds = result.report.total_seconds
         self._init_session_cache()
-
-    # ------------------------------------------------------------ construction
-
-    def _build_outdetect(self) -> OutdetectScheme:
-        instance = self.instance
-        config = self.config
-        vertices = list(instance.auxiliary.tree_prime.vertices())
-        if config.variant.uses_hierarchy:
-            hierarchy_config = HierarchyConfig(
-                max_faults=config.max_faults,
-                rule=config.threshold_rule,
-                net_algorithm=config.net_algorithm,
-                random_seed=config.random_seed,
-            )
-            if config.variant is SchemeVariant.RANDOMIZED_FULL:
-                hierarchy = build_randomized_hierarchy(instance.non_tree_edges, hierarchy_config)
-            else:
-                hierarchy = build_deterministic_hierarchy(
-                    instance.non_tree_edges, instance.tour, hierarchy_config)
-            self._hierarchy = hierarchy
-            if not hierarchy.levels:
-                # A tree has no non-tree edges; a single trivial level keeps the
-                # layered machinery uniform.
-                level_scheme = RSThresholdOutdetect(
-                    instance.codec.field, 1, vertices, {},
-                    adaptive=config.adaptive_decoding)
-                return LayeredOutdetect([level_scheme])
-            level_schemes = []
-            for level_edges, threshold in zip(hierarchy.levels, hierarchy.thresholds):
-                edge_ids = {edge: instance.edge_ids[edge] for edge in level_edges}
-                level_schemes.append(RSThresholdOutdetect(
-                    instance.codec.field, threshold, vertices, edge_ids,
-                    adaptive=config.adaptive_decoding))
-            return LayeredOutdetect(level_schemes)
-        # Sketch-based baselines (Dory--Parter second scheme).
-        self._hierarchy = None
-        return SketchOutdetect(
-            vertices, instance.edge_ids,
-            repetitions=config.effective_sketch_repetitions(),
-            seed=config.random_seed)
 
     # ---------------------------------------------------------------- labels
 

@@ -20,7 +20,8 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Sequence
 
 from repro.core.batch import BatchQuerySession
-from repro.core.config import FTCConfig, SchemeVariant, resolve_ftc_config
+from repro.core.config import (FTCConfig, SchemeVariant, resolve_build_executor,
+                               resolve_ftc_config)
 from repro.core.ftc import FTCLabeling
 from repro.core.labels import EdgeLabel, VertexLabel
 from repro.core.query import QueryFailure
@@ -44,11 +45,13 @@ class FTConnectivityOracle:
 
     def __init__(self, graph: Graph, max_faults: int | None = None,
                  variant: SchemeVariant | str | None = None,
-                 config: FTCConfig | None = None, use_fast_engine: bool = True):
+                 config: FTCConfig | None = None, use_fast_engine: bool = True,
+                 executor=None, jobs: int | None = None):
         self.config = resolve_ftc_config(max_faults=max_faults, config=config,
                                          variant=variant)
         self.graph = graph
-        self.labeling = FTCLabeling(graph, self.config)
+        self.labeling = FTCLabeling(graph, self.config,
+                                    executor=resolve_build_executor(executor, jobs))
         self.use_fast_engine = use_fast_engine
         self._queries_answered = 0
 
@@ -166,6 +169,11 @@ class FTConnectivityOracle:
     @property
     def construction_seconds(self) -> float:
         return self.labeling.construction_seconds
+
+    @property
+    def build_report(self):
+        """The :class:`~repro.build.plan.BuildReport` of the construction."""
+        return self.labeling.build_report
 
     # ------------------------------------------------------------ statistics
 

@@ -10,7 +10,7 @@ syndrome decoding — deterministically.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.coding.rs_decoder import DecodeFailure, SparseRecoveryDecoder
 from repro.coding.syndrome import SyndromeEncoder
@@ -82,32 +82,62 @@ class RSThresholdOutdetect(OutdetectScheme):
         scheme._labels = {}
         return scheme
 
-    def _build_labels(self, vertices: list) -> None:
-        """Compute all vertex labels with two bulk calls.
+    @classmethod
+    def from_label_matrix(cls, field: GF2m, threshold: int, vertices: Iterable[Vertex],
+                          edge_ids: Mapping[Edge, int], matrix: Sequence,
+                          adaptive: bool = True,
+                          bulk: BulkOps | None = None) -> "RSThresholdOutdetect":
+        """Assemble a scheme from an externally built label matrix.
 
-        Every edge's parity-check row (its consecutive powers) is produced by
-        one ``pow_range_many`` over all identifiers, and the rows are scattered
-        into the per-vertex label matrix in one XOR pass.
+        The merge step of the sharded build plan (:mod:`repro.build.plan`)
+        XORs per-shard partial matrices back together and hands the result
+        here; nothing is recomputed, so the scheme is bit-identical to one
+        whose constructor built the same matrix in a single shot.
+        """
+        scheme = cls.decode_only(field, threshold, adaptive=adaptive, bulk=bulk)
+        scheme.edge_ids = dict(edge_ids)
+        vertices = list(vertices)
+        if len(matrix) != len(vertices):
+            raise ValueError("label matrix has %d rows for %d vertices"
+                             % (len(matrix), len(vertices)))
+        scheme._labels = {vertex: list(row) for vertex, row in zip(vertices, matrix)}
+        return scheme
+
+    def label_matrix(self, vertices: Sequence[Vertex],
+                     edge_items: Sequence) -> list:
+        """Partial label matrix of one edge slice, aligned with ``vertices``.
+
+        ``edge_items`` is a sequence of ``((u, v), identifier)`` pairs —
+        any subset of a level's edges.  Every edge's parity-check row (its
+        consecutive powers) is produced by one ``pow_range_many`` over the
+        identifiers, and the rows are scattered into the per-vertex matrix in
+        one XOR pass.  Because labels are XOR sums over incident edges, the
+        matrices of any partition of the edge set XOR back into the
+        full-build matrix — the shard-friendly shape of the build plan.
         """
         vertex_index = {vertex: position for position, vertex in enumerate(vertices)}
-        edges = list(self.edge_ids.items())
-        for (u, v), _ in edges:
+        edge_items = list(edge_items)
+        for (u, v), _ in edge_items:
             for endpoint in (u, v):
                 if endpoint not in vertex_index:
                     raise KeyError("edge endpoint %r is not among the scheme's vertices"
                                    % (endpoint,))
-        rows = self._encoder.encode_many([identifier for _, identifier in edges])
+        rows = self._encoder.encode_many([identifier for _, identifier in edge_items])
         indices: list[int] = []
         scattered: list[list[int]] = []
-        for ((u, v), _), row in zip(edges, rows):
+        for ((u, v), _), row in zip(edge_items, rows):
             indices.append(vertex_index[u])
             indices.append(vertex_index[v])
             scattered.append(row)
             scattered.append(row)
-        matrix = self.bulk.scatter_xor_rows(len(vertices), self._encoder.length,
-                                            indices, scattered)
+        return self.bulk.scatter_xor_rows(len(vertices), self._encoder.length,
+                                          indices, scattered)
+
+    def _build_labels(self, vertices: list) -> None:
+        """Compute all vertex labels with two bulk calls (single-shot build)."""
+        matrix = self.label_matrix(vertices, list(self.edge_ids.items()))
         self._labels: dict[Vertex, list[int]] = {
-            vertex: matrix[position] for vertex, position in vertex_index.items()}
+            vertex: row for vertex, row in zip(vertices, matrix)}
 
     # ------------------------------------------------------------ OutdetectScheme
 

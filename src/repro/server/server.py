@@ -33,6 +33,7 @@ import contextlib
 import signal
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
 from repro.core.query import QueryFailure
@@ -354,19 +355,29 @@ class BackgroundServer:
 def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
                max_sessions: int | None = None,
                max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
+               jobs: int | None = None,
                announce: Callable[[dict], None] | None = None) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Starts the server, reports the bound address through ``announce`` (the
     CLI prints it as a JSON line so scripts can wait for readiness and learn
     an ephemeral port), and serves until SIGTERM/SIGINT, then shuts down
-    cleanly.  Returns a process exit code.
+    cleanly.  ``jobs`` bounds the worker threads that build batch sessions
+    (the CLI's ``--jobs``; default lets the executor size itself).  Returns a
+    process exit code.
     """
+    executor = None
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1, got %d" % jobs)
+        executor = ThreadPoolExecutor(max_workers=jobs,
+                                      thread_name_prefix="repro-session")
 
     async def _main() -> None:
         server = QueryServer(oracle, host=host, port=port,
                              max_sessions=max_sessions,
-                             max_request_bytes=max_request_bytes)
+                             max_request_bytes=max_request_bytes,
+                             executor=executor)
         bound_host, bound_port = await server.start()
         if announce is not None:
             announce({"event": "serving", "host": bound_host, "port": bound_port,
@@ -386,6 +397,9 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
         asyncio.run(_main())
     except KeyboardInterrupt:  # platforms without add_signal_handler
         pass
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
     return 0
 
 

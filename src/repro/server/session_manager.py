@@ -21,6 +21,8 @@ session LRU:
 from __future__ import annotations
 
 import asyncio
+import threading
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Sequence
 
@@ -38,6 +40,14 @@ class SessionManager:
     the oracle are coroutines; the oracle work itself runs on the executor.
     """
 
+    #: Approximate-top-K bound: once this many distinct fault-set keys are
+    #: tracked, novel keys are no longer admitted (heavy hitters by then are
+    #: already in the table, and the table must not grow with traffic).
+    HOT_KEY_TRACK_LIMIT = 1024
+
+    #: How many of the hottest fault-set keys ``stats`` reports.
+    HOT_KEY_TOP_K = 10
+
     def __init__(self, oracle, max_sessions: int | None = None,
                  executor: ThreadPoolExecutor | None = None,
                  metrics: ServerMetrics | None = None):
@@ -54,6 +64,11 @@ class SessionManager:
             thread_name_prefix="repro-session")
         #: canonical fault key -> future of the in-flight construction.
         self._inflight: dict[tuple, asyncio.Future] = {}
+        #: Per-fault-set-key traffic, for hot-key reporting / pre-warming.
+        self._hot_keys: Counter = Counter()
+        #: First-seen human-readable rendering of each tracked key.
+        self._hot_key_names: dict[tuple, str] = {}
+        self._hot_lock = threading.Lock()
 
     # ------------------------------------------------------------- sessions
 
@@ -70,6 +85,7 @@ class SessionManager:
         # Keying decodes at most f (small) edge labels — cheap enough for the
         # loop, and required before we can dedup in-flight construction.
         _, key = self.oracle._fault_labels_keyed(fault_list)
+        self._record_hot_key(key, fault_list)
         session = self.oracle._cached_session(key)
         if session is not None:
             self.metrics.record_session_hit()
@@ -117,6 +133,49 @@ class SessionManager:
         self.metrics.add_queries(len(answers))
         return answers
 
+    # ------------------------------------------------------------- hot keys
+
+    def _record_hot_key(self, key: tuple, fault_list: list) -> None:
+        """Count one lookup of a canonical fault-set key (hit, miss, or wait).
+
+        Every lookup counts — the point is traffic concentration, not cache
+        behavior: a key that stays hot is worth pre-warming after restarts
+        and sizing ``--max-sessions`` around.  The table is bounded by
+        :attr:`HOT_KEY_TRACK_LIMIT` (admission stops once full).
+        """
+        with self._hot_lock:
+            if key not in self._hot_keys and \
+                    len(self._hot_keys) >= self.HOT_KEY_TRACK_LIMIT:
+                return
+            self._hot_keys[key] += 1
+            if key not in self._hot_key_names:
+                self._hot_key_names[key] = _render_fault_set(fault_list)
+
+    def hot_keys(self, top: int | None = None) -> dict:
+        """The ``top`` hottest fault sets as ``{rendered fault set: lookups}``.
+
+        Rendered deterministically (count-descending, then name) so the
+        Prometheus family ``session_hot_keys{key=...}`` is stable between
+        scrapes.
+        """
+        if top is None:
+            top = self.HOT_KEY_TOP_K
+        with self._hot_lock:
+            ranked = sorted(self._hot_keys.items(),
+                            key=lambda item: (-item[1], self._hot_key_names[item[0]]))
+            # Truncated renderings of two large distinct fault sets can
+            # coincide; every key of an ambiguous name gets a digest suffix —
+            # unconditionally, so one Prometheus series never switches which
+            # fault set it counts as their ranks change between scrapes.
+            name_owners: Counter = Counter(self._hot_key_names.values())
+            report: dict = {}
+            for key, count in ranked[:top]:
+                name = self._hot_key_names[key]
+                if name_owners[name] > 1:
+                    name = "%s#%s" % (name, _key_digest(key))
+                report[name] = count
+            return report
+
     # ---------------------------------------------------------------- stats
 
     def stats(self) -> dict:
@@ -124,12 +183,39 @@ class SessionManager:
         stats = self.metrics.snapshot()
         stats["session_cache"] = self.oracle.session_cache_info()
         stats["inflight_builds"] = len(self._inflight)
+        # The *_by_key suffix makes the Prometheus renderer emit one labeled
+        # family: repro_server_session_hot_keys{key="a-b,c-d"} N.
+        stats["session_hot_keys_by_key"] = self.hot_keys()
+        with self._hot_lock:
+            stats["session_hot_keys_tracked"] = len(self._hot_keys)
         return stats
 
     def close(self) -> None:
         """Shut down the worker pool (only if this manager created it)."""
         if self._own_executor:
             self._executor.shutdown(wait=True)
+
+
+def _key_digest(key: tuple) -> str:
+    """Short stable digest of a canonical fault key (collision tiebreak)."""
+    import hashlib
+
+    return hashlib.blake2b(repr(key).encode(), digest_size=3).hexdigest()
+
+
+def _render_fault_set(fault_list: list) -> str:
+    """A compact, human-identifiable rendering of one fault set.
+
+    Uses the client-facing edges (not the opaque canonical key) so operators
+    can replay the set against ``client-query --fault``; sorted so
+    permutations of one set render identically.
+    """
+    if not fault_list:
+        return "(none)"
+    rendered = sorted({"%s-%s" % (u, v) for u, v in fault_list})
+    if len(rendered) > 8:
+        rendered = rendered[:8] + ["+%d" % (len(rendered) - 8)]
+    return ",".join(rendered)
 
 
 __all__ = ["SessionManager"]

@@ -531,3 +531,92 @@ def test_session_manager_single_flight_counts(world, oracle):
             manager.close()
 
     asyncio.run(scenario())
+
+
+def test_session_hot_key_accounting(world, oracle):
+    """Per-fault-set traffic shows up as a ranked session_hot_keys family."""
+    graph, _ = world
+    sets = workload(graph, num_sets=3, num_pairs=2, seed=9)
+
+    async def scenario():
+        manager = SessionManager(oracle, max_sessions=4)
+        try:
+            # Skew the traffic: set 0 gets 5 lookups, set 1 gets 2, set 2 gets 1.
+            for (faults, pairs, _), repeats in zip(sets, (5, 2, 1)):
+                for _ in range(repeats):
+                    await manager.connected_many(pairs, faults)
+            hot = manager.stats()["session_hot_keys_by_key"]
+            assert list(hot.values()) == sorted(hot.values(), reverse=True)
+            assert max(hot.values()) == 5 and sum(hot.values()) == 8
+            hottest = next(iter(hot))
+            rendered = sorted({"%s-%s" % edge for edge in sets[0][0]})
+            assert hottest == ",".join(rendered)
+            # Permutations and duplicate restatements share one hot key.
+            await manager.connected_many(sets[0][1],
+                                         list(reversed(sets[0][0])) + sets[0][0][:1])
+            assert manager.stats()["session_hot_keys_by_key"][hottest] == 6
+            assert manager.stats()["session_hot_keys_tracked"] == 3
+        finally:
+            manager.close()
+
+    asyncio.run(scenario())
+
+
+def test_hot_keys_render_in_prometheus_exposition(world, oracle):
+    """The server's stats reach to_prometheus() as one labeled family."""
+    graph, _ = world
+    (faults, pairs, _), = workload(graph, num_sets=1, num_pairs=2, seed=10)
+
+    async def scenario():
+        server = await _start(oracle)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        for _ in range(3):
+            await client.connected_many(pairs, faults)
+        stats = await client.stats()
+        await client.close()
+        await server.close()
+        return stats
+
+    stats = asyncio.run(scenario())
+    assert stats["server"]["session_hot_keys_by_key"], stats["server"]
+    from repro.api import OracleStats
+
+    text = OracleStats(
+        transport="tcp", max_faults=MAX_FAULTS,
+        extra={"server": stats["server"]}).to_prometheus()
+    rendered = sorted({"%s-%s" % edge for edge in faults})
+    assert 'repro_server_session_hot_keys{key="%s"} 3' % ",".join(rendered) in text
+
+
+def test_hot_key_table_is_bounded(oracle):
+    """Novel keys stop being admitted once the tracking table is full."""
+    manager = SessionManager(oracle, max_sessions=4)
+    try:
+        manager.HOT_KEY_TRACK_LIMIT = 2
+        manager._record_hot_key(("a",), [("u", "v")])
+        manager._record_hot_key(("b",), [("w", "x")])
+        manager._record_hot_key(("c",), [("y", "z")])  # not admitted
+        manager._record_hot_key(("a",), [("u", "v")])  # still counted
+        assert manager.hot_keys() == {"u-v": 2, "w-x": 1}
+    finally:
+        manager.close()
+
+
+def test_hot_key_name_collisions_get_stable_suffixes(oracle):
+    """A Prometheus series must never switch fault sets when ranks change."""
+    manager = SessionManager(oracle, max_sessions=4)
+    try:
+        manager._hot_keys[("a",)] = 3
+        manager._hot_key_names[("a",)] = "r"
+        manager._hot_keys[("b",)] = 5
+        manager._hot_key_names[("b",)] = "r"
+        first = manager.hot_keys()
+        assert set(first.values()) == {3, 5}
+        assert all(name.startswith("r#") for name in first)
+        name_of_a = next(name for name, count in first.items() if count == 3)
+        manager._hot_keys[("a",)] = 9  # ranks swap; names must not
+        second = manager.hot_keys()
+        assert set(second) == set(first)
+        assert second[name_of_a] == 9
+    finally:
+        manager.close()
