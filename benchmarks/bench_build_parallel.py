@@ -40,7 +40,8 @@ if __package__ is None or __package__ == "":
     from pathlib import Path
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from common import bench_strict, cached_graph, check_speedup, print_table
+from common import (bench_strict, cached_graph, check_speedup, emit_bench_json,
+                    print_table)
 from repro.build import resolve_executor
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.ftc import FTCLabeling
@@ -157,6 +158,21 @@ def main(argv=None) -> int:
                 _HEADERS, _table_rows(results))
     print("all executors produced byte-identical snapshots "
           "(%d bytes)" % len(results["serial"]["snapshot"]))
+    serial_seconds = results["serial"]["seconds"]
+    emit_bench_json("build_parallel", {
+        "n": args.n,
+        "max_faults": args.max_faults,
+        "variant": args.variant,
+        "snapshot_bytes": len(results["serial"]["snapshot"]),
+        "executors": {
+            spec: {
+                "build_seconds": result["seconds"],
+                "jobs": result["report"].jobs,
+                "shards": result["report"].shard_count,
+                "speedup_vs_serial": serial_seconds / max(result["seconds"], 1e-12),
+            } for spec, result in results.items()
+        },
+    })
     if minimum:
         try:
             _check_process_speedup(results, minimum)

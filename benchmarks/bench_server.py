@@ -41,7 +41,8 @@ if __package__ is None or __package__ == "":
     from pathlib import Path
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from common import bench_strict, cached_graph, check_speedup, print_table
+from common import (bench_strict, cached_graph, check_speedup, emit_bench_json,
+                    print_table)
 from repro.api import Oracle
 from repro.core.config import SchemeVariant
 from repro.server import BackgroundServer
@@ -210,6 +211,18 @@ def main(argv=None) -> int:
     print("all wire answers bit-identical to the in-process oracle; "
           "%d session builds for %d distinct fault sets"
           % (result["session_builds"], NUM_FAULT_SETS))
+    emit_bench_json("server", {
+        "n": args.n,
+        "max_faults": args.max_faults,
+        "pairs_per_request": PAIRS_PER_REQUEST,
+        "inprocess_qps": result["inprocess_qps"],
+        "single_client_qps": result["single_client_qps"],
+        "concurrent_qps": result["concurrent_qps"],
+        "num_clients": result["num_clients"],
+        "concurrent_ratio": result["concurrent_ratio"],
+        "hit_rate": result["hit_rate"],
+        "session_builds": result["session_builds"],
+    })
     if minimum and result["concurrent_ratio"] < minimum:
         print("FAIL: %d-client aggregate is %.2fx a single client (need %.1fx)"
               % (result["num_clients"], result["concurrent_ratio"], minimum),

@@ -37,7 +37,8 @@ if __package__ is None or __package__ == "":
     from pathlib import Path
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from common import bench_strict, cached_graph, check_speedup, print_table
+from common import (bench_strict, cached_graph, check_speedup, emit_bench_json,
+                    print_table)
 from repro.api import Oracle
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.ftc import FTCLabeling
@@ -169,6 +170,9 @@ def main(argv=None) -> int:
                 _HEADERS, _table_rows([result]))
     print("rehydrated answers bit-identical to the live labeling "
           "(%d pairs checked)" % args.pairs)
+    emit_bench_json("snapshot", {key: result[key] for key in (
+        "family", "n", "build_seconds", "serialize_seconds",
+        "rehydrate_seconds", "snapshot_bytes", "speedup")})
     if minimum and result["speedup"] < minimum:
         print("FAIL: rehydration speedup %.1fx below required %.1fx"
               % (result["speedup"], minimum), file=sys.stderr)

@@ -10,7 +10,10 @@ result tables that accompany the pytest-benchmark timings.
 from __future__ import annotations
 
 import functools
+import json
 import os
+import time
+from pathlib import Path
 
 from repro.core.config import FTCConfig, SchemeVariant
 from repro.core.ftc import FTCLabeling
@@ -71,6 +74,79 @@ def check_speedup(name: str, speedup: float, minimum: float) -> None:
     if bench_strict():
         raise AssertionError(message)
     print("ADVISORY (set REPRO_BENCH_STRICT=1 to enforce): %s" % message)
+
+
+def check_ratio_max(name: str, ratio: float, maximum: float,
+                    enforce: bool | None = None) -> None:
+    """Enforce (strict mode) or report (default) a wall-clock ratio ceiling.
+
+    The mirror image of :func:`check_speedup` for "A must stay within X times
+    B" targets, e.g. the ROADMAP's cold-session-within-2x-of-warm claim.
+    ``enforce`` overrides the strict-mode default: ``False`` keeps a target
+    advisory even under ``REPRO_BENCH_STRICT`` (for aspirational ROADMAP
+    targets that are tracked but not yet met).
+    """
+    if ratio <= maximum:
+        return
+    message = ("%s ratio %.2fx exceeds the %.1fx ceiling" % (name, ratio, maximum))
+    if enforce if enforce is not None else bench_strict():
+        raise AssertionError(message)
+    if enforce is False:
+        print("ADVISORY (tracked target, not enforced): %s" % message)
+    else:
+        print("ADVISORY (set REPRO_BENCH_STRICT=1 to enforce): %s" % message)
+
+
+# ----------------------------------------------------- machine-readable output
+
+#: Results recorded by benchmark code during a pytest run, keyed by benchmark
+#: name (``batch_queries`` for ``bench_batch_queries.py``); the conftest
+#: session hook folds these into the emitted ``BENCH_<name>.json`` files.
+_RECORDED_RESULTS: dict = {}
+
+
+def bench_output_dir() -> Path:
+    """Where ``BENCH_<name>.json`` files land (``REPRO_BENCH_DIR`` or CWD)."""
+    directory = Path(os.environ.get("REPRO_BENCH_DIR", "").strip() or ".")
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def record_bench_result(name: str, metrics: dict) -> None:
+    """Merge ``metrics`` into the machine-readable results of one benchmark.
+
+    Benchmarks call this from inside their pytest tests for the quantities the
+    timing fixtures do not capture (speedup ratios, table rows, workload
+    parameters); everything recorded under ``name`` ends up in that
+    benchmark's ``BENCH_<name>.json``.
+    """
+    _RECORDED_RESULTS.setdefault(name, {}).update(metrics)
+
+
+def recorded_bench_results() -> dict:
+    """The results recorded so far (consumed by the conftest session hook)."""
+    return _RECORDED_RESULTS
+
+
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write one benchmark's machine-readable results file.
+
+    The file is ``BENCH_<name>.json`` in :func:`bench_output_dir`, with a
+    small envelope (benchmark name, unix timestamp, strict flag) around the
+    payload so :mod:`compare` can diff two runs of the same benchmark.
+    Returns the written path.
+    """
+    path = bench_output_dir() / ("BENCH_%s.json" % name)
+    document = {
+        "benchmark": name,
+        "created_unix": time.time(),
+        "strict": bench_strict(),
+        "results": payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True, default=str)
+                    + "\n")
+    print("wrote %s" % path)
+    return path
 
 
 def print_table(title: str, headers: list, rows: list) -> None:

@@ -1,0 +1,133 @@
+"""Diff two ``BENCH_<name>.json`` result files and flag regressions.
+
+The benchmark harness (the conftest session hook and the scripts' ``main()``
+entry points) writes machine-readable results; this tool compares two runs of
+the same benchmark::
+
+    python benchmarks/compare.py BENCH_batch_queries.old.json \\
+        BENCH_batch_queries.json --threshold 1.25
+
+Every numeric quantity present in both files is matched by its path
+(pytest-benchmark timing entries are keyed by test ``fullname``, so reordered
+runs still line up).  A metric *regresses* when
+
+* it is lower-is-better (timing stats such as ``mean``/``median``/``min``,
+  and recorded values ending in ``_seconds`` or ``_ratio``) and the new value
+  exceeds the old by more than the threshold factor, or
+* it is higher-is-better (``ops`` and recorded values containing ``speedup``)
+  and the new value falls below the old by more than the threshold factor.
+
+Exit status 1 when any metric regressed, 0 otherwise (``--report-only``
+disables the failure exit for advisory use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Leaf names of pytest-benchmark stats where smaller is better.
+LOWER_IS_BETTER_STATS = {"mean", "median", "min", "max"}
+
+#: Leaf names where larger is better.
+HIGHER_IS_BETTER_STATS = {"ops"}
+
+#: Stats leaves that are descriptive, not comparable quality metrics.
+IGNORED_STATS = {"stddev", "iqr", "outliers", "ld15iqr", "hd15iqr", "rounds",
+                 "iterations", "total", "q1", "q3", "iqr_outliers",
+                 "stddev_outliers", "created_unix"}
+
+
+def _direction(leaf: str) -> str | None:
+    """``"lower"``, ``"higher"``, or ``None`` when the metric is not compared."""
+    if leaf in IGNORED_STATS:
+        return None
+    if leaf in LOWER_IS_BETTER_STATS or leaf.endswith(("_seconds", "_ratio")):
+        return "lower"
+    if leaf in HIGHER_IS_BETTER_STATS or "speedup" in leaf:
+        return "higher"
+    return None
+
+
+def _flatten(node, prefix: str, out: dict) -> None:
+    """Collect numeric leaves as ``{dotted.path: value}``.
+
+    Lists of pytest-benchmark entries are keyed by each entry's ``fullname``
+    so two runs align even if test order changed; other lists use indices.
+    """
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _flatten(value, "%s.%s" % (prefix, key) if prefix else str(key), out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            key = value.get("fullname", str(index)) if isinstance(value, dict) \
+                else str(index)
+            _flatten(value, "%s.%s" % (prefix, key) if prefix else key, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+
+
+def load_results(path: Path) -> dict:
+    document = json.loads(path.read_text())
+    flat: dict = {}
+    _flatten(document.get("results", document), "", flat)
+    return flat
+
+
+def compare(old: dict, new: dict, threshold: float) -> tuple[list, list]:
+    """Return ``(rows, regressions)`` over the metrics present in both runs."""
+    rows = []
+    regressions = []
+    for path in sorted(old.keys() & new.keys()):
+        leaf = path.rsplit(".", 1)[-1]
+        direction = _direction(leaf)
+        if direction is None:
+            continue
+        old_value, new_value = old[path], new[path]
+        if old_value <= 0 or new_value <= 0:
+            continue
+        ratio = new_value / old_value
+        regressed = (ratio > threshold) if direction == "lower" \
+            else (ratio < 1.0 / threshold)
+        rows.append((path, old_value, new_value, ratio, regressed))
+        if regressed:
+            regressions.append(path)
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_<name>.json files and flag regressions")
+    parser.add_argument("old", type=Path, help="baseline results file")
+    parser.add_argument("new", type=Path, help="candidate results file")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="allowed slowdown factor before a metric counts "
+                             "as regressed (default 1.25)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="always exit 0 (advisory mode)")
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be greater than 1.0")
+
+    old = load_results(args.old)
+    new = load_results(args.new)
+    rows, regressions = compare(old, new, args.threshold)
+    if not rows:
+        print("no comparable metrics shared by %s and %s" % (args.old, args.new))
+        return 0
+    width = max(len(row[0]) for row in rows)
+    for path, old_value, new_value, ratio, regressed in rows:
+        flag = "  <-- REGRESSION" if regressed else ""
+        print("%s  %12.6g  %12.6g  %6.2fx%s"
+              % (path.ljust(width), old_value, new_value, ratio, flag))
+    print("%d metrics compared, %d regressed (threshold %.2fx)"
+          % (len(rows), len(regressions), args.threshold))
+    if regressions and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,13 +3,56 @@
 Makes the sibling ``common`` module importable when pytest is invoked from the
 repository root (``pytest benchmarks/ --benchmark-only``) and trims the
 benchmark rounds so the whole harness completes in minutes on a laptop.
+
+Every benchmark module additionally emits a machine-readable
+``BENCH_<name>.json`` at session end (ROADMAP item 5c): the session hook below
+collects the pytest-benchmark timing stats per module and folds in whatever
+the benchmark code recorded via :func:`common.record_bench_result` (speedup
+ratios, table rows, workload parameters).  ``REPRO_BENCH_DIR`` selects the
+output directory; ``compare.py`` diffs two such files and flags regressions.
 """
 
+import json
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import common  # noqa: E402  (needs the path entry above)
+
 
 def pytest_benchmark_update_machine_info(config, machine_info):
     machine_info["harness"] = "repro FTC labeling benchmark suite"
+
+
+def _module_bench_name(fullname: str) -> str:
+    """``benchmarks/bench_batch_queries.py::test_x`` -> ``batch_queries``."""
+    stem = Path(fullname.split("::", 1)[0]).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one ``BENCH_<name>.json`` per benchmark module that ran."""
+    grouped: dict = {}
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is not None:
+        for bench in getattr(bench_session, "benchmarks", []):
+            name = _module_bench_name(bench.fullname)
+            try:
+                entry = bench.as_dict(include_data=False, stats=not bench.has_error)
+            except Exception:  # stats may be absent when the run was disabled
+                entry = {"name": bench.name, "group": bench.group}
+            grouped.setdefault(name, {}).setdefault("timings", []).append(entry)
+    for name, metrics in common.recorded_bench_results().items():
+        grouped.setdefault(name, {}).setdefault("recorded", {}).update(metrics)
+    for name, payload in sorted(grouped.items()):
+        path = common.bench_output_dir() / ("BENCH_%s.json" % name)
+        document = {
+            "benchmark": name,
+            "created_unix": time.time(),
+            "strict": common.bench_strict(),
+            "results": payload,
+        }
+        path.write_text(json.dumps(document, indent=2, sort_keys=True,
+                                   default=str) + "\n")

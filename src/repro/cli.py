@@ -148,6 +148,26 @@ def read_pairs_file(path: str | Path) -> list:
     return pairs
 
 
+def read_faults_file(path: str | Path) -> list:
+    """Read a file with one fault set per line: whitespace-separated ``u-v``
+    edges (``#`` comments ok).  A line of just ``-`` means the empty set."""
+    fault_sets = []
+    text = Path(path).read_text()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped == "-":
+            fault_sets.append([])
+            continue
+        try:
+            fault_sets.append([parse_fault(token) for token in stripped.split()])
+        except ValueError:
+            raise ValueError("line %d of %s is not a fault set of u-v edges: %r"
+                             % (line_number, path, line))
+    return fault_sets
+
+
 def _cli_executor(args: argparse.Namespace):
     """Resolve ``--jobs`` / URI executor options, or ``None`` after a CLI error.
 
@@ -384,6 +404,11 @@ def _cmd_batch_query_remote(args: argparse.Namespace) -> int:
     """The tcp:// transport of ``batch-query``: membership checks happen
     server-side and come back as structured errors."""
     _note_jobs_not_applicable(args, "the server already holds its labels")
+    if args.faults_file:
+        print("error: --faults-file needs a local transport (the server builds "
+              "and caches its own sessions); send one fault set per request",
+              file=sys.stderr)
+        return 2
     if args.random_pairs:
         print("error: --random-pairs needs a local transport (the server does "
               "not enumerate vertices); sample pairs locally instead",
@@ -434,6 +459,48 @@ def _cmd_batch_query_remote(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _answer_fault_sets(args: argparse.Namespace, answerer, source: str,
+                       graph, fault_sets: list, pairs: list) -> int:
+    """The ``--faults-file`` path of ``batch-query``: sessions for every
+    distinct fault set are constructed up front — fanned out across
+    ``--jobs`` workers — then the shared pair list is answered under each
+    set (a pure cache hit by then)."""
+    try:
+        answerer.build_sessions(fault_sets, jobs=args.jobs)
+        batches = [answerer.connected_many(pairs, faults)
+                   for faults in fault_sets]
+    except LabelDecodeError as error:
+        print("error: snapshot label data is corrupt: %s" % error, file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # Typically: more distinct faults than the scheme's budget f.
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    entries = []
+    for faults, answers in zip(fault_sets, batches):
+        entry = _batch_report(source, faults, pairs, answers)
+        del entry["labels"]  # hoisted to the envelope; identical for all sets
+        entries.append(entry)
+    report = {
+        "labels": source,
+        "num_fault_sets": len(fault_sets),
+        "num_pairs": len(pairs),
+        "session_jobs": args.jobs if args.jobs is not None else 1,
+        "batches": entries,
+    }
+    exit_code = 0
+    if args.check:
+        mismatches = 0
+        for faults, answers in zip(fault_sets, batches):
+            truth = [graph.connected(s, t, removed=faults) for s, t in pairs]
+            mismatches += sum(1 for answer, expected in zip(answers, truth)
+                              if answer != expected)
+        report["ground_truth_mismatches"] = mismatches
+        exit_code = 0 if mismatches == 0 else 1
+    _print_report(report, args.json)
+    return exit_code
+
+
 def cmd_batch_query(args: argparse.Namespace) -> int:
     kind = _fold_oracle_uri(args)
     if kind == "error":
@@ -441,10 +508,16 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
     if kind == "tcp":
         return _cmd_batch_query_remote(args)
     graph = load_edge_list(args.edges) if args.edges else None
+    if args.faults_file and args.fault:
+        print("error: --faults-file and --fault are mutually exclusive "
+              "(put every fault set in the file)", file=sys.stderr)
+        return 2
     if args.snapshot:
         # Serve from a saved labeling: no graph access, no reconstruction.
-        _note_jobs_not_applicable(args, "the snapshot serves "
-                                        "already-constructed labels")
+        # With --faults-file, --jobs applies to *session* construction below.
+        if not args.faults_file:
+            _note_jobs_not_applicable(args, "the snapshot serves "
+                                            "already-constructed labels")
         answerer = _open_snapshot_or_report(args.snapshot)
         if answerer is None:
             return 2
@@ -477,7 +550,20 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
     if parsed is None:
         return 2
     faults, pairs = parsed
-    for u, v in faults:
+    fault_sets = None
+    if args.faults_file:
+        try:
+            fault_sets = read_faults_file(args.faults_file)
+        except (ValueError, OSError) as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        if not fault_sets:
+            print("error: %s contains no fault sets" % args.faults_file,
+                  file=sys.stderr)
+            return 2
+    all_fault_edges = faults if fault_sets is None else \
+        [edge for fault_set in fault_sets for edge in fault_set]
+    for u, v in all_fault_edges:
         for name, membership in memberships:
             if not membership.has_edge(u, v):
                 print("error: fault edge %s-%s is not in the %s" % (u, v, name),
@@ -498,6 +584,8 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
                     print("error: vertex %r is not in the %s" % (vertex, name),
                           file=sys.stderr)
                     return 2
+    if fault_sets is not None:
+        return _answer_fault_sets(args, answerer, source, graph, fault_sets, pairs)
     try:
         answers = answerer.connected_many(pairs, faults)
     except LabelDecodeError as error:
@@ -764,6 +852,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "for --check)")
     batch_parser.add_argument("--fault", action="append", default=[],
                               help="faulty edge as u-v (repeatable, shared by all pairs)")
+    batch_parser.add_argument("--faults-file", default=None,
+                              help="file with one fault set per line (whitespace-"
+                                   "separated u-v edges; '#' comments); the pair "
+                                   "list is answered under each fault set, with "
+                                   "sessions built up front — --jobs N constructs "
+                                   "them across N workers")
     batch_parser.add_argument("--pair", action="append", default=[],
                               help="query pair as s-t (repeatable)")
     batch_parser.add_argument("--pairs-file", default=None,

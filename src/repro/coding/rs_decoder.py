@@ -17,15 +17,26 @@ Reed--Solomon syndromes are themselves valid lower-threshold syndromes, the
 decoder can first try a short prefix and only fall back to longer ones,
 yielding a decoding time that depends on the actual support size rather than
 on the worst-case threshold ``k``.
+
+Batched decoding: :meth:`SparseRecoveryDecoder.decode_many_deferred` runs the
+same pipeline over many syndromes at once, advancing every stage — prefix BM,
+root finding, re-encode verification — across the whole batch so one batch is
+a handful of :class:`~repro.gf2.bulk.BulkOps` calls instead of one scalar
+pipeline per syndrome.  Per-syndrome control flow (the adaptive budget ladder,
+every failure check and its message) is preserved exactly, so each entry of
+the result is bit-identical to what the scalar :meth:`decode` /
+:meth:`decode_adaptive` would produce for that syndrome, including which
+:class:`DecodeFailure` it would raise.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.coding.berlekamp_massey import berlekamp_massey
-from repro.coding.rootfind import find_roots
+from repro.coding.berlekamp_massey import berlekamp_massey, berlekamp_massey_many
+from repro.coding.rootfind import find_roots, find_roots_many
 from repro.coding.syndrome import SyndromeEncoder
+from repro.gf2.bulk import BulkOps, get_bulk_ops
 from repro.gf2.field import GF2m
 
 
@@ -36,12 +47,13 @@ class DecodeFailure(Exception):
 class SparseRecoveryDecoder:
     """Recovers sparse supports from power-sum syndromes over GF(2^w)."""
 
-    __slots__ = ("field", "threshold", "_encoder")
+    __slots__ = ("field", "threshold", "bulk", "_encoder")
 
-    def __init__(self, field: GF2m, threshold: int):
+    def __init__(self, field: GF2m, threshold: int, bulk: BulkOps | None = None):
         self.field = field
         self.threshold = threshold
-        self._encoder = SyndromeEncoder(field, threshold)
+        self.bulk = bulk if bulk is not None else get_bulk_ops(field)
+        self._encoder = SyndromeEncoder(field, threshold, bulk=self.bulk)
 
     # ----------------------------------------------------------------- decode
 
@@ -75,6 +87,119 @@ class SparseRecoveryDecoder:
                     break
                 budget = min(budget * 2, self.threshold)
         raise last_error if last_error is not None else DecodeFailure("undecodable syndrome")
+
+    # ---------------------------------------------------------------- batched
+
+    def decode_many(self, syndromes: Sequence[Sequence[int]],
+                    adaptive: bool = False) -> list[list[int]]:
+        """Decode many syndromes at once; raises on the first failed entry.
+
+        Equivalent to ``[self.decode(s) for s in syndromes]`` (or the adaptive
+        variant), but the whole batch advances through each pipeline stage
+        together so the field arithmetic lands in bulk backend calls.
+        """
+        results = self.decode_many_deferred(syndromes, adaptive=adaptive)
+        for entry in results:
+            if isinstance(entry, DecodeFailure):
+                raise entry
+        return results
+
+    def decode_many_deferred(self, syndromes: Sequence[Sequence[int]],
+                             adaptive: bool = False
+                             ) -> list[list[int] | DecodeFailure]:
+        """Decode many syndromes, returning failures instead of raising them.
+
+        Each result entry is either the sorted support (``list[int]``) or the
+        :class:`DecodeFailure` the scalar decoder would have raised for that
+        syndrome.  Deferred failures let callers that decode lazily — the
+        merge forest in :class:`repro.core.batch.BatchQuerySession` only
+        surfaces a failure when the failing component is actually *used* —
+        keep their failure semantics while still decoding eagerly in bulk.
+        """
+        syndromes = [list(syndrome) for syndrome in syndromes]
+        expected = 2 * self.threshold
+        for syndrome in syndromes:
+            if len(syndrome) != expected:
+                raise ValueError("syndrome has %d components, expected %d"
+                                 % (len(syndrome), expected))
+        results: list[list[int] | DecodeFailure | None] = [None] * len(syndromes)
+        pending: list[int] = []
+        for index, syndrome in enumerate(syndromes):
+            if all(component == 0 for component in syndrome):
+                results[index] = []
+            else:
+                pending.append(index)
+        if adaptive:
+            budgets = []
+            budget = 1
+            while True:
+                budgets.append(budget)
+                if budget == self.threshold:
+                    break
+                budget = min(budget * 2, self.threshold)
+        else:
+            budgets = [self.threshold]
+        for budget in budgets:
+            if not pending:
+                break
+            pending = self._decode_round(syndromes, results, pending, budget,
+                                         final_round=budget == self.threshold)
+        return results  # type: ignore[return-value]
+
+    def _decode_round(self, syndromes: list[list[int]],
+                      results: list[list[int] | DecodeFailure | None],
+                      pending: list[int], budget: int,
+                      final_round: bool) -> list[int]:
+        """Advance every pending syndrome through one budget of the ladder.
+
+        Successes and (in the final round) failures are written into
+        ``results``; the returned list holds the indices that should retry at
+        the next larger budget.
+        """
+        retry: list[int] = []
+
+        def fail(index: int, message: str) -> None:
+            if final_round:
+                results[index] = DecodeFailure(message)
+            else:
+                retry.append(index)
+
+        prefixes = [syndromes[index][:2 * budget] for index in pending]
+        locators = berlekamp_massey_many(self.field, prefixes, self.bulk)
+        rooted: list[int] = []
+        rooted_locators = []
+        for index, locator in zip(pending, locators):
+            degree = locator.degree
+            if degree <= 0 or degree > budget:
+                fail(index, "locator degree %d outside (0, %d]" % (degree, budget))
+            else:
+                rooted.append(index)
+                rooted_locators.append(locator)
+        roots_many = find_roots_many(rooted_locators, self.bulk)
+        candidates: list[int] = []
+        supports: list[list[int]] = []
+        for index, locator, roots in zip(rooted, rooted_locators, roots_many):
+            degree = locator.degree
+            if len(roots) != degree or any(root == 0 for root in roots):
+                fail(index, "locator of degree %d has %d usable roots"
+                     % (degree, len(roots)))
+                continue
+            support = sorted(self.field.inv(root) for root in roots)
+            if len(set(support)) != len(support):
+                fail(index, "recovered support contains duplicates")
+                continue
+            candidates.append(index)
+            supports.append(support)
+        if candidates:
+            # Verification is always against the full syndrome, exactly like
+            # the scalar path, batched into one syndrome_of_many call.
+            recomputed = self._encoder.syndrome_of_many(supports)
+            for index, support, verification in zip(candidates, supports, recomputed):
+                if syndromes[index] != verification:
+                    fail(index, "recovered support does not reproduce the syndrome")
+                else:
+                    results[index] = support
+        return retry
 
     # ---------------------------------------------------------------- helpers
 

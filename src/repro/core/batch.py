@@ -69,10 +69,46 @@ class BatchQuerySession:
         self._component_of: dict[int, int] = self._decompose()
         self._queries_answered = 0
 
+    @classmethod
+    def from_decomposition(cls, outdetect: OutdetectScheme, codec: EdgeIdCodec,
+                           fault_labels: Sequence[EdgeLabel],
+                           component_of: dict) -> "BatchQuerySession":
+        """Assemble a session from an externally computed decomposition.
+
+        The merge forest is the only expensive part of construction, and it is
+        a pure function of the fault labels and the decode-side scheme
+        parameters — so a worker process can compute the ``fragment id ->
+        component`` map (:func:`decompose_fault_set`) and the parent assembles
+        a session around its own scheme instances, bit-identical to one the
+        constructor would have built.
+        """
+        session = cls.__new__(cls)
+        session.outdetect = outdetect
+        session.codec = codec
+        session.fault_labels = list(fault_labels)
+        session.key = canonical_fault_key(session.fault_labels)
+        session.structure = FragmentStructure(session.fault_labels)
+        session._component_of = dict(component_of)
+        session._queries_answered = 0
+        return session
+
     # ------------------------------------------------------------ construction
 
     def _decompose(self) -> dict[int, int]:
-        """Run the smallest-boundary-first merge process to completion."""
+        """Run the smallest-boundary-first merge process to completion.
+
+        The merge order is exactly the scalar engines' smallest-boundary-first
+        order, but decoding is *batched*: all initial fragment labels decode in
+        one :meth:`~repro.outdetect.base.OutdetectScheme.decode_many` call,
+        and whenever the heap reaches a merged component whose label has not
+        been decoded yet, every not-yet-decoded alive label decodes in one
+        further bulk call.  Merging at least halves the number of alive
+        components between flushes, so one session is ``O(log fragments)``
+        bulk rounds instead of one scalar decode pipeline per component.
+        Failures stay deferred inside the decode cache and only surface when
+        the failing component is actually popped — the same moment the scalar
+        loop would have raised.
+        """
         structure = self.structure
         components: dict[int, ComponentFragment] = {}
         owner: dict[int, int] = {}
@@ -90,16 +126,21 @@ class BatchQuerySession:
         next_key = len(components)
         alive_count = len(components)
         final: dict[int, int] = {}
+        decoded: dict[int, object] = self._decode_batch(components.values())
 
         while heap and alive_count > 1:
             _, key = heapq.heappop(heap)
             component = components.get(key)
             if component is None or not component.alive:
                 continue
-            try:
-                edge_identifiers = self.outdetect.decode(component.label)
-            except OutdetectDecodeError as error:
-                raise QueryFailure(str(error)) from error
+            if key not in decoded:
+                decoded.update(self._decode_batch(
+                    candidate for candidate in components.values()
+                    if candidate.alive and candidate.key not in decoded))
+            entry = decoded[key]
+            if isinstance(entry, OutdetectDecodeError):
+                raise QueryFailure(str(entry)) from entry
+            edge_identifiers = entry
             partner_key = find_partner_component(self.codec, edge_identifiers,
                                                  structure, owner, component,
                                                  components)
@@ -137,6 +178,20 @@ class BatchQuerySession:
                     final[fragment_id] = component.key
         return final
 
+    def _decode_batch(self, components) -> dict[int, object]:
+        """Decode the labels of the given components in one bulk call.
+
+        Returns a map from component key to the decoded edge-identifier list,
+        or to the deferred :class:`OutdetectDecodeError` for labels the scheme
+        rejects (surfaced by :meth:`_decompose` only if that component is
+        popped, preserving the scalar loop's failure semantics).
+        """
+        components = list(components)
+        entries = self.outdetect.decode_many(
+            [component.label for component in components])
+        return {component.key: entry
+                for component, entry in zip(components, entries)}
+
     # ---------------------------------------------------------------- queries
 
     def connected(self, source: VertexLabel, target: VertexLabel) -> bool:
@@ -169,4 +224,28 @@ class BatchQuerySession:
         return self.structure.num_fragments()
 
 
-__all__ = ["BatchQuerySession", "canonical_fault_key", "ROOT_FRAGMENT"]
+def decompose_fault_set(task: dict) -> dict:
+    """Compute one fault set's component decomposition from plain data.
+
+    The executor-backed construction path of
+    :meth:`repro.core.ftc.LabelBackedQueries.build_sessions` submits this
+    module-level function to a :class:`~repro.build.executors.ProcessExecutor`
+    (it must be picklable, like :func:`repro.build.shards.build_shard`).  The
+    task dict carries only plain data — the outdetect descriptor and field
+    parameters of the snapshot machinery plus the (picklable) fault edge
+    labels — so no vertex labels and no live scheme objects cross the process
+    boundary.  Returns the ``fragment id -> component`` map, which the parent
+    turns back into a session with :meth:`BatchQuerySession.from_decomposition`.
+    """
+    from repro.core.snapshot import build_decode_outdetect
+    from repro.gf2.field import GF2m
+
+    field = GF2m(task["field_width"], modulus=task["field_modulus"])
+    codec = EdgeIdCodec.for_field(task["codec_modulus"], task["codec_mode"], field)
+    outdetect = build_decode_outdetect(task["descriptor"], field, task["adaptive"])
+    session = BatchQuerySession(outdetect, codec, task["fault_labels"])
+    return session._component_of
+
+
+__all__ = ["BatchQuerySession", "decompose_fault_set", "canonical_fault_key",
+           "ROOT_FRAGMENT"]

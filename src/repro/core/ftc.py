@@ -179,6 +179,104 @@ class LabelBackedQueries:
                 self._session_evictions += 1
         return session
 
+    def build_sessions(self, fault_sets: Sequence[Iterable[Edge]],
+                       executor=None, jobs: int | None = None
+                       ) -> list[BatchQuerySession]:
+        """Build (or fetch) the batch sessions of many distinct fault sets.
+
+        The construction-side executor seam (:mod:`repro.build.executors`)
+        reused on the query side: ``executor`` / ``jobs`` resolve through
+        :func:`~repro.build.executors.resolve_executor` exactly as on
+        ``FTCLabeling`` construction, and the expensive part of every *novel*
+        fault set — the component decomposition — fans out across the
+        resolved strategy.  Process workers receive only plain data (the
+        snapshot outdetect descriptor plus the fault edge labels, which are
+        picklable) and return the decomposition map, so no vertex labels ever
+        cross a process boundary.  Results land in the session LRU and are
+        bit-identical to serially built sessions.
+
+        Returns one session per input fault set, in input order; duplicate
+        fault sets (after canonicalization) share one session.  Raises
+        whatever ``batch_session`` would raise for the offending set
+        (:class:`KeyError`, :class:`ValueError`,
+        :class:`~repro.core.query.QueryFailure`).
+        """
+        from repro.build.executors import resolve_executor
+
+        resolved = resolve_executor(executor, jobs)
+        keyed = [self._fault_labels_keyed(faults) for faults in fault_sets]
+        sessions: dict[tuple, BatchQuerySession] = {}
+        missing: list[tuple] = []
+        missing_labels: dict[tuple, list[EdgeLabel]] = {}
+        for fault_labels, key in keyed:
+            if key in sessions or key in missing_labels:
+                continue
+            cached = self._cached_session(key)
+            if cached is not None:
+                sessions[key] = cached
+            else:
+                missing.append(key)
+                missing_labels[key] = fault_labels
+        if missing:
+            built = self._build_sessions_missing(
+                resolved, [missing_labels[key] for key in missing])
+            for key, session in zip(missing, built):
+                with self._session_lock:
+                    existing = self._session_cache.get(key)
+                    if existing is not None:
+                        self._session_cache.move_to_end(key)
+                        session = existing
+                    else:
+                        self._session_cache[key] = session
+                        while len(self._session_cache) > self.SESSION_CACHE_SIZE:
+                            self._session_cache.popitem(last=False)
+                            self._session_evictions += 1
+                sessions[key] = session
+        return [sessions[key] for _, key in keyed]
+
+    def _build_sessions_missing(self, executor, label_lists: list
+                                ) -> list[BatchQuerySession]:
+        """Construct the not-yet-cached sessions on the resolved executor."""
+        tasks = None
+        if executor.name == "process":
+            tasks = self._session_worker_tasks(label_lists)
+        if tasks is None:
+            # Serial and thread strategies (and schemes without a snapshot
+            # descriptor) construct in-process; threads need no pickling.
+            return executor.map(
+                lambda labels: BatchQuerySession(self.outdetect, self.codec, labels),
+                label_lists)
+        from repro.core.batch import decompose_fault_set
+
+        decompositions = executor.map(decompose_fault_set, tasks)
+        return [BatchQuerySession.from_decomposition(self.outdetect, self.codec,
+                                                     labels, component_of)
+                for labels, component_of in zip(label_lists, decompositions)]
+
+    def _session_worker_tasks(self, label_lists: list) -> list | None:
+        """Plain-data process-worker tasks, or ``None`` when the scheme has no
+        snapshot descriptor (process construction then falls back in-process).
+        """
+        from repro.core.snapshot import describe_outdetect
+
+        try:
+            descriptor = describe_outdetect(self.outdetect)
+        except TypeError:
+            return None
+        level = self.outdetect
+        if hasattr(level, "level_schemes"):
+            level = level.level_schemes[0]
+        field = self.codec.field
+        return [{
+            "descriptor": descriptor,
+            "field_width": field.width,
+            "field_modulus": field.modulus,
+            "adaptive": bool(getattr(level, "adaptive", True)),
+            "codec_modulus": self.codec.modulus,
+            "codec_mode": self.codec.mode,
+            "fault_labels": labels,
+        } for labels in label_lists]
+
     def _cached_session(self, key: tuple) -> BatchQuerySession | None:
         """Locked LRU lookup by canonical fault key (no construction)."""
         with self._session_lock:

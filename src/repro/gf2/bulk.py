@@ -115,16 +115,41 @@ class BulkOps(ABC):
 
 
 class PyBulkOps(BulkOps):
-    """Pure-Python, table-driven reference backend (always available)."""
+    """Pure-Python, table-driven reference backend (always available).
+
+    Windowed multiplier tables are memoized per base element: one session
+    decode re-encodes the same small supports (edge identifiers) many times
+    during verification, and the decode hot path multiplies by the same
+    syndrome elements across Berlekamp--Massey steps, so rebuilding the
+    16-entry window on every call was pure waste.  The memo is bounded
+    (:attr:`MULTIPLIER_CACHE_SIZE`) and affects timing only — the window
+    contents are a pure function of the base element.
+    """
 
     name = "python"
+
+    #: Bound on the per-instance window-table memo (tables are ~16 ints each).
+    MULTIPLIER_CACHE_SIZE = 1024
+
+    def __init__(self, field: GF2m | None = None):
+        super().__init__(field)
+        self._multiplier_cache: dict[int, object] = {}
+
+    def _multiplier(self, base: int):
+        """The (memoized) windowed multiplier for one base element."""
+        window = self._multiplier_cache.get(base)
+        if window is None:
+            if len(self._multiplier_cache) >= self.MULTIPLIER_CACHE_SIZE:
+                self._multiplier_cache.clear()
+            window = self._multiplier_cache[base] = self.field.multiplier(base)
+        return window
 
     def mul_many(self, elements: Sequence[int], multiplier) -> list[int]:
         field = self._require_field()
         if isinstance(multiplier, int):
             if not elements:
                 return []
-            window = field.multiplier(multiplier)
+            window = self._multiplier(multiplier)
             return [window.mul(element) for element in elements]
         if len(multiplier) != len(elements):
             raise ValueError("mul_many got %d elements but %d multipliers"
@@ -132,12 +157,12 @@ class PyBulkOps(BulkOps):
         return [field.mul(a, b) for a, b in zip(elements, multiplier)]
 
     def pow_range(self, base: int, count: int) -> list[int]:
-        field = self._require_field()
+        self._require_field()
         if count < 0:
             raise ValueError("count must be non-negative, got %d" % count)
         if count == 0:
             return []
-        window = field.multiplier(base)
+        window = self._multiplier(base)
         powers = [base]
         current = base
         for _ in range(count - 1):

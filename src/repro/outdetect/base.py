@@ -56,6 +56,25 @@ class OutdetectScheme(ABC):
     def label_bit_size(self, label: Label) -> int:
         """Size of one label in bits (for the experiment harness)."""
 
+    def decode_many(self, labels) -> list:
+        """Decode many combined labels, deferring failures into the result.
+
+        Each entry of the returned list is either the decoded edge-identifier
+        list or the :class:`OutdetectDecodeError` that :meth:`decode` would
+        have raised for that label — callers that decode lazily (the batch
+        session's merge forest) surface a deferred error only when the failing
+        label is actually consumed.  The base implementation just loops; bulk
+        schemes override it to advance the whole batch through each decode
+        stage together, with bit-identical per-label results.
+        """
+        results = []
+        for label in labels:
+            try:
+                results.append(self.decode(label))
+            except OutdetectDecodeError as error:
+                results.append(error)
+        return results
+
     # ------------------------------------------------------------ conveniences
 
     def combine_all(self, labels) -> Label:

@@ -72,6 +72,49 @@ class LayeredOutdetect(OutdetectScheme):
                 % deepest_nonzero)
         return edges
 
+    def decode_many(self, labels) -> list:
+        """Batched decode: group labels by deepest non-zero level.
+
+        Every label routes to exactly one level (the deepest with a non-zero
+        syndrome), so the batch splits into at most ``depth`` per-level groups
+        and each group decodes through that level scheme's ``decode_many`` —
+        one bulk pipeline per *touched level* rather than one scalar decode
+        per label.  Entries are results or deferred
+        :class:`OutdetectDecodeError` instances, exactly matching what
+        :meth:`decode` returns or raises per label.
+        """
+        labels = list(labels)
+        results: list = [None] * len(labels)
+        zero_labels = [scheme.zero_label() for scheme in self.level_schemes]
+        grouped: dict[int, list[int]] = {}
+        for position, label in enumerate(labels):
+            deepest_nonzero = None
+            for index in range(len(self.level_schemes) - 1, -1, -1):
+                if label[index] != zero_labels[index]:
+                    deepest_nonzero = index
+                    break
+            if deepest_nonzero is None:
+                results[position] = []
+            else:
+                grouped.setdefault(deepest_nonzero, []).append(position)
+        for index, positions in grouped.items():
+            entries = self.level_schemes[index].decode_many(
+                [labels[position][index] for position in positions])
+            for position, entry in zip(positions, entries):
+                if isinstance(entry, OutdetectDecodeError):
+                    wrapped = OutdetectDecodeError(
+                        "level %d of the layered outdetect failed to decode: %s"
+                        % (index, entry))
+                    wrapped.__cause__ = entry
+                    results[position] = wrapped
+                elif not entry:
+                    results[position] = OutdetectDecodeError(
+                        "level %d has a non-zero syndrome but decoded to the empty set"
+                        % index)
+                else:
+                    results[position] = entry
+        return results
+
     def label_bit_size(self, label: Label) -> int:
         return sum(scheme.label_bit_size(part)
                    for scheme, part in zip(self.level_schemes, label))

@@ -54,7 +54,7 @@ class RSThresholdOutdetect(OutdetectScheme):
         self.adaptive = adaptive
         self.bulk = bulk if bulk is not None else get_bulk_ops(field)
         self._encoder = SyndromeEncoder(field, threshold, bulk=self.bulk)
-        self._decoder = SparseRecoveryDecoder(field, threshold)
+        self._decoder = SparseRecoveryDecoder(field, threshold, bulk=self.bulk)
         self.edge_ids = dict(edge_ids)
         self._build_labels(list(vertices))
 
@@ -77,7 +77,7 @@ class RSThresholdOutdetect(OutdetectScheme):
         scheme.adaptive = adaptive
         scheme.bulk = bulk if bulk is not None else get_bulk_ops(field)
         scheme._encoder = SyndromeEncoder(field, threshold, bulk=scheme.bulk)
-        scheme._decoder = SparseRecoveryDecoder(field, threshold)
+        scheme._decoder = SparseRecoveryDecoder(field, threshold, bulk=scheme.bulk)
         scheme.edge_ids = {}
         scheme._labels = {}
         return scheme
@@ -167,6 +167,19 @@ class RSThresholdOutdetect(OutdetectScheme):
             return self._decoder.decode(list(label))
         except DecodeFailure as error:
             raise OutdetectDecodeError(str(error)) from error
+
+    def decode_many(self, labels) -> list:
+        entries = self._decoder.decode_many_deferred(
+            [list(label) for label in labels], adaptive=self.adaptive)
+        results: list = []
+        for entry in entries:
+            if isinstance(entry, DecodeFailure):
+                wrapped = OutdetectDecodeError(str(entry))
+                wrapped.__cause__ = entry
+                results.append(wrapped)
+            else:
+                results.append(entry)
+        return results
 
     def label_bit_size(self, label: Label) -> int:
         return len(label) * self.field.width

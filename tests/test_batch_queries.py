@@ -258,3 +258,69 @@ def test_session_cache_threaded_stress():
     faults, pairs, expected = workloads[0]
     assert labeling.connected_many(pairs, faults) == expected
     assert labeling.batch_session(faults) is labeling.batch_session(list(reversed(faults)))
+
+
+# ---------------------------------------------------------------- build_sessions
+
+def _session_workload(seed=11, n=30, num_sets=4, max_faults=3):
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=n, seed=seed, density=1.8)
+    labeling = FTCLabeling(graph, FTCConfig(max_faults=max_faults))
+    fault_sets = [list(faults) for faults in sample_fault_sets(
+        graph, num_sets, max_faults, model=FaultModel.TREE_BIASED, seed=seed)]
+    rng = random.Random(seed + 1)
+    vertices = sorted(graph.vertices())
+    pairs = [tuple(rng.sample(vertices, 2)) for _ in range(25)]
+    return graph, labeling, fault_sets, pairs
+
+
+@pytest.mark.parametrize("spec", ["serial", "thread:2", "process:2"])
+def test_build_sessions_executors_agree(spec):
+    """Every executor builds the same decompositions a warm cache would hold."""
+    graph, labeling, fault_sets, pairs = _session_workload()
+    reference = [labeling.batch_session(faults) for faults in fault_sets]
+    expected = [labeling.connected_many(pairs, faults) for faults in fault_sets]
+
+    labeling._session_cache.clear()
+    sessions = labeling.build_sessions(fault_sets, executor=spec)
+    assert len(sessions) == len(fault_sets)
+    for faults, session, ref, answers in zip(fault_sets, sessions,
+                                             reference, expected):
+        assert session._component_of == ref._component_of
+        assert labeling.connected_many(pairs, faults) == answers
+        # The freshly built session is now the cached one.
+        assert labeling.batch_session(faults) is session
+
+
+def test_build_sessions_dedups_and_reuses_cache():
+    _, labeling, fault_sets, _ = _session_workload(seed=13)
+    sessions = labeling.build_sessions(fault_sets)
+    # A second call with duplicates returns cached objects in input order.
+    again = labeling.build_sessions(
+        [fault_sets[0]] + fault_sets + [list(reversed(fault_sets[0]))])
+    assert again[0] is sessions[0]
+    assert again[1:-1] == sessions
+    assert again[-1] is sessions[0]
+    assert labeling.build_sessions([]) == []
+
+
+def test_prewarm_sessions_primes_the_server_cache():
+    import asyncio
+
+    from repro.server.session_manager import SessionManager
+
+    _, labeling, fault_sets, pairs = _session_workload(seed=17)
+    labeling._session_cache.clear()
+
+    async def scenario():
+        manager = SessionManager(labeling)
+        try:
+            count = await manager.prewarm_sessions(fault_sets, jobs=1)
+            assert count == len(fault_sets)
+            assert await manager.prewarm_sessions([]) == 0
+            await manager.session(fault_sets[0])
+            return manager.stats()
+        finally:
+            manager.close()
+
+    stats = asyncio.run(scenario())
+    assert stats["sessions"]["hits"] >= 1

@@ -89,6 +89,41 @@ def test_cli_batch_query(edge_file, capsys, tmp_path):
     assert payload["results"][0] == {"source": "a", "target": "c", "connected": False}
 
 
+def test_cli_batch_query_faults_file(edge_file, capsys, tmp_path):
+    """--faults-file answers the pair list under every fault set via
+    executor-backed session construction (--jobs)."""
+    faults_file = tmp_path / "faults.txt"
+    faults_file.write_text("# one fault set per line\nb-c c-d\na-b\n-\n")
+    exit_code = main(["batch-query", "--edges", str(edge_file), "--max-faults", "2",
+                      "--faults-file", str(faults_file), "--jobs", "2",
+                      "--pair", "a-c", "--pair", "b-d", "--check"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["num_fault_sets"] == 3
+    assert payload["session_jobs"] == 2
+    assert payload["ground_truth_mismatches"] == 0
+    assert [entry["faults"] for entry in payload["batches"]] == \
+        [["b-c", "c-d"], ["a-b"], []]
+    assert payload["batches"][0]["results"][0] == \
+        {"source": "a", "target": "c", "connected": False}
+    assert all(result["connected"] for result in payload["batches"][2]["results"])
+
+
+def test_cli_batch_query_faults_file_conflicts_and_bad_lines(edge_file, capsys,
+                                                             tmp_path):
+    faults_file = tmp_path / "faults.txt"
+    faults_file.write_text("a-b\n")
+    assert main(["batch-query", "--edges", str(edge_file), "--max-faults", "1",
+                 "--faults-file", str(faults_file), "--fault", "a-b",
+                 "--pair", "a-c"]) == 2
+    faults_file.write_text("nonsense\n")
+    assert main(["batch-query", "--edges", str(edge_file), "--max-faults", "1",
+                 "--faults-file", str(faults_file), "--pair", "a-c"]) == 2
+    faults_file.write_text("# only comments\n")
+    assert main(["batch-query", "--edges", str(edge_file), "--max-faults", "1",
+                 "--faults-file", str(faults_file), "--pair", "a-c"]) == 2
+
+
 def test_cli_batch_query_requires_pairs(edge_file, capsys):
     exit_code = main(["batch-query", "--edges", str(edge_file), "--max-faults", "1"])
     assert exit_code == 2

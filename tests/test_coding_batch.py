@@ -1,0 +1,172 @@
+"""Conformance tests for the batched decode primitives.
+
+The whole point of the vectorized decode path is that it is a pure speed knob:
+every batched primitive must return, element for element, exactly what the
+scalar reference computes — across all :class:`~repro.gf2.bulk.BulkOps`
+backends and field widths, on random inputs, including which failure each
+entry would raise.  These assertions are hard (never advisory): the batch
+session and the outdetect schemes route all decoding through these functions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coding.berlekamp_massey import berlekamp_massey, berlekamp_massey_many
+from repro.coding.rootfind import chien_roots, find_roots, find_roots_bulk, find_roots_many
+from repro.coding.rs_decoder import DecodeFailure, SparseRecoveryDecoder
+from repro.coding.syndrome import SyndromeEncoder
+from repro.gf2.bulk import NumpyBulkOps, PyBulkOps, numpy_available
+from repro.gf2.field import GF2m
+from repro.gf2.poly import Gf2Poly
+
+WIDTHS = [8, 12, 16]
+THRESHOLD = 5
+
+
+def _backends(field):
+    backends = [PyBulkOps(field)]
+    if numpy_available() and field.width <= 32:
+        # small_cutoff=0 forces the numpy kernels even on tiny batches.
+        backends.append(NumpyBulkOps(field, small_cutoff=0))
+    return backends
+
+
+def _cases(field):
+    for bulk in _backends(field):
+        yield field, bulk
+
+
+def all_cases():
+    for width in WIDTHS:
+        field = GF2m(width)
+        yield from _cases(field)
+
+
+CASES = list(all_cases())
+CASE_IDS = ["w%d-%s" % (field.width, bulk.name) for field, bulk in CASES]
+
+
+def _random_supports(field, rng, count, max_size):
+    return [rng.sample(range(1, field.order), rng.randrange(0, max_size + 1))
+            for _ in range(count)]
+
+
+@pytest.mark.parametrize("field,bulk", CASES, ids=CASE_IDS)
+def test_syndrome_of_many_matches_scalar(field, bulk):
+    rng = random.Random(field.width * 101 + len(bulk.name))
+    encoder = SyndromeEncoder(field, THRESHOLD, bulk=bulk)
+    supports = _random_supports(field, rng, 40, 2 * THRESHOLD)
+    supports.append([])  # the empty support must round-trip to the zero syndrome
+    batched = encoder.syndrome_of_many(supports)
+    assert batched == [encoder.syndrome_of(support) for support in supports]
+    assert encoder.syndrome_of_many([]) == []
+
+
+@pytest.mark.parametrize("field,bulk", CASES, ids=CASE_IDS)
+def test_berlekamp_massey_many_matches_scalar(field, bulk):
+    rng = random.Random(field.width * 103 + len(bulk.name))
+    sequences = [[rng.randrange(field.order) for _ in range(rng.randrange(0, 14))]
+                 for _ in range(40)]
+    sequences.append([])  # the empty sequence has the constant-1 locator
+    batched = berlekamp_massey_many(field, sequences, bulk)
+    for sequence, poly in zip(sequences, batched):
+        assert poly.coeffs == berlekamp_massey(field, sequence).coeffs
+    assert berlekamp_massey_many(field, [], bulk) == []
+
+
+@pytest.mark.parametrize("field,bulk", CASES, ids=CASE_IDS)
+def test_mixed_length_sequences_match_scalar(field, bulk):
+    """Shorter sequences must stop advancing exactly where the scalar run does."""
+    rng = random.Random(field.width * 107)
+    sequences = [[rng.randrange(field.order) for _ in range(length)]
+                 for length in (1, 3, 10, 2, 7, 10, 4)]
+    batched = berlekamp_massey_many(field, sequences, bulk)
+    for sequence, poly in zip(sequences, batched):
+        assert poly.coeffs == berlekamp_massey(field, sequence).coeffs
+
+
+@pytest.mark.parametrize("field,bulk", CASES, ids=CASE_IDS)
+def test_root_finding_strategies_agree(field, bulk):
+    rng = random.Random(field.width * 109 + len(bulk.name))
+    polys = []
+    for _ in range(15):
+        # Products of random linear factors (all roots in the field) plus
+        # random dense polynomials (roots mostly outside the field).
+        support = rng.sample(range(1, field.order), rng.randrange(1, 6))
+        poly = Gf2Poly.one(field)
+        for element in support:
+            poly = poly * Gf2Poly(field, [1, element])
+        polys.append(poly)
+        polys.append(Gf2Poly(field, [rng.randrange(field.order)
+                                     for _ in range(rng.randrange(2, 6))]))
+    polys = [poly for poly in polys if not poly.is_zero()]
+    reference = [find_roots(poly) for poly in polys]
+    assert find_roots_many(polys, bulk) == reference
+    for poly, expected in zip(polys, reference):
+        assert find_roots_bulk(poly, bulk) == expected
+        # The exhaustive Chien sweep is O(order * degree); spot-check it on
+        # the small fields only (the dispatch guard keeps it off big ones).
+        if poly.degree > 0 and field.order <= (1 << 12):
+            assert chien_roots(poly, bulk) == expected
+
+
+@pytest.mark.parametrize("field,bulk", CASES, ids=CASE_IDS)
+@pytest.mark.parametrize("adaptive", [False, True])
+def test_decode_many_matches_scalar_decoder(field, bulk, adaptive):
+    """Per-entry results AND failure messages equal the scalar decoder's."""
+    rng = random.Random(field.width * 113 + adaptive)
+    encoder = SyndromeEncoder(field, THRESHOLD, bulk=bulk)
+    batched_decoder = SparseRecoveryDecoder(field, THRESHOLD, bulk=bulk)
+    scalar_decoder = SparseRecoveryDecoder(field, THRESHOLD)
+    # Supports beyond the threshold make some syndromes undecodable, which
+    # must surface as the same DecodeFailure message the scalar path raises.
+    supports = _random_supports(field, rng, 40, THRESHOLD + 2)
+    syndromes = encoder.syndrome_of_many(supports)
+    entries = batched_decoder.decode_many_deferred(syndromes, adaptive=adaptive)
+    failures = 0
+    for support, syndrome, entry in zip(supports, syndromes, entries):
+        try:
+            expected = scalar_decoder.decode_adaptive(syndrome) if adaptive \
+                else scalar_decoder.decode(syndrome)
+        except DecodeFailure as error:
+            failures += 1
+            assert isinstance(entry, DecodeFailure)
+            assert str(entry) == str(error)
+        else:
+            assert entry == expected
+            if len(set(support)) <= THRESHOLD:
+                assert entry == sorted(set(support))
+    if failures:
+        with pytest.raises(DecodeFailure):
+            batched_decoder.decode_many(syndromes, adaptive=adaptive)
+    else:
+        assert batched_decoder.decode_many(syndromes, adaptive=adaptive) == entries
+
+
+def test_decode_many_rejects_wrong_length():
+    field = GF2m(8)
+    decoder = SparseRecoveryDecoder(field, THRESHOLD)
+    with pytest.raises(ValueError):
+        decoder.decode_many_deferred([[0] * (2 * THRESHOLD - 1)])
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_backends_agree_on_decode_many(width):
+    """Pure-Python and numpy backends produce bit-identical batched decodes."""
+    if not numpy_available():
+        pytest.skip("numpy backend not available")
+    field = GF2m(width)
+    rng = random.Random(width * 127)
+    encoder = SyndromeEncoder(field, THRESHOLD, bulk=PyBulkOps(field))
+    supports = _random_supports(field, rng, 25, THRESHOLD + 2)
+    syndromes = encoder.syndrome_of_many(supports)
+    results = []
+    for bulk in _backends(field):
+        decoder = SparseRecoveryDecoder(field, THRESHOLD, bulk=bulk)
+        entries = decoder.decode_many_deferred(syndromes, adaptive=True)
+        results.append([str(entry) if isinstance(entry, DecodeFailure) else entry
+                        for entry in entries])
+    assert all(result == results[0] for result in results[1:])
