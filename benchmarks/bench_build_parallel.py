@@ -44,7 +44,7 @@ from common import (bench_strict, cached_graph, check_speedup, emit_bench_json,
                     print_table)
 from repro.build import resolve_executor
 from repro.core.config import FTCConfig, SchemeVariant
-from repro.core.ftc import FTCLabeling
+from repro.core.ftc import FTCLabeling  # repro: allow[RPL001] byte-identity harness measures the layer below the facade
 
 #: The medium workload the ``>= 1.5x`` claim is measured on.
 FAMILY = "erdos-renyi"
@@ -78,7 +78,7 @@ def run_build_matrix(family, n, seed, max_faults, variant="det-nearlinear"):
         executor = resolve_executor(spec)
         executor.map(len, [[1], [2]])  # warm the pool
         start = time.perf_counter()
-        labeling = FTCLabeling(graph, config, executor=executor)
+        labeling = FTCLabeling(graph, config, executor=executor)  # repro: allow[RPL001] executor seam is an FTCLabeling parameter, not a facade one
         seconds = time.perf_counter() - start
         results[spec] = {
             "seconds": seconds,

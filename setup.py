@@ -12,6 +12,7 @@ setup(
     version="1.0.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["networkx>=3.0", "numpy>=1.24"],
 )

@@ -1,0 +1,27 @@
+"""repro.analysis: the repo-specific AST invariant linter.
+
+Run it as ``python -m repro.analysis`` (or ``repro lint``).  The rules encode
+the seam contracts the rest of the codebase relies on — facade-only oracle
+construction, the shared error hierarchy, async/executor discipline, lock
+discipline, bulk/scalar parity, and build determinism.  See
+:mod:`repro.analysis.rules` for the rule catalogue and
+:mod:`repro.analysis.baseline` for the committed-debt workflow.
+"""
+
+from repro.analysis.baseline import (BASELINE_FILENAME, BaselineError,
+                                     load_baseline, partition, write_baseline)
+from repro.analysis.engine import Report, main, run_analysis
+from repro.analysis.findings import Finding
+from repro.analysis.parity import (PARITY_TABLE, ParityPair,
+                                   pairs_for_module, registered_bulk_names)
+from repro.analysis.rules import (LOCK_CONTRACTS, RULES, LockContract,
+                                  ModuleFile, Rule, rules_by_code)
+from repro.analysis.suppressions import ALLOW_ALL, is_suppressed, suppressed_codes
+
+__all__ = [
+    "ALLOW_ALL", "BASELINE_FILENAME", "BaselineError", "Finding",
+    "LOCK_CONTRACTS", "LockContract", "ModuleFile", "PARITY_TABLE",
+    "ParityPair", "Report", "RULES", "Rule", "is_suppressed", "load_baseline",
+    "main", "pairs_for_module", "partition", "registered_bulk_names",
+    "rules_by_code", "run_analysis", "suppressed_codes", "write_baseline",
+]

@@ -1,0 +1,98 @@
+"""The committed finding baseline: known debt that must not block CI.
+
+The baseline is a JSON file mapping finding identities (see
+:meth:`~repro.analysis.findings.Finding.identity`) to the number of matching
+findings that are grandfathered.  A lint run subtracts the baseline from what
+it found: only findings *beyond* the baselined count are "new" and fail the
+run, so pre-existing debt is recorded once instead of blocking every PR —
+and fixing a baselined finding without removing its entry is reported as a
+*stale* entry (a nudge to shrink the file, never an error).
+
+Workflow::
+
+    python -m repro.analysis --write-baseline   # record today's debt
+    python -m repro.analysis                    # exits 0: all debt baselined
+    # ...someone introduces a new violation...
+    python -m repro.analysis                    # exits 1: 1 new finding
+
+Entries are sorted and counts explicit, so diffs of the baseline file review
+like any other code change: an entry added is debt taken on, an entry removed
+is debt paid off.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+#: Default baseline filename, resolved against the analysis root.
+BASELINE_FILENAME = "analysis-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not a valid baseline document."""
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into an identity -> grandfathered-count Counter."""
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise BaselineError("%s is not valid JSON: %s" % (path, error)) from error
+    if not isinstance(document, dict) or \
+            document.get("version") != _FORMAT_VERSION or \
+            not isinstance(document.get("entries"), dict):
+        raise BaselineError(
+            "%s is not a repro.analysis baseline (expected {'version': %d, "
+            "'entries': {...}})" % (path, _FORMAT_VERSION))
+    entries: Counter = Counter()
+    for identity, count in document["entries"].items():
+        if not isinstance(identity, str) or not isinstance(count, int) or count < 1:
+            raise BaselineError("%s: bad entry %r: %r" % (path, identity, count))
+        entries[identity] = count
+    return entries
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline covering ``findings``; returns the entry count."""
+    entries = Counter(finding.identity() for finding in findings)
+    document = {
+        "version": _FORMAT_VERSION,
+        "tool": "repro.analysis",
+        "entries": {identity: entries[identity] for identity in sorted(entries)},
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return sum(entries.values())
+
+
+def partition(findings: Sequence[Finding],
+              baseline: Counter) -> tuple[list[Finding], int, list[str]]:
+    """Split findings into (new, baselined count, stale baseline identities).
+
+    Findings sharing one identity consume baseline budget in source order, so
+    with a budget of 1 and two copies the first is baselined and the second is
+    new — the multiplicity rule that keeps "add one more of the same bug"
+    failing.
+    """
+    remaining = Counter(baseline)
+    new_findings: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        identity = finding.identity()
+        if remaining[identity] > 0:
+            remaining[identity] -= 1
+            baselined += 1
+        else:
+            new_findings.append(finding)
+    stale = sorted(identity for identity, count in remaining.items() if count > 0)
+    return new_findings, baselined, stale
+
+
+__all__ = ["BASELINE_FILENAME", "BaselineError", "load_baseline",
+           "write_baseline", "partition"]

@@ -1,0 +1,274 @@
+"""The analysis driver: discover files, run rules, apply baseline, report.
+
+``python -m repro.analysis`` (and the ``repro lint`` CLI subcommand) both land
+in :func:`main` here.  The pipeline is deliberately linear:
+
+1. discover ``src/repro/**/*.py`` and ``benchmarks/*.py`` under the root
+   (or the explicit paths given on the command line),
+2. parse each file once and hand it to every selected rule whose
+   ``applies_to`` accepts the path,
+3. drop findings carrying an inline ``# repro: allow[...]`` suppression,
+4. subtract the committed baseline (``analysis-baseline.json``) with
+   multiplicity, and
+5. emit human or JSON output; exit 1 iff new findings remain (2 on usage or
+   baseline-format errors).
+
+Everything is stdlib-only so the linter runs in any environment the repo
+itself runs in — including the no-numpy CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import (BASELINE_FILENAME, BaselineError,
+                                     load_baseline, partition, write_baseline)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (PARSE_ERROR_CODE, RULES, ModuleFile, Rule,
+                                  rules_by_code)
+from repro.analysis.suppressions import is_suppressed, suppressed_codes
+
+#: Directories (relative to the root) whose ``*.py`` files are analyzed.
+_SOURCE_GLOBS = (("src/repro", "**/*.py"), ("benchmarks", "*.py"))
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced, pre- and post-baseline."""
+
+    root: Path
+    files_scanned: int = 0
+    rules_run: list = field(default_factory=list)   #: rule codes, in order
+    findings: list = field(default_factory=list)    #: after suppressions
+    suppressed: int = 0                             #: inline-suppressed count
+    new_findings: list = field(default_factory=list)
+    baselined: int = 0
+    stale_baseline: list = field(default_factory=list)
+
+    def counts_by_code(self) -> dict:
+        counts = Counter(finding.code for finding in self.new_findings)
+        return {code: counts[code] for code in sorted(counts)}
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "tool": "repro.analysis",
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "findings": [finding.to_dict() for finding in self.new_findings],
+            "counts_by_code": self.counts_by_code(),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline_entries": list(self.stale_baseline),
+        }
+
+
+def discover_files(root: Path) -> list:
+    """All analyzable files under ``root``, sorted for deterministic output."""
+    paths: list = []
+    for base, pattern in _SOURCE_GLOBS:
+        directory = root / base
+        if directory.is_dir():
+            paths.extend(sorted(directory.glob(pattern)))
+    return paths
+
+
+def _relpath(path: Path, root: Path) -> str:
+    return path.resolve().relative_to(root.resolve()).as_posix()
+
+
+def _module_name(relpath: str) -> str:
+    """Dotted module name for ``src/`` files (else ``None``)."""
+    if not relpath.startswith("src/"):
+        return None
+    dotted = relpath[len("src/"):-len(".py")].replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[:-len(".__init__")]
+    return dotted
+
+
+def load_module_file(path: Path, root: Path) -> tuple:
+    """Parse one file; returns ``(ModuleFile | None, Finding | None)``."""
+    relpath = _relpath(path, root)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        finding = Finding(path=relpath, line=error.lineno or 1,
+                          col=(error.offset or 1) - 1, code=PARSE_ERROR_CODE,
+                          message="file does not parse: %s" % error.msg)
+        return None, finding
+    return ModuleFile(path=path, relpath=relpath, source=source, tree=tree,
+                      module_name=_module_name(relpath)), None
+
+
+def run_analysis(root: Path, rules: Sequence[Rule] = None,
+                 paths: Sequence[Path] = None) -> Report:
+    """Run ``rules`` (default: all) over ``paths`` (default: discovered)."""
+    selected = list(RULES) if rules is None else list(rules)
+    report = Report(root=root, rules_run=[rule.code for rule in selected])
+    files = discover_files(root) if paths is None else list(paths)
+    for path in files:
+        report.files_scanned += 1
+        module, parse_finding = load_module_file(path, root)
+        if parse_finding is not None:
+            report.findings.append(parse_finding)
+            continue
+        raw = []
+        for rule in selected:
+            if rule.applies_to(module.relpath):
+                raw.extend(rule.check(module))
+        if not raw:
+            continue
+        allowed = suppressed_codes(module.source)
+        for finding in sorted(raw):
+            if is_suppressed(allowed, finding.line, finding.code):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    # Without a baseline every finding is new; main() overwrites this split
+    # after loading the committed baseline.
+    report.new_findings = list(report.findings)
+    return report
+
+
+def _select_rules(spec: str) -> list:
+    registry = rules_by_code()
+    selected = []
+    for code in spec.split(","):
+        code = code.strip().upper()
+        if not code:
+            continue
+        if code not in registry:
+            raise KeyError(code)
+        selected.append(registry[code])
+    return selected
+
+
+def _resolve_root(argument: str) -> Path:
+    """Explicit ``--root``, else cwd if it looks like the repo, else the
+    checkout this package was imported from."""
+    if argument:
+        return Path(argument).resolve()
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    return Path(__file__).resolve().parents[3]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific AST invariant linter (rules RPL001-RPL006).")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to analyze (default: all of "
+                             "src/repro and benchmarks)")
+    parser.add_argument("--root", default="",
+                        help="repository root (default: auto-detect)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--rules", default="",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", default="",
+                        help="baseline file (default: <root>/%s if present)"
+                             % BASELINE_FILENAME)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; every finding is new")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the baseline and "
+                             "exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule codes and exit")
+    return parser
+
+
+def _print_text(report: Report, stream) -> None:
+    for finding in report.new_findings:
+        print(finding.render(), file=stream)
+    summary = ("%d file(s) scanned, %d new finding(s), %d baselined, "
+               "%d suppressed"
+               % (report.files_scanned, len(report.new_findings),
+                  report.baselined, report.suppressed))
+    print(summary, file=stream)
+    for identity in report.stale_baseline:
+        print("stale baseline entry (fixed? remove it): %s" % identity,
+              file=stream)
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        if options.format == "json":
+            print(json.dumps([{"code": rule.code, "name": rule.name,
+                               "description": rule.description}
+                              for rule in RULES], indent=2))
+        else:
+            for rule in RULES:
+                print("%s  %-18s %s" % (rule.code, rule.name,
+                                        rule.description))
+        return 0
+
+    root = _resolve_root(options.root)
+    if not (root / "src" / "repro").is_dir():
+        print("error: %s does not look like the repo root "
+              "(no src/repro)" % root, file=sys.stderr)
+        return 2
+
+    try:
+        rules = _select_rules(options.rules) if options.rules else None
+    except KeyError as error:
+        print("error: unknown rule code %s (see --list-rules)" % error,
+              file=sys.stderr)
+        return 2
+
+    if options.paths:
+        paths = []
+        for raw in options.paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = root / path
+            if not path.is_file():
+                print("error: no such file: %s" % raw, file=sys.stderr)
+                return 2
+            paths.append(path)
+    else:
+        paths = None
+
+    report = run_analysis(root, rules=rules, paths=paths)
+
+    baseline_path = Path(options.baseline) if options.baseline \
+        else root / BASELINE_FILENAME
+    if options.write_baseline:
+        total = write_baseline(baseline_path, report.findings)
+        print("wrote %s: %d finding(s) baselined" % (baseline_path, total))
+        return 0
+
+    baseline = Counter()
+    if not options.no_baseline and baseline_path.is_file():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+    report.new_findings, report.baselined, report.stale_baseline = \
+        partition(report.findings, baseline)
+
+    if options.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        _print_text(report, sys.stdout)
+    return 1 if report.new_findings else 0
+
+
+__all__ = ["Report", "run_analysis", "discover_files", "load_module_file",
+           "build_parser", "main"]

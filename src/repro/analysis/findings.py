@@ -1,0 +1,48 @@
+"""The unit of linter output: one :class:`Finding` at one source location.
+
+A finding carries a stable rule code (``RPL001``...), a repo-root-relative
+POSIX path, a 1-based line and 0-based column, and a deterministic message.
+Two renderings exist:
+
+* :meth:`Finding.render` — the human ``path:line:col: CODE message`` line.
+* :meth:`Finding.to_dict` — the JSON object emitted under ``--format json``.
+
+The *identity* of a finding (:meth:`Finding.identity`) deliberately excludes
+the line and column: the committed baseline matches findings by
+``code|path|message`` so that unrelated edits moving a known finding a few
+lines does not resurrect it as "new" debt.  Identities are compared with
+multiplicity (a :class:`collections.Counter`), so two copies of the same
+violation in one file still require two baseline entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location (ordered for stable output)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def identity(self) -> str:
+        """Line-independent identity used by the baseline (see module doc)."""
+        return "|".join((self.code, self.path, self.message))
+
+    def render(self) -> str:
+        """The human-readable one-line rendering."""
+        return "%s:%d:%d: %s %s" % (self.path, self.line, self.col,
+                                    self.code, self.message)
+
+    def to_dict(self) -> dict:
+        """The JSON object for ``--format json`` (key order is schema order)."""
+        return {"code": self.code, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+__all__ = ["Finding"]

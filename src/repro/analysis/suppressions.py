@@ -1,0 +1,59 @@
+"""Inline suppression comments: ``# repro: allow[RPL002] why it is fine``.
+
+A finding is suppressed when the physical line it is reported on carries an
+``allow`` comment naming its rule code (or ``*`` for any code).  The comment
+syntax deliberately requires the bracketed code list — a bare ``# repro:
+allow`` suppresses nothing — and everything after the closing bracket is the
+human justification, which reviewers should insist on.
+
+Comments are found with :mod:`tokenize`, not a regex over raw lines, so the
+pattern inside a string literal (e.g. in this very test suite's fixtures)
+never suppresses anything by accident.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: Matches the comment body; group 1 is the comma-separated code list.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9*,\s]+)\]")
+
+#: Sentinel code meaning "every rule" (``allow[*]``).
+ALLOW_ALL = "*"
+
+
+def suppressed_codes(source: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the set of rule codes allowed there.
+
+    Unparseable token streams yield no suppressions (the engine reports the
+    syntax error separately); the set may contain :data:`ALLOW_ALL`.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {code.strip() for code in match.group(1).split(",")}
+            codes.discard("")
+            if codes:
+                suppressions.setdefault(token.start[0], set()).update(codes)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return suppressions
+
+
+def is_suppressed(suppressions: dict[int, set[str]], line: int, code: str) -> bool:
+    """Whether ``code`` is allowed on ``line`` by an inline comment."""
+    codes = suppressions.get(line)
+    if not codes:
+        return False
+    return code in codes or ALLOW_ALL in codes
+
+
+__all__ = ["suppressed_codes", "is_suppressed", "ALLOW_ALL"]

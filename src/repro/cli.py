@@ -794,6 +794,29 @@ def cmd_client_query(args: argparse.Namespace) -> int:
         return 2
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Deferred import: the analysis engine is pure stdlib, but no other
+    # subcommand needs it and the CLI should stay cheap to start.
+    from repro.analysis.engine import main as analysis_main
+
+    forwarded: list[str] = []
+    if args.root:
+        forwarded += ["--root", args.root]
+    forwarded += ["--format", args.format]
+    if args.rules:
+        forwarded += ["--rules", args.rules]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    forwarded += args.paths
+    return analysis_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="f-fault-tolerant connectivity labeling")
@@ -942,6 +965,28 @@ def build_parser() -> argparse.ArgumentParser:
                                     "exposition format (implies --op stats)")
     add_json_flag(client_parser)
     client_parser.set_defaults(handler=cmd_client_query)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the repo's AST invariant linter (repro.analysis)")
+    lint_parser.add_argument("paths", nargs="*",
+                             help="specific files to analyze (default: all of "
+                                  "src/repro and benchmarks)")
+    lint_parser.add_argument("--root", default="",
+                             help="repository root (default: auto-detect)")
+    lint_parser.add_argument("--format", choices=["text", "json"],
+                             default="text", help="output format")
+    lint_parser.add_argument("--rules", default="",
+                             help="comma-separated rule codes (default: all)")
+    lint_parser.add_argument("--baseline", default="",
+                             help="baseline file (default: "
+                                  "<root>/analysis-baseline.json)")
+    lint_parser.add_argument("--no-baseline", action="store_true",
+                             help="ignore any baseline; every finding is new")
+    lint_parser.add_argument("--write-baseline", action="store_true",
+                             help="record current findings as the baseline")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="list rule codes and exit")
+    lint_parser.set_defaults(handler=cmd_lint)
     return parser
 
 

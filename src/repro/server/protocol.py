@@ -32,6 +32,8 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.errors import OracleError
+
 #: Wire-protocol version, reported by ``ping``.
 PROTOCOL_VERSION = 1
 
@@ -60,8 +62,12 @@ E_INTERNAL = "internal-error"
 KNOWN_OPS = ("ping", "stats", "connected", "connected_many", "session_info")
 
 
-class ProtocolError(Exception):
-    """A request that must be answered with a structured error response."""
+class ProtocolError(OracleError):
+    """A request that must be answered with a structured error response.
+
+    Part of the shared hierarchy (:class:`repro.errors.OracleError`) so that
+    callers holding an in-process or remote oracle can catch one root type.
+    """
 
     def __init__(self, code: str, message: str):
         super().__init__(message)

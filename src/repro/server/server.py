@@ -100,7 +100,9 @@ class QueryServer:
             await self._server.wait_closed()
         for writer in list(self._writers):
             writer.close()
-            with contextlib.suppress(Exception):
+            # Narrow on purpose: wait_closed only raises transport-level
+            # OSErrors here; anything broader must not be swallowed (RPL002).
+            with contextlib.suppress(OSError):
                 await writer.wait_closed()
         self._writers.clear()
         self.sessions.close()
@@ -135,7 +137,7 @@ class QueryServer:
             self._writers.discard(writer)
             self.metrics.connection_closed()
             writer.close()
-            with contextlib.suppress(Exception):
+            with contextlib.suppress(OSError):
                 await writer.wait_closed()
 
     async def _read_line(self, reader: asyncio.StreamReader,

@@ -170,3 +170,77 @@ def test_backends_agree_on_decode_many(width):
         results.append([str(entry) if isinstance(entry, DecodeFailure) else entry
                         for entry in entries])
     assert all(result == results[0] for result in results[1:])
+
+
+# ------------------------------------------------- bulk/scalar parity table
+
+def test_parity_table_resolves_every_registered_pair():
+    """Every (scalar, bulk) pair in the declarative registry imports and
+    resolves to callables — the runtime half of the RPL005 lint rule: an
+    entry that lints clean but no longer exists in the code fails here."""
+    from repro.analysis.parity import PARITY_TABLE
+
+    assert PARITY_TABLE, "the parity registry must never be empty"
+    for pair in PARITY_TABLE:
+        scalar, bulk = pair.resolve()
+        assert callable(scalar) and callable(bulk), pair
+
+
+def test_parity_table_matches_discovered_bulk_ops():
+    """The registry and the AST agree exactly: every public ``*_many`` def in
+    repro.coding / repro.outdetect is registered, and every registered
+    ``*_many`` member is discovered — neither side can drift alone."""
+    import ast as ast_module
+    from pathlib import Path
+
+    from repro.analysis.parity import registered_bulk_names
+
+    import repro.coding
+    import repro.outdetect
+
+    discovered = set()
+    for package in (repro.coding, repro.outdetect):
+        for path in sorted(Path(package.__file__).parent.glob("*.py")):
+            module_name = "%s.%s" % (package.__name__, path.stem) \
+                if path.stem != "__init__" else package.__name__
+            tree = ast_module.parse(path.read_text())
+            for node in tree.body:
+                scope = [(node.name, node)] if isinstance(
+                    node, (ast_module.FunctionDef,
+                           ast_module.AsyncFunctionDef)) else []
+                if isinstance(node, ast_module.ClassDef):
+                    scope = [("%s.%s" % (node.name, method.name), method)
+                             for method in node.body
+                             if isinstance(method, (ast_module.FunctionDef,
+                                                    ast_module.AsyncFunctionDef))]
+                for qualname, _ in scope:
+                    terminal = qualname.rsplit(".", 1)[-1]
+                    if terminal.endswith("_many") and \
+                            not terminal.startswith("_"):
+                        discovered.add((module_name, qualname))
+
+    registered = {(pair.module, bulk_name)
+                  for (pair_module, bulk_name), pair
+                  in registered_bulk_names().items()
+                  for pair_module in [pair.module]
+                  if bulk_name.rsplit(".", 1)[-1].endswith("_many")}
+    assert discovered == registered, \
+        "unregistered: %s / stale: %s" % (sorted(discovered - registered),
+                                          sorted(registered - discovered))
+
+
+def test_parity_pairs_agree_on_a_shared_workload():
+    """Spot-check through the registry itself: resolving the rootfind pair
+    from the table and driving it produces scalar-identical answers."""
+    from repro.analysis.parity import PARITY_TABLE
+
+    pair = next(p for p in PARITY_TABLE
+                if p.module == "repro.coding.rootfind" and p.bulk == "find_roots_many")
+    scalar, bulk = pair.resolve()
+    field = GF2m(8)
+    rng = random.Random(11)
+    polys = [Gf2Poly(field, [rng.randrange(field.order) for _ in range(3)] +
+                     [1 + rng.randrange(field.order - 1)])
+             for _ in range(6)]
+    expected = [scalar(poly) for poly in polys]
+    assert bulk(polys) == expected

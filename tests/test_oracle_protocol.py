@@ -298,16 +298,21 @@ def test_oracle_is_a_factory_namespace():
 
 def test_cli_constructs_only_through_the_facade():
     """Acceptance criterion: the CLI holds no transport-specific construction
-    — no FTConnectivityOracle(...), no RehydratedOracle / load_snapshot, no
-    QueryClient; only the repro.api factories."""
+    — enforced by the invariant linter's seam-discipline rule (RPL001), which
+    understands imports and attribute references instead of grepping raw
+    source, and honors no baseline here: the CLI has zero grandfathered debt."""
     import repro.cli
     from pathlib import Path
 
-    source = Path(repro.cli.__file__).read_text()
-    for forbidden in ("FTConnectivityOracle", "RehydratedOracle",
-                      "load_snapshot", "QueryClient", "FTCLabeling"):
-        assert forbidden not in source, \
-            "cli.py must reach %s only through repro.api" % forbidden
+    from repro.analysis import run_analysis, rules_by_code
+
+    cli_path = Path(repro.cli.__file__).resolve()
+    root = cli_path.parents[2]  # src/repro/cli.py -> repo root
+    report = run_analysis(root, rules=[rules_by_code()["RPL001"]],
+                          paths=[cli_path])
+    assert report.findings == [], \
+        "cli.py must construct oracles only through repro.api:\n%s" % \
+        "\n".join(finding.render() for finding in report.findings)
 
 
 # ------------------------------------------------- config resolver / shim

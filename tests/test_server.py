@@ -620,3 +620,50 @@ def test_hot_key_name_collisions_get_stable_suffixes(oracle):
         assert second[name_of_a] == 9
     finally:
         manager.close()
+
+
+def test_hot_key_and_metrics_counters_survive_thread_hammer(oracle):
+    """The RPL004-registered state keeps exact counts under thread pressure.
+
+    Every mutation of ``SessionManager._hot_keys`` / ``_hot_key_names`` and of
+    the ``ServerMetrics`` counters is lock-guarded (the invariant linter's
+    lock-discipline rule checks this lexically); this test checks it
+    dynamically — with GIL-release pressure from many threads, totals must
+    come out exact, not merely close.
+    """
+    from repro.server.metrics import ServerMetrics
+
+    manager = SessionManager(oracle, max_sessions=4)
+    metrics = ServerMetrics()
+    rounds, workers = 200, 8
+    keys = [(("k", worker % 3),) for worker in range(workers)]
+    stats_snapshots = []
+
+    def hammer(worker):
+        key = keys[worker]
+        for _ in range(rounds):
+            manager._record_hot_key(key, [("u", str(worker % 3))])
+            metrics.record_request("connected_many", 0.0)
+            metrics.record_session_hit()
+            metrics.add_queries(2)
+        # Interleave reads: stats() takes the same locks the writers hold.
+        stats_snapshots.append(manager.stats()["session_hot_keys_tracked"])
+        stats_snapshots.append(metrics.snapshot()["requests_total"])
+
+    try:
+        threads = [threading.Thread(target=hammer, args=(worker,))
+                   for worker in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        hot = manager.hot_keys()
+        assert sum(hot.values()) == rounds * workers
+        assert manager.stats()["session_hot_keys_tracked"] == 3
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == rounds * workers
+        assert snapshot["sessions"]["hits"] == rounds * workers
+        assert snapshot["queries_answered"] == 2 * rounds * workers
+        assert len(stats_snapshots) == 2 * workers
+    finally:
+        manager.close()
