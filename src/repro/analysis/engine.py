@@ -26,7 +26,7 @@ import sys
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Sequence, TextIO
 
 from repro.analysis.baseline import (BASELINE_FILENAME, BaselineError,
                                      load_baseline, partition, write_baseline)
@@ -81,10 +81,20 @@ def discover_files(root: Path) -> list:
 
 
 def _relpath(path: Path, root: Path) -> str:
-    return path.resolve().relative_to(root.resolve()).as_posix()
+    """Root-relative POSIX path of ``path``.
+
+    Compares fully resolved paths first, then the textual relationship, so a
+    checkout reached through a symlink works either way.  Raises
+    ``ValueError`` when ``path`` lies outside ``root`` under both views —
+    ``main`` turns that into the documented exit-2 usage error.
+    """
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.relative_to(root).as_posix()
 
 
-def _module_name(relpath: str) -> str:
+def _module_name(relpath: str) -> str | None:
     """Dotted module name for ``src/`` files (else ``None``)."""
     if not relpath.startswith("src/"):
         return None
@@ -94,7 +104,8 @@ def _module_name(relpath: str) -> str:
     return dotted
 
 
-def load_module_file(path: Path, root: Path) -> tuple:
+def load_module_file(path: Path,
+                     root: Path) -> tuple[ModuleFile | None, Finding | None]:
     """Parse one file; returns ``(ModuleFile | None, Finding | None)``."""
     relpath = _relpath(path, root)
     source = path.read_text()
@@ -109,8 +120,8 @@ def load_module_file(path: Path, root: Path) -> tuple:
                       module_name=_module_name(relpath)), None
 
 
-def run_analysis(root: Path, rules: Sequence[Rule] = None,
-                 paths: Sequence[Path] = None) -> Report:
+def run_analysis(root: Path, rules: Sequence[Rule] | None = None,
+                 paths: Sequence[Path] | None = None) -> Report:
     """Run ``rules`` (default: all) over ``paths`` (default: discovered)."""
     selected = list(RULES) if rules is None else list(rules)
     report = Report(root=root, rules_run=[rule.code for rule in selected])
@@ -118,10 +129,11 @@ def run_analysis(root: Path, rules: Sequence[Rule] = None,
     for path in files:
         report.files_scanned += 1
         module, parse_finding = load_module_file(path, root)
-        if parse_finding is not None:
-            report.findings.append(parse_finding)
+        if module is None:
+            if parse_finding is not None:
+                report.findings.append(parse_finding)
             continue
-        raw = []
+        raw: list[Finding] = []
         for rule in selected:
             if rule.applies_to(module.relpath):
                 raw.extend(rule.check(module))
@@ -141,7 +153,7 @@ def run_analysis(root: Path, rules: Sequence[Rule] = None,
 
 def _select_rules(spec: str) -> list:
     registry = rules_by_code()
-    selected = []
+    selected: list[Rule] = []
     for code in spec.split(","):
         code = code.strip().upper()
         if not code:
@@ -190,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_text(report: Report, stream) -> None:
+def _print_text(report: Report, stream: TextIO) -> None:
     for finding in report.new_findings:
         print(finding.render(), file=stream)
     summary = ("%d file(s) scanned, %d new finding(s), %d baselined, "
@@ -203,7 +215,7 @@ def _print_text(report: Report, stream) -> None:
               file=stream)
 
 
-def main(argv: Sequence[str] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
 
@@ -231,6 +243,7 @@ def main(argv: Sequence[str] = None) -> int:
               file=sys.stderr)
         return 2
 
+    paths: list[Path] | None = None
     if options.paths:
         paths = []
         for raw in options.paths:
@@ -240,9 +253,13 @@ def main(argv: Sequence[str] = None) -> int:
             if not path.is_file():
                 print("error: no such file: %s" % raw, file=sys.stderr)
                 return 2
+            try:
+                _relpath(path, root)
+            except ValueError:
+                print("error: %s is outside the analysis root %s"
+                      % (raw, root), file=sys.stderr)
+                return 2
             paths.append(path)
-    else:
-        paths = None
 
     report = run_analysis(root, rules=rules, paths=paths)
 
@@ -253,7 +270,7 @@ def main(argv: Sequence[str] = None) -> int:
         print("wrote %s: %d finding(s) baselined" % (baseline_path, total))
         return 0
 
-    baseline = Counter()
+    baseline: Counter = Counter()
     if not options.no_baseline and baseline_path.is_file():
         try:
             baseline = load_baseline(baseline_path)

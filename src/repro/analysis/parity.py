@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, cast
 
 
 @dataclass(frozen=True)
@@ -55,10 +55,10 @@ class ParityPair:
 
 
 def _resolve_qualname(module_name: str, qualname: str) -> Callable:
-    obj = importlib.import_module(module_name)
+    obj: Any = importlib.import_module(module_name)
     for part in qualname.split("."):
         obj = getattr(obj, part)
-    return obj
+    return cast(Callable, obj)
 
 
 #: Every scalar decode primitive of the coding/outdetect layers and its bulk

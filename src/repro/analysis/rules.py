@@ -144,9 +144,10 @@ class SeamDisciplineRule(Rule):
                         yield self._finding(module, node,
                                             self._import_message(alias.name))
             elif isinstance(node, ast.ImportFrom):
-                if node.module in self.FORBIDDEN_MODULES:
+                from_module = node.module or ""
+                if from_module in self.FORBIDDEN_MODULES:
                     yield self._finding(module, node,
-                                        self._import_message(node.module))
+                                        self._import_message(from_module))
                 else:
                     for alias in node.names:
                         if alias.name in self.FORBIDDEN_NAMES:
@@ -446,7 +447,8 @@ class LockDisciplineRule(Rule):
                                     locked=False, findings=findings)
                         yield from findings
 
-    def _visit(self, module: ModuleFile, contract: LockContract, method,
+    def _visit(self, module: ModuleFile, contract: LockContract,
+               method: ast.FunctionDef | ast.AsyncFunctionDef,
                body: list, locked: bool, findings: list) -> None:
         for node in body:
             node_locked = locked
@@ -457,12 +459,16 @@ class LockDisciplineRule(Rule):
             if not node_locked:
                 self._check_statement(module, contract, method, node, findings)
             # Recurse into compound statement bodies, preserving lock context.
-            for field_name in ("body", "orelse", "finalbody", "handlers"):
+            # ExceptHandler and match_case are not statements themselves; their
+            # bodies are flattened into the visited statement list.
+            for field_name in ("body", "orelse", "finalbody", "handlers",
+                               "cases"):
                 children = getattr(node, field_name, None)
                 if children:
-                    nested = []
+                    nested: list[ast.stmt] = []
                     for child in children:
-                        if isinstance(child, ast.ExceptHandler):
+                        if isinstance(child, (ast.ExceptHandler,
+                                              ast.match_case)):
                             nested.extend(child.body)
                         else:
                             nested.append(child)
@@ -470,7 +476,8 @@ class LockDisciplineRule(Rule):
                                 findings)
 
     def _check_statement(self, module: ModuleFile, contract: LockContract,
-                         method, node: ast.stmt, findings: list) -> None:
+                         method: ast.FunctionDef | ast.AsyncFunctionDef,
+                         node: ast.stmt, findings: list) -> None:
         targets: list[ast.AST] = []
         if isinstance(node, ast.Assign):
             targets = list(node.targets)
@@ -482,20 +489,21 @@ class LockDisciplineRule(Rule):
             func = node.value.func
             if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
                 root = _self_attribute_root(func.value)
-                if root in contract.guarded:
+                if root is not None and root in contract.guarded:
                     findings.append(self._mutation_finding(
                         module, node, contract, method, root,
                         ".%s()" % func.attr))
             return
         for target in targets:
             root = _self_attribute_root(target)
-            if root in contract.guarded:
+            if root is not None and root in contract.guarded:
                 findings.append(self._mutation_finding(
                     module, node, contract, method, root, "assignment"))
 
     def _mutation_finding(self, module: ModuleFile, node: ast.stmt,
-                          contract: LockContract, method, attr: str,
-                          how: str) -> Finding:
+                          contract: LockContract,
+                          method: ast.FunctionDef | ast.AsyncFunctionDef,
+                          attr: str, how: str) -> Finding:
         return self._finding(
             module, node,
             "%s.%s mutated (%s) in %s() outside `with self.%s:`"

@@ -18,7 +18,10 @@ import re
 import tokenize
 
 #: Matches the comment body; group 1 is the comma-separated code list.
-_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9*,\s]+)\]")
+#: Codes match case-insensitively (normalized to upper case below), mirroring
+#: the engine's ``--rules`` parsing — ``allow[rpl001]`` must not silently
+#: suppress nothing.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
 
 #: Sentinel code meaning "every rule" (``allow[*]``).
 ALLOW_ALL = "*"
@@ -39,7 +42,7 @@ def suppressed_codes(source: str) -> dict[int, set[str]]:
             match = _ALLOW_RE.search(token.string)
             if match is None:
                 continue
-            codes = {code.strip() for code in match.group(1).split(",")}
+            codes = {code.strip().upper() for code in match.group(1).split(",")}
             codes.discard("")
             if codes:
                 suppressions.setdefault(token.start[0], set()).update(codes)

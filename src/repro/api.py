@@ -52,14 +52,17 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field as dataclass_field
-from typing import (Any, Hashable, Iterable, Mapping, Protocol, Sequence,
-                    runtime_checkable)
+from typing import (TYPE_CHECKING, Any, Callable, Hashable, Iterable, Mapping,
+                    Protocol, Sequence, cast, runtime_checkable)
 
 from repro.core.config import (FTCConfig, SchemeVariant, resolve_build_executor,
                                resolve_ftc_config)
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
 from repro.errors import OracleError, TransportError
+
+if TYPE_CHECKING:
+    from repro.server.client import QueryClient, ServerError
 
 Vertex = Hashable
 
@@ -89,7 +92,8 @@ def _prom_value(value: Any) -> str:
     return repr(float(value))
 
 
-def _prom_walk(parts: list, labels: list, obj: Any, add) -> None:
+def _prom_walk(parts: list, labels: list, obj: Any,
+               add: Callable[[list, list, Any], None]) -> None:
     """Flatten nested numeric dicts into Prometheus samples.
 
     A mapping under a key of the form ``<base>_by_<label>`` (the metrics
@@ -172,7 +176,7 @@ class OracleStats:
         for key, value in (self.extra or {}).items():
             _prom_walk([prefix, str(key)], [], value, add)
 
-        lines = []
+        lines: list[str] = []
         for name in sorted(families):
             lines.append("# TYPE %s gauge" % name)
             for labels, value in families[name]:
@@ -184,7 +188,7 @@ class OracleStats:
         return "\n".join(lines) + "\n"
 
 
-def local_oracle_stats(oracle, session_cache: Mapping) -> OracleStats:
+def local_oracle_stats(oracle: Any, session_cache: Mapping) -> OracleStats:
     """Assemble :class:`OracleStats` for an in-process transport.
 
     Shared by the "build" and "snapshot" oracles so the normalized shape is
@@ -234,9 +238,9 @@ class OracleProtocol(Protocol):
 
     def close(self) -> None: ...
 
-    def __enter__(self): ...
+    def __enter__(self) -> Any: ...
 
-    def __exit__(self, *exc_info): ...
+    def __exit__(self, *exc_info: Any) -> None: ...
 
 
 # --------------------------------------------------------- remote transport
@@ -285,18 +289,19 @@ class RemoteDecodeError(LabelDecodeError, RemoteOracleError):
     __init__ = RemoteOracleError.__init__
 
 
-def map_server_error(error) -> RemoteOracleError:
+def map_server_error(error: "ServerError") -> RemoteOracleError:
     """Translate a client :class:`~repro.server.client.ServerError` into the
     shared hierarchy, preserving the wire code."""
     from repro.server import protocol as wire
 
-    exception_class = {
+    mapping: dict[str, type[RemoteOracleError]] = {
         wire.E_UNKNOWN_VERTEX: RemoteLookupError,
         wire.E_UNKNOWN_EDGE: RemoteLookupError,
         wire.E_OVER_BUDGET: RemoteBudgetError,
         wire.E_QUERY_FAILED: RemoteQueryFailure,
         wire.E_DECODE: RemoteDecodeError,
-    }.get(error.code, RemoteOracleError)
+    }
+    exception_class = mapping.get(error.code, RemoteOracleError)
     return exception_class(error.code, error.message)
 
 
@@ -324,10 +329,10 @@ class RemoteBatchSession:
         return self._oracle.connected_many(pairs, self._faults)
 
     def num_components(self) -> int:
-        return self._info.get("num_components")
+        return cast(int, self._info.get("num_components"))
 
     def num_fragments(self) -> int:
-        return self._info.get("num_fragments")
+        return cast(int, self._info.get("num_fragments"))
 
 
 class RemoteOracle:
@@ -344,7 +349,8 @@ class RemoteOracle:
     #: Transport tag of the oracle protocol.
     transport = "tcp"
 
-    def __init__(self, client, host: str | None = None, port: int | None = None):
+    def __init__(self, client: "QueryClient", host: str | None = None,
+                 port: int | None = None):
         self._client = client
         self.host = host
         self.port = port
@@ -372,7 +378,7 @@ class RemoteOracle:
 
     # ------------------------------------------------------------- plumbing
 
-    def _call(self, method, *args):
+    def _call(self, method: Callable[..., Any], *args: Any) -> Any:
         from repro.server.client import ProtocolViolation, ServerError
 
         if self._closed:
@@ -391,11 +397,12 @@ class RemoteOracle:
     # -------------------------------------------------------------- queries
 
     def connected(self, s: Vertex, t: Vertex, faults: Iterable = ()) -> bool:
-        return self._call(self._client.connected, s, t, list(faults))
+        return cast(bool, self._call(self._client.connected, s, t, list(faults)))
 
     def connected_many(self, pairs: Sequence[tuple],
                        faults: Iterable = ()) -> list:
-        return self._call(self._client.connected_many, list(pairs), list(faults))
+        return cast(list, self._call(self._client.connected_many,
+                                     list(pairs), list(faults)))
 
     def batch_session(self, faults: Iterable = ()) -> RemoteBatchSession:
         fault_list = list(faults)
@@ -405,11 +412,11 @@ class RemoteOracle:
     # ---------------------------------------------------------------- stats
 
     def ping(self) -> dict:
-        return self._call(self._client.ping)
+        return cast(dict, self._call(self._client.ping))
 
     def server_stats(self) -> dict:
         """The raw ``stats`` wire payload (``{"server": ..., "oracle": ...}``)."""
-        return self._call(self._client.stats)
+        return cast(dict, self._call(self._client.stats))
 
     def stats(self) -> OracleStats:
         payload = self.server_stats()
@@ -455,7 +462,7 @@ class RemoteOracle:
     def __enter__(self) -> "RemoteOracle":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
 
@@ -469,17 +476,18 @@ class Oracle:
     satisfying :class:`OracleProtocol`.
     """
 
-    def __new__(cls, *args, **kwargs):
+    def __new__(cls, *args: Any, **kwargs: Any) -> "Oracle":
         raise TypeError("Oracle is a factory namespace; use Oracle.build(...), "
                         "Oracle.load(...), or Oracle.connect(...)")
 
     @staticmethod
-    def build(graph, max_faults: int | None = None, *,
+    def build(graph: Any, max_faults: int | None = None, *,
               config: FTCConfig | None = None,
               variant: SchemeVariant | str | None = None,
               random_seed: int | None = None,
               use_fast_engine: bool = True,
-              executor=None, jobs: int | None = None, **overrides):
+              executor: Any = None, jobs: int | None = None,
+              **overrides: Any) -> Any:
         """Construct labels for ``graph`` and return the "build" transport.
 
         Configuration is normalized through
@@ -501,7 +509,7 @@ class Oracle:
                                     executor=resolve_build_executor(executor, jobs))
 
     @staticmethod
-    def load(source):
+    def load(source: Any) -> Any:
         """Rehydrate the "snapshot" transport from ``FTCS`` bytes or a path."""
         from repro.core.snapshot import load_snapshot
 
@@ -563,11 +571,12 @@ def parse_build_query(rest: str) -> tuple:
     return path, options
 
 
-def open_oracle(uri: str, *, graph=None, config: FTCConfig | None = None,
+def open_oracle(uri: str, *, graph: Any = None,
+                config: FTCConfig | None = None,
                 max_faults: int | None = None,
                 variant: SchemeVariant | str | None = None,
                 random_seed: int | None = None, timeout: float = 30.0,
-                executor=None, jobs: int | None = None):
+                executor: Any = None, jobs: int | None = None) -> Any:
     """Open an oracle by URI — the CLI's one-flag transport selection.
 
     * ``snapshot:network.ftcs`` (or a bare ``*.ftcs`` path) →

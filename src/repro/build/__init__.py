@@ -25,6 +25,8 @@ whole runs without touching call sites.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.build.executors import (EXECUTOR_ENV_VAR, EXECUTOR_NAMES,
                                    BuildExecutor, ProcessExecutor,
                                    SerialExecutor, ThreadExecutor,
@@ -32,9 +34,11 @@ from repro.build.executors import (EXECUTOR_ENV_VAR, EXECUTOR_NAMES,
 from repro.build.plan import STAGES, BuildPlan, BuildReport, BuildResult
 
 
-def build_labeling(graph, config=None, *, max_faults=None, variant=None,
-                   random_seed=None, root=None, executor=None, jobs=None,
-                   **overrides):
+def build_labeling(graph: Any, config: Any = None, *,
+                   max_faults: int | None = None, variant: Any = None,
+                   random_seed: int | None = None, root: Any = None,
+                   executor: Any = None, jobs: int | None = None,
+                   **overrides: Any) -> Any:
     """Build an :class:`~repro.core.ftc.FTCLabeling` — the one build facade.
 
     Construction parameters are normalized through

@@ -36,9 +36,13 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+from concurrent.futures import (BrokenExecutor, Executor, ProcessPoolExecutor,
                                 ThreadPoolExecutor)
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import (TYPE_CHECKING, Callable, Protocol, Sequence,
+                    runtime_checkable)
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
 
 #: Environment variable selecting the default executor
 #: (``serial`` / ``thread[:N]`` / ``process[:N]``).
@@ -104,14 +108,14 @@ class _PooledExecutor:
         if jobs is not None and jobs < 1:
             raise ValueError("executor jobs must be at least 1, got %d" % jobs)
         self.jobs = jobs if jobs is not None else default_jobs()
-        self._pool = None
+        self._pool: Executor | None = None
         self._lock = threading.Lock()
         self._closed = False
 
-    def _make_pool(self):
+    def _make_pool(self) -> Executor:
         raise NotImplementedError
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> Executor:
         with self._lock:
             if self._closed:
                 raise RuntimeError("%s executor is closed" % self.name)
@@ -157,7 +161,7 @@ class ThreadExecutor(_PooledExecutor):
 
     name = "thread"
 
-    def _make_pool(self):
+    def _make_pool(self) -> Executor:
         return ThreadPoolExecutor(max_workers=self.jobs,
                                   thread_name_prefix="repro-build")
 
@@ -172,7 +176,7 @@ class ProcessExecutor(_PooledExecutor):
 
     name = "process"
 
-    def _make_pool(self):
+    def _make_pool(self) -> Executor:
         import multiprocessing
 
         # The pool is created lazily, possibly after the embedding process
@@ -182,6 +186,7 @@ class ProcessExecutor(_PooledExecutor):
         # single-threaded server process instead (the parent's sys.path
         # travels in the spawn preparation data, so src-layout imports keep
         # working); platforms without it (Windows) use their spawn default.
+        context: BaseContext | None
         try:
             context = multiprocessing.get_context("forkserver")
         except ValueError:  # pragma: no cover - platform without forkserver
@@ -189,7 +194,7 @@ class ProcessExecutor(_PooledExecutor):
         return ProcessPoolExecutor(max_workers=self.jobs, mp_context=context)
 
 
-_EXECUTOR_CLASSES = {
+_EXECUTOR_CLASSES: dict[str, Callable[..., BuildExecutor]] = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
@@ -237,7 +242,8 @@ def _shared_executor(name: str, jobs: int | None) -> BuildExecutor:
         return executor
 
 
-def resolve_executor(executor=None, jobs: int | None = None) -> BuildExecutor:
+def resolve_executor(executor: "BuildExecutor | str | None" = None,
+                     jobs: int | None = None) -> BuildExecutor:
     """Normalize every entry point's ``executor=`` / ``jobs=`` onto one strategy.
 
     Precedence:

@@ -191,6 +191,7 @@ class BuildPlan:
         if hierarchy is None:
             return self._build_sketch(instance, vertices, vertex_index, executor)
         field = instance.codec.field
+        levels: list[tuple[int, dict]]
         if not hierarchy.levels:
             # A tree has no non-tree edges; a single trivial level keeps the
             # layered machinery uniform.
@@ -200,10 +201,10 @@ class BuildPlan:
                        {edge: instance.edge_ids[edge] for edge in level_edges})
                       for level_edges, threshold in zip(hierarchy.levels,
                                                         hierarchy.thresholds)]
-        tasks = []
+        tasks: list[dict] = []
         slices: list[list[int]] = []  # task indices per level, in level order
         for threshold, edge_ids in levels:
-            level_tasks = []
+            level_tasks: list[int] = []
             for chunk in _chunks(_position_edges(edge_ids, vertex_index),
                                  executor.jobs):
                 level_tasks.append(len(tasks))
@@ -212,7 +213,7 @@ class BuildPlan:
             slices.append(level_tasks)
         results = executor.map(build_shard, tasks)
         merge_bulk = get_bulk_ops(None, max_bits=field.width)
-        level_schemes = []
+        level_schemes: list[RSThresholdOutdetect] = []
         for (threshold, edge_ids), task_indices in zip(levels, slices):
             merged = merge_shards(len(vertices), 2 * threshold,
                                   [results[index] for index in task_indices],
@@ -268,7 +269,7 @@ def _chunks(items: list, parts: int) -> list:
     count = len(items)
     parts = max(1, min(parts, count) if count else 1)
     base, extra = divmod(count, parts)
-    out = []
+    out: list = []
     position = 0
     for index in range(parts):
         size = base + (1 if index < extra else 0)

@@ -20,7 +20,14 @@ executor or shard count.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.gf2.field import GF2m
+
+if TYPE_CHECKING:
+    from repro.gf2.bulk import BulkOps
+    from repro.outdetect.rs_threshold import RSThresholdOutdetect
+    from repro.outdetect.sketch import SketchOutdetect
 
 
 def rs_shard_task(width: int, modulus: int, threshold: int, edges: list) -> dict:
@@ -59,6 +66,7 @@ def build_shard(task: dict) -> tuple:
     positions = sorted({position for u, v, _ in task["edges"] for position in (u, v)})
     edge_items = [((u, v), identifier) for u, v, identifier in task["edges"]]
     kind = task["kind"]
+    scheme: "RSThresholdOutdetect | SketchOutdetect"
     if kind == "rs":
         from repro.outdetect.rs_threshold import RSThresholdOutdetect
 
@@ -77,7 +85,7 @@ def build_shard(task: dict) -> tuple:
 
 
 def merge_shards(num_vertices: int, row_len: int, shard_results: list,
-                 bulk=None) -> list:
+                 bulk: "BulkOps | None" = None) -> list:
     """XOR sparse shard results into one full ``num_vertices x row_len`` matrix.
 
     XOR is associative and commutative, so the merged matrix is independent

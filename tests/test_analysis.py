@@ -279,6 +279,50 @@ class TestLockDiscipline:
         report = run_analysis(root, rules=[rules_by_code()["RPL004"]])
         assert report.findings == [] and report.suppressed == 2
 
+    MATCH_BAD = """
+        import threading
+        from collections import Counter
+
+        class ServerMetrics:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._requests = Counter()
+
+            def record_request(self, op, seconds):
+                match op:
+                    case "query":
+                        self._requests[op] += 1
+                    case _:
+                        self._requests.clear()
+    """
+
+    def test_mutations_inside_match_cases_flagged(self, tmp_path):
+        findings = lint(tmp_path, {"src/repro/server/metrics.py": self.MATCH_BAD},
+                        "RPL004")
+        assert len(findings) == 2
+
+    MATCH_GOOD = """
+        import threading
+        from collections import Counter
+
+        class ServerMetrics:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._requests = Counter()
+
+            def record_request(self, op, seconds):
+                with self._lock:
+                    match op:
+                        case "query":
+                            self._requests[op] += 1
+                        case _:
+                            self._requests.clear()
+    """
+
+    def test_match_under_lock_passes(self, tmp_path):
+        assert lint(tmp_path, {"src/repro/server/metrics.py": self.MATCH_GOOD},
+                    "RPL004") == []
+
 
 # ---------------------------------------------------------------- RPL005
 
@@ -405,6 +449,18 @@ def test_wrong_code_does_not_suppress(tmp_path):
     assert len(report.findings) == 1 and report.suppressed == 0
 
 
+def test_suppression_codes_are_case_insensitive(tmp_path):
+    """``allow[rpl001]`` suppresses RPL001, matching ``--rules`` parsing."""
+    source = ("a = 1  # repro: allow[rpl001] lowercase\n"
+              "b = 2  # repro: allow[Rpl001, rpl002] mixed case\n")
+    assert suppressed_codes(source) == {1: {"RPL001"}, 2: {"RPL001", "RPL002"}}
+    repo_source = ("from repro.core.ftc import FTCLabeling  "
+                   "# repro: allow[rpl001] fixture-justified\n")
+    root = make_repo(tmp_path, {"src/repro/cli.py": repo_source})
+    report = run_analysis(root, rules=[rules_by_code()["RPL001"]])
+    assert report.findings == [] and report.suppressed == 1
+
+
 # ---------------------------------------------------------------- baseline
 
 def test_baseline_round_trip(tmp_path):
@@ -504,6 +560,17 @@ def test_explicit_paths_and_missing_path(tmp_path, capsys):
     assert analysis_main(["--root", str(root), "src/repro/ok.py"]) == 0
     assert analysis_main(["--root", str(root), "src/repro/cli.py"]) == 1
     assert analysis_main(["--root", str(root), "no/such/file.py"]) == 2
+
+
+def test_explicit_path_outside_root_is_a_usage_error(tmp_path, capsys):
+    """An absolute path outside ``--root`` exits 2 with a message, not a
+    traceback (the relpath computation cannot be asked to escape the root)."""
+    root = _violating_repo(tmp_path / "repo")
+    outside = tmp_path / "elsewhere" / "stray.py"
+    outside.parent.mkdir(parents=True)
+    outside.write_text("x = 1\n")
+    assert analysis_main(["--root", str(root), str(outside)]) == 2
+    assert "outside the analysis root" in capsys.readouterr().err
 
 
 def test_syntax_errors_surface_as_rpl000(tmp_path):
