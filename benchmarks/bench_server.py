@@ -128,7 +128,9 @@ def run_server_benchmark(n=N, seed=SEED, max_faults=MAX_FAULTS,
                                        requests_per_client),
                 range(num_clients)))
             concurrent_wall = time.perf_counter() - start
-        final_metrics = server.metrics.snapshot()["sessions"]
+        final_snapshot = server.metrics.snapshot()
+        final_metrics = final_snapshot["sessions"]
+        latency = final_snapshot["latency_by_op"].get("connected_many", {})
 
     queries_per_request = PAIRS_PER_REQUEST
     single_qps = requests_per_client * queries_per_request / single_seconds
@@ -149,6 +151,9 @@ def run_server_benchmark(n=N, seed=SEED, max_faults=MAX_FAULTS,
         "session_builds": final_metrics["misses"],
         "single_hit_rate": single_metrics["hit_rate"],
         "per_client_seconds": elapsed,
+        # Server-side per-request latency quantiles (histogram estimates).
+        "p50_ms": latency.get("p50_ms", 0.0),
+        "p99_ms": latency.get("p99_ms", 0.0),
     }
 
 
@@ -222,6 +227,8 @@ def main(argv=None) -> int:
         "concurrent_ratio": result["concurrent_ratio"],
         "hit_rate": result["hit_rate"],
         "session_builds": result["session_builds"],
+        "p50_ms": result["p50_ms"],
+        "p99_ms": result["p99_ms"],
     })
     if minimum and result["concurrent_ratio"] < minimum:
         print("FAIL: %d-client aggregate is %.2fx a single client (need %.1fx)"

@@ -12,8 +12,9 @@ Every numeric quantity present in both files is matched by its path
 runs still line up).  A metric *regresses* when
 
 * it is lower-is-better (timing stats such as ``mean``/``median``/``min``,
-  and recorded values ending in ``_seconds`` or ``_ratio``) and the new value
-  exceeds the old by more than the threshold factor, or
+  and recorded values ending in ``_seconds``, ``_ms``, or ``_ratio`` — which
+  covers the server's ``p50_ms``/``p95_ms``/``p99_ms`` latency quantiles)
+  and the new value exceeds the old by more than the threshold factor, or
 * it is higher-is-better (``ops`` and recorded values containing ``speedup``)
   and the new value falls below the old by more than the threshold factor.
 
@@ -44,7 +45,8 @@ def _direction(leaf: str) -> str | None:
     """``"lower"``, ``"higher"``, or ``None`` when the metric is not compared."""
     if leaf in IGNORED_STATS:
         return None
-    if leaf in LOWER_IS_BETTER_STATS or leaf.endswith(("_seconds", "_ratio")):
+    if leaf in LOWER_IS_BETTER_STATS or leaf.endswith(("_seconds", "_ms",
+                                                       "_ratio")):
         return "lower"
     if leaf in HIGHER_IS_BETTER_STATS or "speedup" in leaf:
         return "higher"

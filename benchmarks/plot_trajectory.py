@@ -1,0 +1,206 @@
+"""Plot metric trajectories across archived ``BENCH_<name>.json`` runs.
+
+Each benchmark run emits one ``BENCH_<name>.json`` envelope (see
+:func:`common.emit_bench_json`); archive them — e.g. one directory per CI run,
+or timestamped copies — and this tool lines the runs up per benchmark (sorted
+by the envelope's ``created_unix``) and renders how every numeric metric
+moved::
+
+    python benchmarks/plot_trajectory.py runs/2026-08-*/ --metric qps
+    python benchmarks/plot_trajectory.py runs/**/BENCH_server.json \\
+        --output trajectory.png
+
+Metrics are flattened with the same path scheme :mod:`compare` uses, so the
+series names here match the rows of a ``compare.py`` diff (including the
+``p50_ms``/``p99_ms`` latency quantiles the server benchmark records).
+
+With matplotlib installed, ``--output`` writes one figure (a subplot per
+benchmark); without it — the toolchain does not require matplotlib — the
+fallback prints a text table with first/last values, the relative change,
+and an ASCII sparkline per metric.  Nothing else in the repo imports this
+module, so the optional dependency stays contained.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ is None or __package__ == "":
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from compare import _flatten
+
+#: Eight-level ASCII sparkline alphabet (space = minimum, '#' = maximum).
+SPARK_CHARS = " .:-=+*#"
+
+
+def discover_files(paths: list) -> list:
+    """Expand files and directories into a list of ``BENCH_*.json`` paths."""
+    found = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(sorted(path.rglob("BENCH_*.json")))
+        elif path.is_file():
+            found.append(path)
+    return found
+
+
+def load_runs(files: list) -> dict:
+    """Group envelopes by benchmark name, each sorted by ``created_unix``.
+
+    Returns ``{benchmark: [(created_unix, {metric_path: value}), ...]}``;
+    files that are not valid benchmark envelopes are skipped with a warning
+    (an archive directory may hold other JSON).
+    """
+    runs: dict = {}
+    for path in files:
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print("skipping %s: %s" % (path, error), file=sys.stderr)
+            continue
+        if not isinstance(document, dict) or "benchmark" not in document:
+            print("skipping %s: not a benchmark envelope" % path,
+                  file=sys.stderr)
+            continue
+        flat: dict = {}
+        _flatten(document.get("results", {}), "", flat)
+        runs.setdefault(str(document["benchmark"]), []).append(
+            (float(document.get("created_unix", 0.0)), flat))
+    for entries in runs.values():
+        entries.sort(key=lambda entry: entry[0])
+    return runs
+
+
+def series_of(entries: list, metric_filter: str | None) -> dict:
+    """``{metric_path: [value or None per run]}`` over one benchmark's runs.
+
+    Only metrics present in at least two runs make a trajectory; ``None``
+    marks runs where a metric is missing (so run indices stay aligned).
+    """
+    names: set = set()
+    for _, flat in entries:
+        names.update(flat)
+    series: dict = {}
+    for name in sorted(names):
+        if metric_filter and metric_filter not in name:
+            continue
+        values = [flat.get(name) for _, flat in entries]
+        if sum(value is not None for value in values) >= 2:
+            series[name] = values
+    return series
+
+
+def sparkline(values: list) -> str:
+    """An ASCII sparkline; missing runs render as ``?``."""
+    present = [value for value in values if value is not None]
+    low, high = min(present), max(present)
+    span = high - low
+    out = []
+    for value in values:
+        if value is None:
+            out.append("?")
+        elif span == 0:
+            out.append(SPARK_CHARS[len(SPARK_CHARS) // 2])
+        else:
+            level = int((value - low) / span * (len(SPARK_CHARS) - 1))
+            out.append(SPARK_CHARS[level])
+    return "".join(out)
+
+
+def print_text_report(runs: dict, metric_filter: str | None) -> int:
+    """The matplotlib-free fallback; returns the number of series printed."""
+    printed = 0
+    for benchmark in sorted(runs):
+        entries = runs[benchmark]
+        series = series_of(entries, metric_filter)
+        if not series:
+            continue
+        print("%s (%d runs)" % (benchmark, len(entries)))
+        width = max(len(name) for name in series)
+        for name, values in series.items():
+            present = [value for value in values if value is not None]
+            first, last = present[0], present[-1]
+            change = "%+.1f%%" % (100.0 * (last - first) / first) \
+                if first else "n/a"
+            print("  %-*s %12.6g -> %12.6g  %8s  [%s]"
+                  % (width, name, first, last, change, sparkline(values)))
+            printed += 1
+        print()
+    return printed
+
+
+def plot_figure(runs: dict, metric_filter: str | None, output: str) -> int:
+    """Render one matplotlib figure (a subplot per benchmark)."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    panels = [(benchmark, series_of(runs[benchmark], metric_filter))
+              for benchmark in sorted(runs)]
+    panels = [(benchmark, series) for benchmark, series in panels if series]
+    if not panels:
+        return 0
+    figure, axes = plt.subplots(len(panels), 1, squeeze=False,
+                                figsize=(8, 3 * len(panels)))
+    plotted = 0
+    for axis, (benchmark, series) in zip(axes[:, 0], panels):
+        for name, values in series.items():
+            xs = [index for index, value in enumerate(values)
+                  if value is not None]
+            ys = [value for value in values if value is not None]
+            axis.plot(xs, ys, marker="o", label=name)
+            plotted += 1
+        axis.set_title(benchmark)
+        axis.set_xlabel("run")
+        axis.legend(fontsize="x-small")
+    figure.tight_layout()
+    figure.savefig(output)
+    print("wrote %s" % output)
+    return plotted
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="plot metric trajectories across archived BENCH_*.json runs")
+    parser.add_argument("paths", nargs="+",
+                        help="BENCH_*.json files and/or directories to scan "
+                             "recursively")
+    parser.add_argument("--metric", default=None,
+                        help="only plot metrics whose path contains this "
+                             "substring (e.g. 'qps', 'p99_ms')")
+    parser.add_argument("--output", default=None,
+                        help="write a matplotlib figure here instead of the "
+                             "text report (requires matplotlib)")
+    args = parser.parse_args(argv)
+
+    files = discover_files(args.paths)
+    if not files:
+        print("no BENCH_*.json files under %s" % ", ".join(args.paths),
+              file=sys.stderr)
+        return 2
+    runs = load_runs(files)
+    if args.output is not None:
+        try:
+            count = plot_figure(runs, args.metric, args.output)
+        except ImportError:
+            print("matplotlib is not installed; rerun without --output for "
+                  "the text report", file=sys.stderr)
+            return 2
+    else:
+        count = print_text_report(runs, args.metric)
+    if not count:
+        print("no metric appears in two or more runs%s"
+              % (" matching %r" % args.metric if args.metric else ""),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -396,7 +396,10 @@ class LockContract:
 #: The race-detector-lite registry.  ``SessionManager._inflight`` is absent
 #: on purpose: it is event-loop-confined (mutated only from the loop thread),
 #: which a lexical rule cannot distinguish from a race — the confinement is
-#: documented at the attribute instead.
+#: documented at the attribute instead.  ``ServerMetrics`` itself now holds
+#: only registry metric objects (each thread-safe under its own lock, the
+#: ``repro.obs.registry`` contracts below); its legacy entry stays so any
+#: reintroduction of bare counters on the class is caught.
 LOCK_CONTRACTS: tuple[LockContract, ...] = (
     LockContract("src/repro/server/metrics.py", "ServerMetrics", "_lock",
                  frozenset({
@@ -411,6 +414,16 @@ LOCK_CONTRACTS: tuple[LockContract, ...] = (
                  "_session_lock",
                  frozenset({"_session_cache", "_session_evictions"}),
                  exempt_methods=frozenset({"__init__", "_init_session_cache"})),
+    LockContract("src/repro/obs/registry.py", "Counter", "_lock",
+                 frozenset({"_values"})),
+    LockContract("src/repro/obs/registry.py", "Gauge", "_lock",
+                 frozenset({"_values"})),
+    LockContract("src/repro/obs/registry.py", "Histogram", "_lock",
+                 frozenset({"_children"})),
+    LockContract("src/repro/obs/registry.py", "MetricsRegistry", "_lock",
+                 frozenset({"_metrics"})),
+    LockContract("src/repro/obs/tracing.py", "Tracer", "_lock",
+                 frozenset({"_spans_emitted", "_slow_spans"})),
 )
 
 #: Method names that mutate their receiver.

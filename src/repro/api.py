@@ -50,7 +50,6 @@ LRU semantics), while the remote transport returns a
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field as dataclass_field
 from typing import (TYPE_CHECKING, Any, Callable, Hashable, Iterable, Mapping,
                     Protocol, Sequence, cast, runtime_checkable)
@@ -60,6 +59,12 @@ from repro.core.config import (FTCConfig, SchemeVariant, resolve_build_executor,
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
 from repro.errors import OracleError, TransportError
+# The Prometheus text-exposition helpers live in repro.obs.prometheus so the
+# metrics registry, the /metrics sidecar, and this facade render one format
+# (repro.obs imports nothing from this module — the dependency is one-way).
+from repro.obs.prometheus import (render_gauge_families,
+                                  sanitize_metric_name as _prom_metric_name,
+                                  walk_numeric as _prom_walk)
 
 if TYPE_CHECKING:
     from repro.server.client import QueryClient, ServerError
@@ -71,51 +76,6 @@ TRANSPORTS = ("build", "snapshot", "tcp")
 
 
 # ------------------------------------------------------------------- stats
-
-_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
-_PROM_BY_LABEL = re.compile(r"^(.+)_by_([a-z][a-z0-9_]*)$")
-
-
-def _prom_metric_name(parts: Sequence[str]) -> str:
-    return _PROM_BAD_CHARS.sub("_", "_".join(parts))
-
-
-def _prom_escape(value: Any) -> str:
-    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-
-
-def _prom_value(value: Any) -> str:
-    if isinstance(value, bool):
-        return "1" if value else "0"
-    if isinstance(value, int):
-        return str(value)
-    return repr(float(value))
-
-
-def _prom_walk(parts: list, labels: list, obj: Any,
-               add: Callable[[list, list, Any], None]) -> None:
-    """Flatten nested numeric dicts into Prometheus samples.
-
-    A mapping under a key of the form ``<base>_by_<label>`` (the metrics
-    module's ``requests_by_op`` / ``errors_by_code`` / ``latency_by_op``
-    convention) becomes one family ``<base>`` with a ``<label>`` label per
-    key; every other mapping nests into the metric name.  Non-numeric leaves
-    (strings, None) are skipped — they belong in ``_info`` labels.
-    """
-    if isinstance(obj, bool) or isinstance(obj, (int, float)):
-        add(parts, labels, obj)
-        return
-    if isinstance(obj, Mapping):
-        match = _PROM_BY_LABEL.match(parts[-1]) if parts else None
-        if match is not None:
-            base = parts[:-1] + [match.group(1)]
-            label = match.group(2)
-            for key in sorted(obj, key=str):
-                _prom_walk(base, labels + [(label, key)], obj[key], add)
-        else:
-            for key in sorted(obj, key=str):
-                _prom_walk(parts + [str(key)], labels, obj[key], add)
-
 
 @dataclass(frozen=True)
 class OracleStats:
@@ -176,16 +136,7 @@ class OracleStats:
         for key, value in (self.extra or {}).items():
             _prom_walk([prefix, str(key)], [], value, add)
 
-        lines: list[str] = []
-        for name in sorted(families):
-            lines.append("# TYPE %s gauge" % name)
-            for labels, value in families[name]:
-                rendered = ""
-                if labels:
-                    rendered = "{%s}" % ",".join(
-                        '%s="%s"' % (key, _prom_escape(val)) for key, val in labels)
-                lines.append("%s%s %s" % (name, rendered, _prom_value(value)))
-        return "\n".join(lines) + "\n"
+        return "\n".join(render_gauge_families(families)) + "\n"
 
 
 def local_oracle_stats(oracle: Any, session_cache: Mapping) -> OracleStats:
@@ -413,6 +364,11 @@ class RemoteOracle:
 
     def ping(self) -> dict:
         return cast(dict, self._call(self._client.ping))
+
+    @property
+    def last_trace(self) -> Any:
+        """The trace echo of the most recent server response (or None)."""
+        return getattr(self._client, "last_trace", None)
 
     def server_stats(self) -> dict:
         """The raw ``stats`` wire payload (``{"server": ..., "oracle": ...}``)."""

@@ -22,9 +22,13 @@
     sequential wrap-up that consumes the outdetect labels.
 
 :meth:`BuildPlan.run` returns a :class:`BuildResult` carrying the built
-pieces plus a :class:`BuildReport` (per-stage wall time, shard counts,
-executor name) — the observability the ROADMAP's "shard label construction"
-item asked for.
+pieces plus a :class:`BuildReport` (per-stage wall time and peak memory,
+shard counts, executor name) — the observability the ROADMAP's "shard label
+construction" item asked for.  Peak memory comes from
+:class:`repro.obs.memory.PeakMemoryMeter`: exact per-stage peaks when the
+caller has ``tracemalloc`` tracing enabled, else the process RSS high-water
+mark (monotone across stages — under the RSS probe a later stage's peak is
+at least every earlier stage's).
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import Hashable
 
 from repro.build.executors import BuildExecutor, resolve_executor
+from repro.obs.memory import PeakMemoryMeter
 from repro.build.shards import (build_shard, merge_shards, rs_shard_task,
                                 sketch_shard_task)
 from repro.core.config import FTCConfig, SchemeVariant
@@ -64,6 +69,12 @@ class BuildReport:
     ``level_count`` the outdetect levels they were merged back into (one for
     the sketch variants).  ``jobs`` is the executor's worker bound, not the
     shard count — a serial build of a deep hierarchy still has many shards.
+
+    ``stage_peak_bytes`` maps each stage to its peak-memory reading (bytes),
+    measured by the probe named in ``memory_probe`` (``"tracemalloc"``,
+    ``"rss"``, or ``"unavailable"`` — empty dict in the last case).  The RSS
+    probe reads the process high-water mark, so its per-stage values are
+    monotone non-decreasing rather than independent peaks.
     """
 
     executor: str
@@ -72,6 +83,8 @@ class BuildReport:
     level_count: int
     stage_seconds: dict = dataclass_field(default_factory=dict)
     total_seconds: float = 0.0
+    stage_peak_bytes: dict = dataclass_field(default_factory=dict)
+    memory_probe: str = "unavailable"
 
     def to_dict(self) -> dict:
         """A JSON-ready view (what the CLI prints under ``build_report``)."""
@@ -82,6 +95,8 @@ class BuildReport:
             "level_count": self.level_count,
             "stage_seconds": dict(self.stage_seconds),
             "total_seconds": self.total_seconds,
+            "stage_peak_bytes": dict(self.stage_peak_bytes),
+            "memory_probe": self.memory_probe,
         }
 
 
@@ -125,24 +140,34 @@ class BuildPlan:
         """Execute all four stages and return the result + report."""
         executor = resolve_executor(executor, jobs)
         stage_seconds: dict[str, float] = {}
+        stage_peak: dict[str, int] = {}
+        meter = PeakMemoryMeter()
         start = time.perf_counter()
 
         stage_start = time.perf_counter()
+        meter.start_phase()
         instance = build_transformed_instance(
             self.graph, root=self.root, edge_id_mode=self.config.edge_id_mode)
+        _record_peak(stage_peak, "spanning", meter)
         stage_seconds["spanning"] = time.perf_counter() - stage_start
 
         stage_start = time.perf_counter()
+        meter.start_phase()
         hierarchy = self._build_hierarchy(instance)
+        _record_peak(stage_peak, "hierarchy", meter)
         stage_seconds["hierarchy"] = time.perf_counter() - stage_start
 
         stage_start = time.perf_counter()
+        meter.start_phase()
         outdetect, shard_count, level_count = self._build_outdetect(
             instance, hierarchy, executor)
+        _record_peak(stage_peak, "outdetect", meter)
         stage_seconds["outdetect"] = time.perf_counter() - stage_start
 
         stage_start = time.perf_counter()
+        meter.start_phase()
         tree_labeling = TreeEdgeLabeling(instance, outdetect)
+        _record_peak(stage_peak, "assembly", meter)
         stage_seconds["assembly"] = time.perf_counter() - stage_start
 
         report = BuildReport(
@@ -152,6 +177,8 @@ class BuildPlan:
             level_count=level_count,
             stage_seconds=stage_seconds,
             total_seconds=time.perf_counter() - start,
+            stage_peak_bytes=stage_peak,
+            memory_probe=meter.probe,
         )
         return BuildResult(instance=instance, hierarchy=hierarchy,
                            outdetect=outdetect, tree_labeling=tree_labeling,
@@ -246,6 +273,13 @@ class BuildPlan:
             seed=config.random_seed,
             id_bits=geometry["id_bits"])
         return scheme, len(tasks), 1
+
+
+def _record_peak(stage_peak: dict, stage: str, meter: PeakMemoryMeter) -> None:
+    """File one stage's peak-memory reading, skipping unavailable probes."""
+    peak = meter.end_phase()
+    if peak is not None:
+        stage_peak[stage] = peak
 
 
 def _position_edges(edge_ids: dict, vertex_index: dict) -> list:

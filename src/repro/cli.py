@@ -45,6 +45,8 @@ Nine subcommands cover the typical workflow:
     never constructs a labeling; requests sharing a fault set share one batch
     session.  On startup it prints one ``{"event": "serving", ...}`` JSON
     line with the bound address (``--port 0`` picks an ephemeral port).
+    ``--metrics-port`` adds an HTTP sidecar serving ``GET /metrics``
+    (Prometheus text, with per-op latency histograms) and ``GET /healthz``.
 ``client-query``
     Connect to a running server and issue one request: a ``connected_many``
     batch built from ``--fault`` / ``--pair`` / ``--pairs-file`` (the
@@ -740,11 +742,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
         return 2
+    if args.metrics_port is not None and args.metrics_port < 0:
+        print("error: --metrics-port must be non-negative", file=sys.stderr)
+        return 2
     try:
         return run_server(oracle, host=args.host, port=args.port,
                           max_sessions=args.max_sessions,
                           max_request_bytes=args.max_request_bytes,
                           jobs=args.jobs,
+                          metrics_port=args.metrics_port,
                           announce=announce)
     except OSError as error:  # e.g. port already in use
         print("error: cannot serve on %s:%d: %s" % (args.host, args.port, error),
@@ -943,6 +949,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--jobs", type=int, default=None,
                               help="worker threads building batch sessions "
                                    "(default: the executor's own sizing)")
+    serve_parser.add_argument("--metrics-port", type=int, default=None,
+                              help="also serve GET /metrics (Prometheus text) "
+                                   "and GET /healthz on this HTTP port "
+                                   "(0 picks an ephemeral port, reported in "
+                                   "the startup line; default: disabled)")
     serve_parser.set_defaults(handler=cmd_serve)
 
     client_parser = subparsers.add_parser(

@@ -1,0 +1,45 @@
+"""repro.obs — the observability seam: metrics, tracing, memory, exposition.
+
+One shared layer behind every telemetry surface in the repo:
+
+* :mod:`repro.obs.registry` — thread-safe counters, gauges, and fixed
+  log-bucket histograms with ``quantile(q)``; owns the Prometheus
+  exposition.  :class:`repro.server.metrics.ServerMetrics` is a view over
+  one :class:`MetricsRegistry`.
+* :mod:`repro.obs.tracing` — ``span(...)`` context managers producing
+  trace/span ids that propagate through :mod:`contextvars` (and, for the
+  server, through the wire protocol's ``trace`` envelope field).
+* :mod:`repro.obs.memory` — peak-memory probes (tracemalloc per-phase when
+  tracing, RSS high-water otherwise) behind ``BuildReport.stage_peak_bytes``.
+* :mod:`repro.obs.prometheus` — the text-exposition helpers shared with
+  :meth:`repro.api.OracleStats.to_prometheus`.
+* :mod:`repro.obs.http` — the ``GET /metrics`` + ``GET /healthz`` sidecar
+  (imported directly by the server; not re-exported here so that build-path
+  users of this package never pay for asyncio).
+
+``obs.span(...)`` is the zero-setup entry point: a module-level default
+:class:`Tracer` that logs to the ``repro.obs.trace`` logger.  Anything with
+its own sink or slow-request threshold constructs a :class:`Tracer`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.memory import PeakMemoryMeter, rss_peak_bytes
+from repro.obs.registry import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
+                                Histogram, HistogramSnapshot, MetricsRegistry,
+                                log_buckets)
+from repro.obs.tracing import (Span, Tracer, current_span_id,
+                               current_trace_id, new_span_id, new_trace_id)
+
+#: The default tracer behind :func:`span` (logs; 1 s slow threshold).
+default_tracer = Tracer(service="repro")
+
+#: ``with obs.span("name", key=value): ...`` — spans on the default tracer.
+span = default_tracer.span
+
+__all__ = [
+    "Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
+    "HistogramSnapshot", "MetricsRegistry", "PeakMemoryMeter", "Span",
+    "Tracer", "current_span_id", "current_trace_id", "default_tracer",
+    "log_buckets", "new_span_id", "new_trace_id", "rss_peak_bytes", "span",
+]

@@ -1,0 +1,149 @@
+"""The metrics sidecar: a minimal asyncio HTTP/1.1 server for two GET routes.
+
+``GET /metrics``
+    The Prometheus text exposition (``metrics`` callable), 200.
+``GET /healthz``
+    Readiness: the ``health`` callable returns ``(ok, payload)``; the
+    payload is served as JSON with status 200 when ready, 503 when not.
+
+Deliberately not a web framework: it parses exactly one request line, drains
+headers, answers, and closes (``Connection: close``).  Both callables run
+synchronously on the event loop — they only format in-memory counters, which
+is the point of keeping the registry's snapshot paths cheap.  A callable
+that raises is answered with a 500 so a wedged oracle degrades scrapes
+instead of killing the sidecar.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable
+
+#: Prometheus text exposition content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_MAX_HEADER_LINES = 128
+_MAX_LINE_BYTES = 8192
+_REQUEST_TIMEOUT = 10.0
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: ``metrics()`` renders the exposition text.
+MetricsFn = Callable[[], str]
+#: ``health()`` returns ``(ready, json_payload)``.
+HealthFn = Callable[[], tuple]
+
+
+class ObsHTTPServer:
+    """Serve ``/metrics`` and ``/healthz`` next to a query server."""
+
+    def __init__(self, metrics: MetricsFn, health: HealthFn,
+                 host: str = "127.0.0.1", port: int = 0):
+        self._metrics = metrics
+        self._health = health
+        self._requested_host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("metrics sidecar already started")
+        self._server = await asyncio.start_server(
+            self._handle, self._requested_host, self._requested_port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        """Stop accepting; in-flight responses finish on their own."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------- handling
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), _REQUEST_TIMEOUT)
+            if len(request_line) > _MAX_LINE_BYTES:
+                await self._respond(writer, 400, "text/plain; charset=utf-8",
+                                    b"request line too long\n")
+                return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) != 3:
+                await self._respond(writer, 400, "text/plain; charset=utf-8",
+                                    b"malformed request line\n")
+                return
+            method, target, _version = parts
+            await self._drain_headers(reader)
+            status, content_type, body = self._route(method, target)
+            await self._respond(writer, status, content_type, body)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError, ConnectionResetError,
+                BrokenPipeError, UnicodeDecodeError):
+            return  # slow, vanished, or garbage-speaking peer: just close
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                return  # the peer is already gone
+
+    async def _drain_headers(self, reader: asyncio.StreamReader) -> None:
+        for _ in range(_MAX_HEADER_LINES):
+            line = await asyncio.wait_for(reader.readline(), _REQUEST_TIMEOUT)
+            if line in (b"\r\n", b"\n", b""):
+                return
+
+    def _route(self, method: str, target: str) -> tuple:
+        """``(status, content_type, body)`` for one request."""
+        path = target.split("?", 1)[0]
+        if method != "GET":
+            return 405, "application/json",  \
+                _json_body({"error": "only GET is supported"})
+        if path == "/metrics":
+            try:
+                text = self._metrics()
+            except Exception as error:
+                return 500, "application/json", _json_body(
+                    {"error": "%s: %s" % (type(error).__name__, error)})
+            return 200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8")
+        if path == "/healthz":
+            try:
+                ready, payload = self._health()
+            except Exception as error:
+                return 503, "application/json", _json_body(
+                    {"status": "unavailable",
+                     "error": "%s: %s" % (type(error).__name__, error)})
+            return (200 if ready else 503), "application/json", \
+                _json_body(payload)
+        return 404, "application/json", _json_body(
+            {"error": "unknown path %s (try /metrics or /healthz)" % path})
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       content_type: str, body: bytes) -> None:
+        head = ("HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: close\r\n"
+                "\r\n" % (status, _REASONS.get(status, "Unknown"),
+                          content_type, len(body)))
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def _json_body(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, default=str).encode("utf-8") \
+        + b"\n"
+
+
+__all__ = ["ObsHTTPServer", "PROMETHEUS_CONTENT_TYPE"]

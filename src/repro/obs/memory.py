@@ -1,0 +1,75 @@
+"""Peak-memory probes for per-stage build reports and span capture.
+
+Two probes, picked automatically per :class:`PeakMemoryMeter`:
+
+``tracemalloc``
+    When :func:`tracemalloc.is_tracing` (the caller opted in, e.g. ``python
+    -X tracemalloc``), each phase resets the traced peak and reads it back —
+    a true *per-phase* peak of Python-allocated memory, at tracing's usual
+    overhead.
+``rss``
+    Otherwise ``resource.getrusage(...).ru_maxrss`` — the process RSS
+    high-water mark, essentially free but monotone: a phase that allocates
+    less than an earlier one reports the earlier peak.  Still the right
+    number for "how much memory did this build need".
+``unavailable``
+    Platforms without :mod:`resource` (e.g. Windows) report nothing.
+
+The probe never *enables* tracemalloc itself: turning tracing on mid-build
+would change allocation behaviour and overhead behind the caller's back.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+
+def rss_peak_bytes() -> int | None:
+    """The process RSS high-water mark in bytes, or ``None`` if unknown.
+
+    ``ru_maxrss`` is kibibytes on Linux but bytes on macOS.
+    """
+    if resource is None:
+        return None
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+class PeakMemoryMeter:
+    """Phase-scoped peak-memory readings (see the module docstring).
+
+    Usage::
+
+        meter = PeakMemoryMeter()
+        meter.start_phase()
+        ...work...
+        peak = meter.end_phase()   # bytes, or None when unavailable
+    """
+
+    def __init__(self) -> None:
+        if tracemalloc.is_tracing():
+            self.probe = "tracemalloc"
+        elif resource is not None:
+            self.probe = "rss"
+        else:  # pragma: no cover - non-POSIX platforms
+            self.probe = "unavailable"
+
+    def start_phase(self) -> None:
+        """Mark the start of a phase (resets the tracemalloc peak)."""
+        if self.probe == "tracemalloc":
+            tracemalloc.reset_peak()
+
+    def end_phase(self) -> int | None:
+        """Peak bytes observed since :meth:`start_phase`, or ``None``."""
+        if self.probe == "tracemalloc":
+            return int(tracemalloc.get_traced_memory()[1])
+        return rss_peak_bytes()
+
+
+__all__ = ["PeakMemoryMeter", "rss_peak_bytes"]

@@ -1,0 +1,123 @@
+"""Prometheus text-exposition helpers shared across the observability seam.
+
+Three consumers render the same format:
+
+* :meth:`repro.api.OracleStats.to_prometheus` — the CLI ``stats --prometheus``
+  view, which flattens a nested stats dict into gauge families;
+* :meth:`repro.obs.registry.MetricsRegistry.to_prometheus` — the native
+  counter/gauge/histogram exposition behind ``GET /metrics``;
+* the ``/metrics`` sidecar itself, which concatenates the registry's families
+  with a flattened stats tree (session cache, hot keys, oracle facts).
+
+The naming convention they share: a mapping under a dict key of the form
+``<base>_by_<label>`` becomes one labeled family (``requests_by_op`` renders
+as ``..._requests{op="..."}``), every other mapping nests into the metric
+name, and non-numeric leaves are skipped.
+
+This module imports nothing from the rest of ``repro`` — the facade
+(:mod:`repro.api`) imports *us*, keeping the dependency direction
+``api -> obs`` acyclic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Mapping, Sequence
+
+#: Characters outside the Prometheus metric-name alphabet, replaced by ``_``.
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+#: Dict keys of the form ``<base>_by_<label>`` flatten into a labeled family.
+_BY_LABEL = re.compile(r"^(.+)_by_([a-z][a-z0-9_]*)$")
+
+#: Callback signature of :func:`walk_numeric`: ``add(parts, labels, value)``.
+AddSample = Callable[[list, list, Any], None]
+
+
+def sanitize_metric_name(parts: Sequence[str]) -> str:
+    """Join name parts with ``_`` and squash anything outside ``[a-zA-Z0-9_]``."""
+    return _BAD_CHARS.sub("_", "_".join(parts))
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape one label value per the text exposition format."""
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help_text(text: str) -> str:
+    """Escape a ``# HELP`` line (backslashes and newlines only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_sample_value(value: Any) -> str:
+    """Render one sample value: bools as 0/1, ints bare, floats via ``repr``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_labels(labels: Sequence[tuple[str, Any]]) -> str:
+    """``{a="b",c="d"}``, or the empty string for an unlabeled sample."""
+    if not labels:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % (key, escape_label_value(val))
+                             for key, val in labels)
+
+
+def walk_numeric(parts: list, labels: list, obj: Any, add: AddSample) -> None:
+    """Flatten nested numeric dicts into Prometheus samples.
+
+    A mapping under a key of the form ``<base>_by_<label>`` (the metrics
+    module's ``requests_by_op`` / ``errors_by_code`` / ``latency_by_op``
+    convention) becomes one family ``<base>`` with a ``<label>`` label per
+    key; every other mapping nests into the metric name.  Non-numeric leaves
+    (strings, None) are skipped — they belong in ``_info`` labels.
+    """
+    if isinstance(obj, bool) or isinstance(obj, (int, float)):
+        add(parts, labels, obj)
+        return
+    if isinstance(obj, Mapping):
+        match = _BY_LABEL.match(parts[-1]) if parts else None
+        if match is not None:
+            base = parts[:-1] + [match.group(1)]
+            label = match.group(2)
+            for key in sorted(obj, key=str):
+                walk_numeric(base, labels + [(label, key)], obj[key], add)
+        else:
+            for key in sorted(obj, key=str):
+                walk_numeric(parts + [str(key)], labels, obj[key], add)
+
+
+def render_gauge_families(families: Mapping[str, Sequence[tuple]]) -> list[str]:
+    """Render ``{name: [(labels, value), ...]}`` as sorted gauge families."""
+    lines: list[str] = []
+    for name in sorted(families):
+        lines.append("# TYPE %s gauge" % name)
+        for labels, value in families[name]:
+            lines.append("%s%s %s" % (name, render_labels(labels),
+                                      format_sample_value(value)))
+    return lines
+
+
+def render_stats_tree(tree: Mapping, prefix: str = "repro") -> list[str]:
+    """One-call flatten-and-render of a nested stats dict as gauge families.
+
+    The ``/metrics`` sidecar uses this for everything the registry does not
+    own natively (session-cache occupancy, hot keys, oracle facts).
+    """
+    families: dict[str, list] = {}
+
+    def add(parts: list, labels: list, value: Any) -> None:
+        families.setdefault(sanitize_metric_name(parts), []).append(
+            (tuple(labels), value))
+
+    walk_numeric([prefix], [], tree, add)
+    return render_gauge_families(families)
+
+
+__all__ = [
+    "AddSample", "sanitize_metric_name", "escape_label_value",
+    "escape_help_text", "format_sample_value", "render_labels",
+    "walk_numeric", "render_gauge_families", "render_stats_tree",
+]

@@ -1,0 +1,495 @@
+"""The process-wide metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns named metrics and renders two views of them —
+a JSON snapshot (what the ``stats`` op embeds) and the Prometheus text
+exposition format (what the ``/metrics`` sidecar serves).  Design
+constraints, in order:
+
+* **Thread-safe** — metrics are written from the event loop and from the
+  session-builder worker threads, so every mutation happens under the owning
+  metric's lock (``repro.analysis`` RPL004 enforces this via
+  ``LOCK_CONTRACTS``).
+* **Fixed buckets** — histograms use log-spaced upper bounds fixed at
+  creation: observation is O(log buckets), merging is element-wise, and
+  exposition is the standard cumulative ``_bucket{le=...}`` form.
+* **Quantiles are estimates** — :meth:`Histogram.quantile` interpolates
+  linearly inside the bucket that crosses the target rank (the same model as
+  PromQL's ``histogram_quantile``); the error is bounded by the bucket
+  width, which log spacing keeps proportional to the value.  The top
+  (``+Inf``) bucket is clamped to the observed maximum instead of guessing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.obs.prometheus import (escape_help_text, format_sample_value,
+                                  render_labels, sanitize_metric_name)
+
+#: One metric child is keyed by its label *values*, in ``labelnames`` order.
+LabelValues = tuple[str, ...]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def log_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` log-spaced bucket upper bounds: ``start * factor**i``."""
+    if not math.isfinite(start) or start <= 0.0:
+        raise ValueError("start must be a positive finite number, got %r" % start)
+    if not math.isfinite(factor) or factor <= 1.0:
+        raise ValueError("factor must be a finite number > 1.0, got %r" % factor)
+    if count < 1:
+        raise ValueError("count must be at least 1, got %d" % count)
+    bounds = tuple(start * factor ** exponent for exponent in range(count))
+    if not math.isfinite(bounds[-1]):
+        raise ValueError("bucket bounds overflow to infinity; reduce count")
+    return bounds
+
+
+#: Default latency bounds: 18 powers of two from 50 microseconds to ~6.6 s.
+#: Sub-bucket-resolution quantiles come from interpolation, so the factor-2
+#: spacing bounds the relative error at 2x worst case — plenty for p99
+#: dashboards while keeping every histogram at 19 integers.
+DEFAULT_LATENCY_BUCKETS = log_buckets(5e-05, 2.0, 18)
+
+
+class _MetricBase:
+    """Name/help/label plumbing shared by every metric kind."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labelnames: Sequence[str] = ()):
+        if not _NAME_RE.match(name):
+            raise ValueError("invalid metric name %r" % name)
+        for label in labelnames:
+            if not _NAME_RE.match(label) or label.startswith("__"):
+                raise ValueError("invalid label name %r" % label)
+        if len(set(labelnames)) != len(tuple(labelnames)):
+            raise ValueError("duplicate label names in %r" % (tuple(labelnames),))
+        self.name = name
+        self.help = help_text
+        self.labelnames: tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, Any]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError("metric %r takes labels %r, got %r"
+                             % (self.name, self.labelnames,
+                                tuple(sorted(labels))))
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_MetricBase):
+    """A monotonically increasing sum (exposed with the ``_total`` suffix)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase, got %r" % amount)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def values(self) -> dict[LabelValues, float]:
+        """Every child's value, keyed by label values (a consistent copy)."""
+        with self._lock:
+            return dict(self._values)
+
+    def total(self) -> float:
+        """The sum over all children."""
+        with self._lock:
+            return sum(self._values.values())
+
+
+class Gauge(_MetricBase):
+    """A value that goes up and down (connections, in-flight builds)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, floor: float | None = None,
+            **labels: Any) -> None:
+        """Decrease, optionally clamping at ``floor``.
+
+        The clamp is the double-close guard: lifecycle accounting that may
+        legitimately see a spurious extra decrement (e.g. a connection close
+        racing a shutdown path) passes ``floor=0.0`` so the gauge can never
+        report a negative count.
+        """
+        key = self._key(labels)
+        with self._lock:
+            value = self._values.get(key, 0.0) - amount
+            if floor is not None and value < floor:
+                value = floor
+            self._values[key] = value
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def values(self) -> dict[LabelValues, float]:
+        with self._lock:
+            return dict(self._values)
+
+
+@dataclass
+class _HistogramData:
+    """One child's mutable state (guarded by the histogram's lock)."""
+
+    counts: list
+    total: float = 0.0
+    count: int = 0
+    max_value: float = 0.0
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """A consistent read of one histogram child.
+
+    ``counts`` is per-bucket (not cumulative) with one extra trailing entry
+    for the overflow (``+Inf``) bucket.
+    """
+
+    bounds: tuple
+    counts: tuple
+    total: float
+    count: int
+    max_value: float
+
+
+class Histogram(_MetricBase):
+    """Fixed-bucket histogram with quantile estimation and merging."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] | None = None):
+        super().__init__(name, help_text, labelnames)
+        if "le" in self.labelnames:
+            raise ValueError("'le' is reserved for histogram buckets")
+        bounds = tuple(float(bound) for bound in
+                       (DEFAULT_LATENCY_BUCKETS if buckets is None else buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        for bound in bounds:
+            if not math.isfinite(bound):
+                raise ValueError("bucket bounds must be finite "
+                                 "(+Inf is implicit), got %r" % bound)
+        if any(upper <= lower for lower, upper in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bucket_bounds: tuple[float, ...] = bounds
+        self._children: dict[LabelValues, _HistogramData] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one sample; a value exactly on a bound counts toward it
+        (``le`` buckets are inclusive)."""
+        sample = float(value)
+        if math.isnan(sample):
+            raise ValueError("cannot observe NaN")
+        key = self._key(labels)
+        index = bisect.bisect_left(self.bucket_bounds, sample)
+        with self._lock:
+            data = self._children.get(key)
+            if data is None:
+                data = _HistogramData(counts=[0] * (len(self.bucket_bounds) + 1))
+                self._children[key] = data
+            data.counts[index] += 1
+            data.total += sample
+            data.count += 1
+            if sample > data.max_value:
+                data.max_value = sample
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Requires identical bucket bounds and label names (element-wise
+        addition is only meaningful between congruent histograms); the other
+        histogram is left untouched.
+        """
+        if other is self:
+            return
+        if other.bucket_bounds != self.bucket_bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        if other.labelnames != self.labelnames:
+            raise ValueError("cannot merge histograms with different labels")
+        incoming = other.children()
+        with self._lock:
+            for key, snap in incoming.items():
+                data = self._children.get(key)
+                if data is None:
+                    data = _HistogramData(
+                        counts=[0] * (len(self.bucket_bounds) + 1))
+                    self._children[key] = data
+                for index, bucket_count in enumerate(snap.counts):
+                    data.counts[index] += bucket_count
+                data.total += snap.total
+                data.count += snap.count
+                if snap.max_value > data.max_value:
+                    data.max_value = snap.max_value
+
+    # -------------------------------------------------------------- reading
+
+    def child(self, **labels: Any) -> HistogramSnapshot:
+        """A consistent snapshot of one child (all zero if never observed)."""
+        key = self._key(labels)
+        with self._lock:
+            data = self._children.get(key)
+            if data is None:
+                return HistogramSnapshot(
+                    bounds=self.bucket_bounds,
+                    counts=tuple([0] * (len(self.bucket_bounds) + 1)),
+                    total=0.0, count=0, max_value=0.0)
+            return HistogramSnapshot(
+                bounds=self.bucket_bounds, counts=tuple(data.counts),
+                total=data.total, count=data.count, max_value=data.max_value)
+
+    def children(self) -> dict[LabelValues, HistogramSnapshot]:
+        """Snapshots of every child, keyed by label values."""
+        with self._lock:
+            return {key: HistogramSnapshot(
+                        bounds=self.bucket_bounds, counts=tuple(data.counts),
+                        total=data.total, count=data.count,
+                        max_value=data.max_value)
+                    for key, data in self._children.items()}
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile by in-bucket linear interpolation.
+
+        Returns 0.0 for an empty child.  ``q=0`` is the lower edge of the
+        first non-empty bucket; ``q=1`` its last bucket's upper edge, with
+        the overflow bucket clamped to the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1], got %r" % q)
+        snap = self.child(**labels)
+        if snap.count == 0:
+            return 0.0
+        target = q * snap.count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(snap.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if bucket_count and cumulative >= target:
+                lower = snap.bounds[index - 1] if index > 0 else 0.0
+                upper = (snap.bounds[index] if index < len(snap.bounds)
+                         else max(snap.max_value, lower))
+                fraction = (target - previous) / bucket_count
+                if fraction < 0.0:
+                    fraction = 0.0
+                return lower + (upper - lower) * fraction
+        return snap.max_value
+
+
+class MetricsRegistry:
+    """Get-or-create factory and renderer for one process's metrics.
+
+    Re-registering a name with the same kind/labels (and, for histograms,
+    the same buckets) returns the existing metric — that is what lets every
+    :class:`~repro.server.metrics.ServerMetrics` view share one set of
+    numbers; any mismatch raises ``ValueError`` instead of silently forking
+    a family.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _MetricBase] = {}
+
+    # --------------------------------------------------------- registration
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        metric = self._get_or_create(Counter, name, help_text, labelnames)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        metric = self._get_or_create(Gauge, name, help_text, labelnames)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] | None = None) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help_text, labelnames,
+                                     buckets=buckets)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def _get_or_create(self, factory: type, name: str, help_text: str,
+                       labelnames: Sequence[str],
+                       buckets: Sequence[float] | None = None) -> _MetricBase:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not factory:
+                    raise ValueError("metric %r already registered as a %s"
+                                     % (name, existing.kind))
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError("metric %r already registered with "
+                                     "labels %r" % (name, existing.labelnames))
+                if buckets is not None and isinstance(existing, Histogram) and \
+                        existing.bucket_bounds != tuple(float(b) for b in buckets):
+                    raise ValueError("histogram %r already registered with "
+                                     "different buckets" % name)
+                return existing
+            if factory is Histogram:
+                metric: _MetricBase = Histogram(name, help_text, labelnames,
+                                                buckets)
+            else:
+                metric = factory(name, help_text, labelnames)
+            self._metrics[name] = metric
+            return metric
+
+    # -------------------------------------------------------------- reading
+
+    def get(self, name: str) -> _MetricBase | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> list:
+        """Every registered metric, sorted by name."""
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda m: m.name)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every metric (labels rendered as dicts)."""
+        report: dict = {}
+        for metric in self.metrics():
+            if isinstance(metric, (Counter, Gauge)):
+                value_samples: list = [
+                    {"labels": dict(zip(metric.labelnames, key)),
+                     "value": value}
+                    for key, value in sorted(metric.values().items())]
+                report[metric.name] = {"kind": metric.kind,
+                                       "samples": value_samples}
+            elif isinstance(metric, Histogram):
+                hist_samples: list = [
+                    {"labels": dict(zip(metric.labelnames, key)),
+                     "count": snap.count, "sum": snap.total,
+                     "max": snap.max_value,
+                     "buckets": dict(zip(
+                         [repr(b) for b in snap.bounds] + ["+Inf"],
+                         _cumulative(snap.counts)))}
+                    for key, snap in sorted(metric.children().items())]
+                report[metric.name] = {"kind": metric.kind,
+                                       "bounds": list(metric.bucket_bounds),
+                                       "samples": hist_samples}
+        return report
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """The registry's families in the text exposition format."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            lines.extend(_render_metric(prefix, metric))
+        if not lines:
+            return ""
+        return "\n".join(lines) + "\n"
+
+
+def _cumulative(counts: Sequence[int]) -> list:
+    out: list = []
+    running = 0
+    for count in counts:
+        running += count
+        out.append(running)
+    return out
+
+
+def _family_header(name: str, help_text: str, kind: str) -> list:
+    lines = []
+    if help_text:
+        lines.append("# HELP %s %s" % (name, escape_help_text(help_text)))
+    lines.append("# TYPE %s %s" % (name, kind))
+    return lines
+
+
+def _format_bound(bound: float) -> str:
+    return repr(bound)
+
+
+def _render_value(value: float) -> str:
+    """Counters/gauges accumulate as floats; render integral values bare."""
+    if float(value).is_integer():
+        return format_sample_value(int(value))
+    return format_sample_value(value)
+
+
+def _render_metric(prefix: str, metric: _MetricBase) -> list:
+    family = sanitize_metric_name((prefix, metric.name))
+    if isinstance(metric, Counter):
+        name = family + "_total"
+        lines = _family_header(name, metric.help, "counter")
+        for key, value in sorted(metric.values().items()):
+            labels = list(zip(metric.labelnames, key))
+            lines.append("%s%s %s" % (name, render_labels(labels),
+                                      _render_value(value)))
+        return lines
+    if isinstance(metric, Gauge):
+        lines = _family_header(family, metric.help, "gauge")
+        for key, value in sorted(metric.values().items()):
+            labels = list(zip(metric.labelnames, key))
+            lines.append("%s%s %s" % (family, render_labels(labels),
+                                      _render_value(value)))
+        return lines
+    if isinstance(metric, Histogram):
+        lines = _family_header(family, metric.help, "histogram")
+        for key, snap in sorted(metric.children().items()):
+            labels = list(zip(metric.labelnames, key))
+            cumulative = 0
+            for bound, bucket_count in zip(snap.bounds, snap.counts):
+                cumulative += bucket_count
+                lines.append("%s_bucket%s %d" % (
+                    family,
+                    render_labels(labels + [("le", _format_bound(bound))]),
+                    cumulative))
+            cumulative += snap.counts[-1]
+            lines.append("%s_bucket%s %d" % (
+                family, render_labels(labels + [("le", "+Inf")]), cumulative))
+            lines.append("%s_sum%s %s" % (family, render_labels(labels),
+                                          format_sample_value(snap.total)))
+            lines.append("%s_count%s %d" % (family, render_labels(labels),
+                                            snap.count))
+        return lines
+    raise TypeError("unknown metric kind %r" % type(metric).__name__)
+
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS", "LabelValues", "log_buckets",
+    "Counter", "Gauge", "Histogram", "HistogramSnapshot", "MetricsRegistry",
+]

@@ -1,0 +1,198 @@
+"""Wire-level request tracing: trace/span ids, timing, structured events.
+
+A :class:`Tracer` produces :class:`Span` context managers::
+
+    with tracer.span("server.connected_many", trace_id=client_trace, op=op):
+        ... handler work ...
+
+Each span resolves its trace id (explicit argument > the ambient
+:func:`current_trace_id` > a fresh id), installs itself as the current
+trace/span via :mod:`contextvars` (so spans opened inside — including across
+``await`` boundaries within the same task — become children), measures wall
+time with ``perf_counter``, optionally captures peak memory via
+:class:`~repro.obs.memory.PeakMemoryMeter`, and emits one structured JSON
+event when it closes.  Events go to the tracer's ``sink`` callable when one
+is set (tests, custom shippers), else to the ``repro.obs.trace`` logger —
+WARNING level for spans at or above ``slow_seconds`` (the slow-request log),
+INFO otherwise.
+
+Trace ids are *propagation* identifiers, not entropy for any algorithm:
+``os.urandom`` here never feeds a build or decode path, so bit-identity of
+query answers is untouched whether tracing runs or not (the server asserts
+this in its tests).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+from repro.obs.memory import PeakMemoryMeter
+
+_TRACE_ID: ContextVar = ContextVar("repro_obs_trace_id", default=None)
+_SPAN_ID: ContextVar = ContextVar("repro_obs_span_id", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (hex)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (hex)."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> str | None:
+    """The trace id of the innermost active span, if any."""
+    value = _TRACE_ID.get()
+    return value if isinstance(value, str) else None
+
+
+def current_span_id() -> str | None:
+    """The span id of the innermost active span, if any."""
+    value = _SPAN_ID.get()
+    return value if isinstance(value, str) else None
+
+
+class Span:
+    """One timed unit of work; annotate it via :meth:`annotate`."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs",
+                 "duration_seconds", "peak_memory_bytes", "error", "slow")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: str | None, attrs: dict):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.duration_seconds: float | None = None
+        self.peak_memory_bytes: int | None = None
+        self.error: str | None = None
+        self.slow = False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes mid-span (they ride on the emitted event)."""
+        self.attrs.update(attrs)
+
+    def to_event(self, service: str) -> dict:
+        """The structured JSON event emitted when the span closes."""
+        event: dict = {
+            "event": "span",
+            "service": service,
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "slow": self.slow,
+        }
+        if self.parent_id is not None:
+            event["parent_id"] = self.parent_id
+        if self.duration_seconds is not None:
+            event["duration_ms"] = round(1000.0 * self.duration_seconds, 3)
+        if self.peak_memory_bytes is not None:
+            event["peak_memory_bytes"] = self.peak_memory_bytes
+        if self.error is not None:
+            event["error"] = self.error
+        attrs = {key: value for key, value in self.attrs.items()
+                 if value is not None}
+        if attrs:
+            event["attrs"] = attrs
+        return event
+
+
+class Tracer:
+    """Factory for spans; owns the sink, slow threshold, and span counters."""
+
+    def __init__(self, service: str = "repro",
+                 sink: Callable[[dict], None] | None = None,
+                 slow_seconds: float = 1.0,
+                 capture_memory: bool = False,
+                 logger: logging.Logger | None = None,
+                 enabled: bool = True):
+        if slow_seconds < 0:
+            raise ValueError("slow_seconds must be non-negative")
+        self.service = service
+        self.sink = sink
+        self.slow_seconds = slow_seconds
+        self.capture_memory = capture_memory
+        self.enabled = enabled
+        self._logger = logger if logger is not None \
+            else logging.getLogger("repro.obs.trace")
+        self._lock = threading.Lock()
+        self._spans_emitted = 0
+        self._slow_spans = 0
+
+    @contextmanager
+    def span(self, name: str, trace_id: str | None = None,
+             capture_memory: bool | None = None,
+             **attrs: Any) -> Iterator[Span]:
+        """Open one span (see the module docstring for semantics).
+
+        A disabled tracer yields an inert span: no ids are minted beyond
+        what propagation already carries, nothing is timed or emitted.
+        """
+        if not self.enabled:
+            yield Span(name, trace_id or current_trace_id() or "", "",
+                       current_span_id(), dict(attrs))
+            return
+        resolved = trace_id if trace_id is not None else current_trace_id()
+        if resolved is None:
+            resolved = new_trace_id()
+        span = Span(name, resolved, new_span_id(), current_span_id(),
+                    dict(attrs))
+        trace_token = _TRACE_ID.set(span.trace_id)
+        span_token = _SPAN_ID.set(span.span_id)
+        memory = self.capture_memory if capture_memory is None \
+            else capture_memory
+        meter = PeakMemoryMeter() if memory else None
+        if meter is not None:
+            meter.start_phase()
+        start = time.perf_counter()
+        try:
+            yield span
+        except BaseException as error:
+            span.error = type(error).__name__
+            raise
+        finally:
+            span.duration_seconds = time.perf_counter() - start
+            if meter is not None:
+                span.peak_memory_bytes = meter.end_phase()
+            _SPAN_ID.reset(span_token)
+            _TRACE_ID.reset(trace_token)
+            span.slow = span.duration_seconds >= self.slow_seconds
+            self._emit(span)
+
+    def _emit(self, span: Span) -> None:
+        with self._lock:
+            self._spans_emitted += 1
+            if span.slow:
+                self._slow_spans += 1
+        event = span.to_event(self.service)
+        if self.sink is not None:
+            try:
+                self.sink(event)
+            except Exception:
+                # A broken sink must not replace the span's real exception
+                # (we are inside a ``finally``) or kill the request path.
+                self._logger.exception("span sink failed")
+            return
+        self._logger.log(logging.WARNING if span.slow else logging.INFO,
+                         json.dumps(event, sort_keys=True, default=str))
+
+    def counts(self) -> dict:
+        """Lifetime ``{"spans_emitted": n, "slow_spans": m}``."""
+        with self._lock:
+            return {"spans_emitted": self._spans_emitted,
+                    "slow_spans": self._slow_spans}
+
+
+__all__ = ["Span", "Tracer", "current_span_id", "current_trace_id",
+           "new_span_id", "new_trace_id"]

@@ -21,6 +21,14 @@ Most callers should prefer the transport-agnostic
 :class:`repro.api.RemoteOracle` (``Oracle.connect``), which wraps
 :class:`QueryClient` and maps :class:`ServerError` into the shared
 :class:`~repro.errors.OracleError` hierarchy.
+
+**Tracing.**  Every request is tagged with a trace id when one is available:
+an explicit ``trace_id`` constructor argument wins, else the ambient
+:func:`repro.obs.tracing.current_trace_id` (so queries issued inside an
+``obs.span(...)`` block are correlated automatically), else the request goes
+untagged and the wire bytes are identical to the pre-tracing protocol.  The
+server echoes the id in its envelope; the echo of the most recent response
+is kept on ``last_trace``.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import json
 import socket
 from typing import Any, Iterable, Sequence
 
+from repro.obs.tracing import current_trace_id
 from repro.server.protocol import (PROTOCOL_VERSION, encode_line,
                                    vertex_to_wire)
 
@@ -51,7 +60,8 @@ def _edges_to_wire(edges: Iterable) -> list:
     return [[vertex_to_wire(u), vertex_to_wire(v)] for u, v in edges]
 
 
-def _parse_response_line(line: bytes) -> Any:
+def _decode_envelope(line: bytes) -> dict:
+    """Parse one response line into its envelope (no ok/error unwrapping)."""
     if not line:
         raise ProtocolViolation("connection closed before a response arrived")
     try:
@@ -60,15 +70,16 @@ def _parse_response_line(line: bytes) -> Any:
         raise ProtocolViolation("unparseable response line: %s" % error) from error
     if not isinstance(response, dict) or "ok" not in response:
         raise ProtocolViolation("response is not a protocol envelope: %r" % response)
-    if response["ok"]:
-        return response.get("result")
-    error = response.get("error") or {}
-    raise ServerError(str(error.get("code", "unknown")),
-                      str(error.get("message", "")))
+    return response
 
 
 class _RequestMixin:
     """Shared request builders; subclasses implement ``request(op, **fields)``."""
+
+    #: Explicit trace id for outgoing requests (overrides the ambient span).
+    trace_id: str | None = None
+    #: The ``trace`` echo of the most recent response envelope (or None).
+    last_trace: Any = None
 
     def _connected_request(self, s, t, faults) -> dict:
         return dict(s=vertex_to_wire(s), t=vertex_to_wire(t),
@@ -76,6 +87,26 @@ class _RequestMixin:
 
     def _connected_many_request(self, pairs, faults) -> dict:
         return dict(pairs=_edges_to_wire(pairs), faults=_edges_to_wire(faults))
+
+    def _request_payload(self, op: str, request_id: int, fields: dict) -> dict:
+        """Assemble one request object, tagging the active trace id if any."""
+        payload: dict = {"op": op, "id": request_id}
+        trace = self.trace_id if self.trace_id is not None \
+            else current_trace_id()
+        if trace is not None:
+            payload["trace"] = trace
+        payload.update(fields)
+        return payload
+
+    def _finish_response(self, line: bytes) -> Any:
+        """Decode one envelope, record its trace echo, unwrap or raise."""
+        envelope = _decode_envelope(line)
+        self.last_trace = envelope.get("trace")
+        if envelope["ok"]:
+            return envelope.get("result")
+        error = envelope.get("error") or {}
+        raise ServerError(str(error.get("code", "unknown")),
+                          str(error.get("message", "")))
 
 
 #: Stream limit for one response line.  A ``connected_many`` answer grows
@@ -87,26 +118,29 @@ MAX_RESPONSE_BYTES = 1 << 24
 class AsyncQueryClient(_RequestMixin):
     """Asyncio client: ``await AsyncQueryClient.connect(host, port)``."""
 
-    def __init__(self, reader, writer):
+    def __init__(self, reader, writer, trace_id: str | None = None):
         self._reader = reader
         self._writer = writer
         self._next_id = 0
         self._closed = False
+        self.trace_id = trace_id
+        self.last_trace = None
 
     @classmethod
     async def connect(cls, host: str, port: int,
-                      limit: int = MAX_RESPONSE_BYTES) -> "AsyncQueryClient":
+                      limit: int = MAX_RESPONSE_BYTES,
+                      trace_id: str | None = None) -> "AsyncQueryClient":
         reader, writer = await asyncio.open_connection(host, port, limit=limit)
-        return cls(reader, writer)
+        return cls(reader, writer, trace_id=trace_id)
 
     async def request(self, op: str, **fields) -> Any:
         """Send one request, await its response; returns the ``result``."""
         self._next_id += 1
-        payload = {"op": op, "id": self._next_id, **fields}
+        payload = self._request_payload(op, self._next_id, fields)
         self._writer.write(encode_line(payload))
         await self._writer.drain()
         line = await self._reader.readline()
-        return _parse_response_line(line.rstrip(b"\n"))
+        return self._finish_response(line.rstrip(b"\n"))
 
     async def ping(self) -> dict:
         return await self.request("ping")
@@ -150,19 +184,22 @@ class AsyncQueryClient(_RequestMixin):
 class QueryClient(_RequestMixin):
     """Blocking client: one TCP connection, synchronous request/response."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 trace_id: str | None = None):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
         self._closed = False
+        self.trace_id = trace_id
+        self.last_trace = None
 
     def request(self, op: str, **fields) -> Any:
         self._next_id += 1
-        payload = {"op": op, "id": self._next_id, **fields}
+        payload = self._request_payload(op, self._next_id, fields)
         self._file.write(encode_line(payload))
         self._file.flush()
         line = self._file.readline()
-        return _parse_response_line(line.rstrip(b"\n"))
+        return self._finish_response(line.rstrip(b"\n"))
 
     def ping(self) -> dict:
         return self.request("ping")

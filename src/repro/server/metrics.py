@@ -1,124 +1,163 @@
-"""Server-side counters: requests, latency, and session-cache effectiveness.
+"""Server-side metrics: requests, latency histograms, session effectiveness.
 
-One :class:`ServerMetrics` instance is shared by the event loop (request
-accounting) and the worker threads building sessions, so every mutation takes
-the lock; reads go through :meth:`snapshot`, which returns a plain dict that
-the ``stats`` request and the benchmarks serialize directly.
+Rewired through :mod:`repro.obs.registry`: one
+:class:`~repro.obs.registry.MetricsRegistry` owns every counter, gauge, and
+latency histogram, so the same numbers back three views — the ``stats``
+request (:meth:`ServerMetrics.snapshot`, now with per-op p50/p95/p99), the
+Prometheus ``/metrics`` sidecar (the registry's native exposition, including
+cumulative ``_bucket{le=...}`` histograms), and the flattened families of
+:class:`repro.api.OracleStats`.
 
-The headline number is the *session hit rate*: the fraction of fault-set
-lookups served without building a new :class:`~repro.core.batch.BatchQuerySession`
-(LRU hits plus single-flight coalesced waits).  Heavy traffic over a shared
-fault set must drive it toward 1.0 — that is the whole point of the
-session-sharing server.
+:meth:`snapshot` keeps the exact key shape of the pre-registry counters
+(``requests_by_op`` / ``errors_by_code`` / ``latency_by_op`` / ...), so
+dashboards, benchmarks, and the ``*_by_*`` Prometheus flattening keep
+working unchanged; each ``latency_by_op`` entry additionally carries the
+histogram quantiles.
+
+The headline number is still the *session hit rate*: the fraction of
+fault-set lookups served without building a new
+:class:`~repro.core.batch.BatchQuerySession` (LRU hits plus single-flight
+coalesced waits).  Heavy traffic over a shared fault set must drive it
+toward 1.0 — that is the whole point of the session-sharing server.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import Counter
+from typing import Mapping
+
+from repro.obs.registry import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
+                                Histogram, MetricsRegistry)
+
+#: Quantiles reported per op in ``latency_by_op``, with their stats keys.
+LATENCY_QUANTILES = ((0.5, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms"))
 
 
 class ServerMetrics:
-    """Thread-safe request/latency/session counters for one server process."""
+    """Registry-backed request/latency/session metrics for one server.
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._requests: Counter = Counter()
-        self._errors: Counter = Counter()
-        self._latency_sum: Counter = Counter()
-        self._latency_max: dict[str, float] = {}
-        self._connections_opened = 0
-        self._connections_active = 0
-        self._session_hits = 0
-        self._session_misses = 0
-        self._session_coalesced = 0
-        self._session_failures = 0
-        self._queries_answered = 0
+    Thread safety lives in the underlying metrics (each mutates under its
+    own lock — see ``repro.analysis.LOCK_CONTRACTS``); this class only
+    names them and shapes :meth:`snapshot`.  Pass a shared ``registry`` to
+    co-locate these families with your own on one ``/metrics`` page.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests: Counter = self.registry.counter(
+            "server_requests", "Requests handled, by operation", ("op",))
+        self._errors: Counter = self.registry.counter(
+            "server_errors", "Structured error responses, by error code",
+            ("code",))
+        self._latency: Histogram = self.registry.histogram(
+            "server_request_seconds",
+            "Request handling latency in seconds, by operation", ("op",),
+            buckets=DEFAULT_LATENCY_BUCKETS)
+        self._connections_opened: Counter = self.registry.counter(
+            "server_connections_opened", "Connections accepted since start")
+        self._connections_active: Gauge = self.registry.gauge(
+            "server_connections_active", "Currently open client connections")
+        self._sessions: Counter = self.registry.counter(
+            "server_session_lookups",
+            "Fault-set session lookups, by outcome", ("outcome",))
+        self._queries_answered: Counter = self.registry.counter(
+            "server_queries_answered", "Connectivity answers produced")
 
     # ------------------------------------------------------------ recording
 
     def record_request(self, op: str, seconds: float) -> None:
-        with self._lock:
-            self._requests[op] += 1
-            self._latency_sum[op] += seconds
-            if seconds > self._latency_max.get(op, 0.0):
-                self._latency_max[op] = seconds
+        self._requests.inc(op=op)
+        self._latency.observe(seconds, op=op)
 
     def record_error(self, code: str) -> None:
-        with self._lock:
-            self._errors[code] += 1
+        self._errors.inc(code=code)
 
     def connection_opened(self) -> None:
-        with self._lock:
-            self._connections_opened += 1
-            self._connections_active += 1
+        self._connections_opened.inc()
+        self._connections_active.inc()
 
     def connection_closed(self) -> None:
-        with self._lock:
-            self._connections_active -= 1
+        """Close accounting clamps at zero: a double close (idempotent
+        client teardown racing the server's own cleanup path) must never
+        drive ``connections_active`` negative."""
+        self._connections_active.dec(floor=0.0)
 
     def record_session_hit(self) -> None:
-        with self._lock:
-            self._session_hits += 1
+        self._sessions.inc(outcome="hit")
 
     def record_session_miss(self) -> None:
-        with self._lock:
-            self._session_misses += 1
+        self._sessions.inc(outcome="miss")
 
     def record_session_coalesced(self) -> None:
-        with self._lock:
-            self._session_coalesced += 1
+        self._sessions.inc(outcome="coalesced")
 
     def record_session_failure(self) -> None:
-        with self._lock:
-            self._session_failures += 1
+        self._sessions.inc(outcome="failure")
 
     def add_queries(self, count: int) -> None:
-        with self._lock:
-            self._queries_answered += count
+        self._queries_answered.inc(count)
 
     # -------------------------------------------------------------- reading
 
     @property
     def session_hit_rate(self) -> float:
         """Fraction of fault-set lookups that did not build a session."""
-        with self._lock:
-            return self._hit_rate_locked()
-
-    def _hit_rate_locked(self) -> float:
-        lookups = self._session_hits + self._session_misses + self._session_coalesced
-        if lookups == 0:
-            return 0.0
-        return (self._session_hits + self._session_coalesced) / lookups
+        return _hit_rate(_outcomes(self._sessions))
 
     def snapshot(self) -> dict:
-        """A JSON-ready view of every counter (what ``stats`` returns)."""
-        with self._lock:
-            total = sum(self._requests.values())
-            latency = {
-                op: {
-                    "count": count,
-                    "mean_ms": 1000.0 * self._latency_sum[op] / count,
-                    "max_ms": 1000.0 * self._latency_max.get(op, 0.0),
-                }
-                for op, count in self._requests.items() if count
+        """A JSON-ready view of every counter (what ``stats`` returns).
+
+        Same keys as the pre-registry implementation; the per-op latency
+        entries gain ``p50_ms`` / ``p95_ms`` / ``p99_ms`` (interpolated
+        from the fixed log-spaced buckets, so they are estimates with
+        bucket-bounded error — ``mean_ms`` and ``max_ms`` stay exact).
+        """
+        requests = {key[0]: int(value) for key, value
+                    in sorted(self._requests.values().items())}
+        errors = {key[0]: int(value) for key, value
+                  in sorted(self._errors.values().items())}
+        latency: dict = {}
+        for key, child in sorted(self._latency.children().items()):
+            if not child.count:
+                continue
+            op = key[0]
+            entry: dict = {
+                "count": child.count,
+                "mean_ms": 1000.0 * child.total / child.count,
+                "max_ms": 1000.0 * child.max_value,
             }
-            return {
-                "requests_total": total,
-                "requests_by_op": dict(self._requests),
-                "errors_by_code": dict(self._errors),
-                "latency_by_op": latency,
-                "connections_opened": self._connections_opened,
-                "connections_active": self._connections_active,
-                "queries_answered": self._queries_answered,
-                "sessions": {
-                    "hits": self._session_hits,
-                    "misses": self._session_misses,
-                    "coalesced": self._session_coalesced,
-                    "failures": self._session_failures,
-                    "hit_rate": self._hit_rate_locked(),
-                },
-            }
+            for quantile, field in LATENCY_QUANTILES:
+                entry[field] = 1000.0 * self._latency.quantile(quantile, op=op)
+            latency[op] = entry
+        outcomes = _outcomes(self._sessions)
+        return {
+            "requests_total": sum(requests.values()),
+            "requests_by_op": requests,
+            "errors_by_code": errors,
+            "latency_by_op": latency,
+            "connections_opened": int(self._connections_opened.total()),
+            "connections_active": int(self._connections_active.value()),
+            "queries_answered": int(self._queries_answered.total()),
+            "sessions": {
+                "hits": outcomes.get("hit", 0),
+                "misses": outcomes.get("miss", 0),
+                "coalesced": outcomes.get("coalesced", 0),
+                "failures": outcomes.get("failure", 0),
+                "hit_rate": _hit_rate(outcomes),
+            },
+        }
 
 
-__all__ = ["ServerMetrics"]
+def _outcomes(sessions: Counter) -> dict:
+    """The session-lookup counter flattened to ``{outcome: int}``."""
+    return {key[0]: int(value) for key, value in sessions.values().items()}
+
+
+def _hit_rate(outcomes: Mapping) -> float:
+    lookups = (outcomes.get("hit", 0) + outcomes.get("miss", 0)
+               + outcomes.get("coalesced", 0))
+    if not lookups:
+        return 0.0
+    return (outcomes.get("hit", 0) + outcomes.get("coalesced", 0)) / lookups
+
+
+__all__ = ["LATENCY_QUANTILES", "ServerMetrics"]

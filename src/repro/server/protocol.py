@@ -14,6 +14,13 @@ and every response is an envelope that echoes the optional ``id``::
     {"ok": true, "id": 1, "result": {"connected": false}}
     {"ok": false, "error": {"code": "unknown-op", "message": "..."}}
 
+A request may carry an optional ``trace`` field (a non-empty string of at
+most :data:`MAX_TRACE_CHARS` characters): the server adopts it as the trace
+id of the request's spans and echoes it verbatim in the response envelope,
+so a client can correlate its own telemetry with the server's structured
+span log.  Requests without one see byte-identical envelopes to the
+pre-tracing protocol.
+
 The same envelope (:func:`ok_response` / :func:`error_response`) backs the
 CLI's ``--json`` output mode, so scripted callers see one machine-readable
 format whether they query in process or over the wire.
@@ -43,6 +50,9 @@ MAX_REQUEST_BYTES = 1 << 20
 
 #: Nesting cap for tuple vertex ids (mirrors the snapshot key codec's cap).
 MAX_VERTEX_DEPTH = 16
+
+#: Cap on the optional ``trace`` field (a propagation id, not a payload).
+MAX_TRACE_CHARS = 128
 
 # Error codes (the machine-readable half of every failure response).
 E_MALFORMED = "malformed-json"
@@ -139,6 +149,12 @@ def parse_request(line: bytes) -> dict:
     if isinstance(request_id, bool) or \
             (request_id is not None and not isinstance(request_id, (str, int))):
         raise ProtocolError(E_BAD_REQUEST, "'id' must be a string or integer")
+    trace = request.get("trace")
+    if trace is not None and (not isinstance(trace, str) or not trace
+                              or len(trace) > MAX_TRACE_CHARS):
+        raise ProtocolError(E_BAD_REQUEST,
+                            "'trace' must be a non-empty string of at most "
+                            "%d characters" % MAX_TRACE_CHARS)
     return request
 
 
@@ -175,19 +191,29 @@ def extract_pairs(request: dict) -> list:
 
 # --------------------------------------------------------------- responses
 
-def ok_response(result: Any, request_id: Any = None) -> dict:
-    """The success envelope shared by the server and the CLI ``--json`` mode."""
+def ok_response(result: Any, request_id: Any = None,
+                trace: Any = None) -> dict:
+    """The success envelope shared by the server and the CLI ``--json`` mode.
+
+    ``trace`` echoes a client-supplied trace id; a client that sends none
+    sees byte-identical envelopes to the pre-tracing protocol.
+    """
     response = {"ok": True, "result": result}
     if request_id is not None:
         response["id"] = request_id
+    if trace is not None:
+        response["trace"] = trace
     return response
 
 
-def error_response(code: str, message: str, request_id: Any = None) -> dict:
+def error_response(code: str, message: str, request_id: Any = None,
+                   trace: Any = None) -> dict:
     """The failure envelope (structured code + human-readable message)."""
     response = {"ok": False, "error": {"code": code, "message": message}}
     if request_id is not None:
         response["id"] = request_id
+    if trace is not None:
+        response["trace"] = trace
     return response
 
 
@@ -202,7 +228,8 @@ def dump_envelope(payload: dict) -> str:
 
 
 __all__ = [
-    "PROTOCOL_VERSION", "MAX_REQUEST_BYTES", "MAX_VERTEX_DEPTH", "KNOWN_OPS",
+    "PROTOCOL_VERSION", "MAX_REQUEST_BYTES", "MAX_TRACE_CHARS",
+    "MAX_VERTEX_DEPTH", "KNOWN_OPS",
     "E_MALFORMED", "E_OVERSIZED", "E_BAD_REQUEST", "E_UNKNOWN_OP",
     "E_UNKNOWN_VERTEX", "E_UNKNOWN_EDGE", "E_OVER_BUDGET", "E_DECODE",
     "E_QUERY_FAILED", "E_INTERNAL",

@@ -38,6 +38,9 @@ from typing import Any, Callable
 
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
+from repro.obs.http import ObsHTTPServer
+from repro.obs.prometheus import render_stats_tree
+from repro.obs.tracing import Tracer
 from repro.server import protocol
 from repro.server.protocol import (ProtocolError, encode_line, error_response,
                                    ok_response, parse_request)
@@ -53,18 +56,34 @@ class QueryServer:
     def __init__(self, oracle, host: str = "127.0.0.1", port: int = 0,
                  max_sessions: int | None = None,
                  max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
-                 executor=None):
+                 executor=None, metrics_port: int | None = None,
+                 metrics_host: str | None = None,
+                 tracer: Tracer | None = None,
+                 slow_request_seconds: float = 1.0):
         self._requested_host = host
         self._requested_port = port
         self.max_request_bytes = max_request_bytes
+        # One tracer spans the whole request path: the dispatch span makes
+        # the trace id current, the session manager's build/decode spans
+        # inherit it.  Spans at or above ``slow_request_seconds`` log at
+        # WARNING (the slow-request log).
+        self.tracer = tracer if tracer is not None else Tracer(
+            service="repro.server", slow_seconds=slow_request_seconds)
         self.sessions = SessionManager(oracle, max_sessions=max_sessions,
-                                       executor=executor)
+                                       executor=executor, tracer=self.tracer)
         self.oracle = oracle
         self.metrics = self.sessions.metrics
         self._server: asyncio.base_events.Server | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self.host: str | None = None
         self.port: int | None = None
+        # The /metrics + /healthz sidecar; disabled unless a port is given
+        # (0 binds an ephemeral one, reported on ``metrics_port``).
+        self._metrics_requested = (
+            metrics_host if metrics_host is not None else host, metrics_port)
+        self._metrics_server: ObsHTTPServer | None = None
+        self.metrics_host: str | None = None
+        self.metrics_port: int | None = None
         self._handlers: dict[str, Callable] = {
             "ping": self._op_ping,
             "stats": self._op_stats,
@@ -86,6 +105,13 @@ class QueryServer:
             self._handle_connection, self._requested_host, self._requested_port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        sidecar_host, sidecar_port = self._metrics_requested
+        if sidecar_port is not None:
+            self._metrics_server = ObsHTTPServer(
+                self.render_metrics, self.health,
+                host=sidecar_host, port=sidecar_port)
+            self.metrics_host, self.metrics_port = \
+                await self._metrics_server.start()
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -95,6 +121,9 @@ class QueryServer:
 
     async def close(self) -> None:
         """Stop accepting, drop open connections, and stop the worker pool."""
+        if self._metrics_server is not None:
+            await self._metrics_server.close()
+            self._metrics_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -188,8 +217,16 @@ class QueryServer:
     # ------------------------------------------------------------- dispatch
 
     async def _dispatch(self, line: bytes) -> dict:
-        """Turn one request line into one response object (never raises)."""
+        """Turn one request line into one response object (never raises).
+
+        A client-supplied ``trace`` id is adopted by the dispatch span
+        (and therefore by the session build/decode spans underneath) and
+        echoed in the response envelope — success or error.  Tracing only
+        observes the handler: the answer bytes are identical with the
+        tracer enabled, disabled, or replaced.
+        """
         request_id: Any = None
+        trace: Any = None
         # Metrics are keyed by op, so only a *known* op name may become a
         # counter key — attacker-chosen strings must not grow the Counters.
         op = "invalid"
@@ -197,42 +234,50 @@ class QueryServer:
         try:
             request = parse_request(line)
             request_id = request.get("id")
+            trace = request.get("trace")
             handler = self._handlers.get(request["op"])
             if handler is None:
                 raise ProtocolError(protocol.E_UNKNOWN_OP,
                                     "unknown op %r (known: %s)"
                                     % (request["op"], ", ".join(protocol.KNOWN_OPS)))
             op = request["op"]
-            result = await handler(request)
-            response = ok_response(result, request_id)
+            with self.tracer.span("server." + op, trace_id=trace, op=op,
+                                  request_id=request_id):
+                result = await handler(request)
+            response = ok_response(result, request_id, trace=trace)
         except ProtocolError as error:
             self.metrics.record_error(error.code)
-            response = error_response(error.code, str(error), request_id)
+            response = error_response(error.code, str(error), request_id,
+                                      trace=trace)
         except KeyError as error:
             # Unknown vertex/edge ids surface as KeyError from label lookups.
             message = error.args[0] if error.args else str(error)
             code = protocol.E_UNKNOWN_EDGE if str(message).startswith("edge") \
                 else protocol.E_UNKNOWN_VERTEX
             self.metrics.record_error(code)
-            response = error_response(code, str(message), request_id)
+            response = error_response(code, str(message), request_id,
+                                      trace=trace)
         except LabelDecodeError as error:
             # Checked before ValueError: LabelDecodeError *is* a ValueError,
             # so the other order would mislabel corruption as over-budget.
             self.metrics.record_error(protocol.E_DECODE)
             response = error_response(protocol.E_DECODE,
-                                      "label data is corrupt: %s" % error, request_id)
+                                      "label data is corrupt: %s" % error,
+                                      request_id, trace=trace)
         except ValueError as error:
             # Typically: more distinct faults than the scheme's budget f.
             self.metrics.record_error(protocol.E_OVER_BUDGET)
-            response = error_response(protocol.E_OVER_BUDGET, str(error), request_id)
+            response = error_response(protocol.E_OVER_BUDGET, str(error),
+                                      request_id, trace=trace)
         except QueryFailure as error:
             self.metrics.record_error(protocol.E_QUERY_FAILED)
-            response = error_response(protocol.E_QUERY_FAILED, str(error), request_id)
+            response = error_response(protocol.E_QUERY_FAILED, str(error),
+                                      request_id, trace=trace)
         except Exception as error:  # fail closed per request, never per connection
             self.metrics.record_error(protocol.E_INTERNAL)
             response = error_response(protocol.E_INTERNAL,
                                       "%s: %s" % (type(error).__name__, error),
-                                      request_id)
+                                      request_id, trace=trace)
         self.metrics.record_request(op, time.perf_counter() - start)
         return response
 
@@ -242,6 +287,9 @@ class QueryServer:
         return {"pong": True, "protocol": protocol.PROTOCOL_VERSION}
 
     async def _op_stats(self, request: dict) -> dict:
+        return {"server": self.sessions.stats(), "oracle": self._oracle_info()}
+
+    def _oracle_info(self) -> dict:
         oracle = self.oracle
         info: dict = {"max_faults": oracle.max_faults}
         for attribute in ("num_vertices", "num_edges"):
@@ -251,7 +299,56 @@ class QueryServer:
         config = getattr(oracle, "config", None)
         if config is not None:
             info["variant"] = config.variant.value
-        return {"server": self.sessions.stats(), "oracle": info}
+        return info
+
+    # ------------------------------------------------------------- sidecar
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` payload in the text exposition format.
+
+        The registry renders its own families natively (counters with
+        ``_total``, the per-op latency histogram with cumulative
+        ``_bucket{le=...}`` lines); the session cache, hot keys, and oracle
+        facts — numbers the registry does not own — ride along as flattened
+        gauges under disjoint family names.
+        """
+        stats = self.sessions.stats()
+        # ``inflight_builds`` is deliberately absent: the registry already
+        # owns it as the ``server_inflight_builds`` gauge, and one exposition
+        # must never emit two families under one name.
+        extras = {
+            "server": {key: stats[key] for key in
+                       ("session_cache", "session_hot_keys_by_key",
+                        "session_hot_keys_tracked")
+                       if key in stats},
+            "oracle": self._oracle_info(),
+        }
+        text = self.metrics.registry.to_prometheus()
+        extra_lines = render_stats_tree(extras)
+        if extra_lines:
+            text += "\n".join(extra_lines) + "\n"
+        return text
+
+    def health(self) -> tuple[bool, dict]:
+        """The ``GET /healthz`` readiness probe: ``(ready, payload)``.
+
+        Ready means the listener is accepting and the oracle answers a
+        cheap liveness probe (its session-cache info); a wedged oracle
+        degrades the probe to 503 without touching the query path.
+        """
+        ready = self._server is not None and self._server.is_serving()
+        payload: dict = {"status": "ok",
+                         "protocol": protocol.PROTOCOL_VERSION,
+                         "serving": ready}
+        try:
+            payload["oracle"] = self._oracle_info()
+            payload["session_cache"] = self.oracle.session_cache_info()
+        except Exception as error:
+            payload["oracle_error"] = "%s: %s" % (type(error).__name__, error)
+            ready = False
+        if not ready:
+            payload["status"] = "unavailable"
+        return ready, payload
 
     async def _op_connected(self, request: dict) -> dict:
         source, target = protocol.extract_pair(request)
@@ -358,15 +455,18 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
                max_sessions: int | None = None,
                max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
                jobs: int | None = None,
-               announce: Callable[[dict], None] | None = None) -> int:
+               announce: Callable[[dict], None] | None = None,
+               metrics_port: int | None = None) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Starts the server, reports the bound address through ``announce`` (the
     CLI prints it as a JSON line so scripts can wait for readiness and learn
     an ephemeral port), and serves until SIGTERM/SIGINT, then shuts down
     cleanly.  ``jobs`` bounds the worker threads that build batch sessions
-    (the CLI's ``--jobs``; default lets the executor size itself).  Returns a
-    process exit code.
+    (the CLI's ``--jobs``; default lets the executor size itself).
+    ``metrics_port`` (the CLI's ``--metrics-port``) enables the
+    ``/metrics`` + ``/healthz`` sidecar; its bound port rides on the
+    announce event.  Returns a process exit code.
     """
     executor = None
     if jobs is not None:
@@ -379,12 +479,15 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
         server = QueryServer(oracle, host=host, port=port,
                              max_sessions=max_sessions,
                              max_request_bytes=max_request_bytes,
-                             executor=executor)
+                             executor=executor, metrics_port=metrics_port)
         bound_host, bound_port = await server.start()
         if announce is not None:
-            announce({"event": "serving", "host": bound_host, "port": bound_port,
-                      "max_faults": oracle.max_faults,
-                      "vertices": server_vertex_count(oracle)})
+            event = {"event": "serving", "host": bound_host,
+                     "port": bound_port, "max_faults": oracle.max_faults,
+                     "vertices": server_vertex_count(oracle)}
+            if server.metrics_port is not None:
+                event["metrics_port"] = server.metrics_port
+            announce(event)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):

@@ -28,6 +28,7 @@ from typing import Iterable, Sequence
 
 from repro.core.batch import BatchQuerySession
 from repro.core.query import QueryFailure
+from repro.obs.tracing import Tracer
 from repro.server.metrics import ServerMetrics
 
 
@@ -50,7 +51,8 @@ class SessionManager:
 
     def __init__(self, oracle, max_sessions: int | None = None,
                  executor: ThreadPoolExecutor | None = None,
-                 metrics: ServerMetrics | None = None):
+                 metrics: ServerMetrics | None = None,
+                 tracer: Tracer | None = None):
         self.oracle = oracle
         if max_sessions is not None:
             if max_sessions < 1:
@@ -59,6 +61,10 @@ class SessionManager:
             # LRU (shared with in-process callers) enforces the bound.
             oracle.SESSION_CACHE_SIZE = max_sessions
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.tracer = tracer if tracer is not None \
+            else Tracer(service="repro.server")
+        self._inflight_gauge = self.metrics.registry.gauge(
+            "server_inflight_builds", "Session constructions in flight")
         self._own_executor = executor is None
         self._executor = executor if executor is not None else ThreadPoolExecutor(
             thread_name_prefix="repro-session")
@@ -96,10 +102,15 @@ class SessionManager:
             return await asyncio.shield(inflight)
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
+        self._inflight_gauge.set(float(len(self._inflight)))
         self.metrics.record_session_miss()
         try:
-            session = await loop.run_in_executor(
-                self._executor, self.oracle.batch_session, fault_list)
+            # The span inherits the request's trace id (the server dispatch
+            # span set the contextvar), so a slow build is correlated with
+            # the client request that triggered it.
+            with self.tracer.span("session.build", faults=len(fault_list)):
+                session = await loop.run_in_executor(
+                    self._executor, self.oracle.batch_session, fault_list)
         except BaseException as error:
             self.metrics.record_session_failure()
             future.set_exception(error)
@@ -112,6 +123,7 @@ class SessionManager:
             return session
         finally:
             self._inflight.pop(key, None)
+            self._inflight_gauge.set(float(len(self._inflight)))
 
     async def connected_many(self, pairs: Sequence[tuple],
                              faults: Iterable = ()) -> list[bool]:
@@ -128,8 +140,11 @@ class SessionManager:
             await self.session(fault_list)
         except QueryFailure:
             pass  # oracle.connected_many falls back to the per-query engines
-        answers = await loop.run_in_executor(
-            self._executor, self.oracle.connected_many, pair_list, fault_list)
+        with self.tracer.span("session.decode", pairs=len(pair_list),
+                              faults=len(fault_list)):
+            answers = await loop.run_in_executor(
+                self._executor, self.oracle.connected_many, pair_list,
+                fault_list)
         self.metrics.add_queries(len(answers))
         return answers
 
@@ -151,10 +166,12 @@ class SessionManager:
         fault_lists = [list(faults) for faults in fault_sets]
         if not fault_lists:
             return 0
-        sessions = await loop.run_in_executor(
-            self._executor,
-            lambda: self.oracle.build_sessions(fault_lists, executor=executor,
-                                               jobs=jobs))
+        with self.tracer.span("session.prewarm", fault_sets=len(fault_lists)):
+            sessions = await loop.run_in_executor(
+                self._executor,
+                lambda: self.oracle.build_sessions(fault_lists,
+                                                   executor=executor,
+                                                   jobs=jobs))
         return len({session.key for session in sessions})
 
     # ------------------------------------------------------------- hot keys

@@ -103,6 +103,34 @@ def test_build_report_shape(graphs):
     assert payload["executor"] == "thread"
     json.dumps(payload)  # must be JSON-ready for the CLI
     assert labeling.construction_seconds == report.total_seconds
+    # Per-stage peak memory rides along (RSS probe on POSIX, else empty).
+    assert report.memory_probe in ("tracemalloc", "rss", "unavailable")
+    assert payload["memory_probe"] == report.memory_probe
+    if report.memory_probe != "unavailable":
+        assert tuple(report.stage_peak_bytes) == STAGES
+        assert all(peak > 0 for peak in report.stage_peak_bytes.values())
+
+
+def test_build_report_tracemalloc_peaks_and_bit_identity():
+    """With tracemalloc on, the report's per-stage peaks are true per-phase
+    readings — and instrumentation must not perturb the labels (bit-identity
+    of the snapshot bytes with the probe on vs off)."""
+    import tracemalloc
+
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=24, seed=5)
+    config = FTCConfig(max_faults=2)
+    plain = FTCLabeling(graph, config, executor="serial")
+    assert plain.build_report.memory_probe in ("rss", "unavailable")
+    tracemalloc.start()
+    try:
+        traced = FTCLabeling(graph, config, executor="serial")
+    finally:
+        tracemalloc.stop()
+    report = traced.build_report
+    assert report.memory_probe == "tracemalloc"
+    assert tuple(report.stage_peak_bytes) == STAGES
+    assert all(peak >= 0 for peak in report.stage_peak_bytes.values())
+    assert traced.to_snapshot_bytes() == plain.to_snapshot_bytes()
 
 
 def test_report_shard_count_scales_with_jobs(graphs):

@@ -1,0 +1,423 @@
+"""Tests for the observability seam (:mod:`repro.obs`).
+
+The layer's contracts, in order of importance:
+
+1. **Histogram math** — bucket boundaries are ``le``-inclusive, quantiles
+   interpolate linearly inside the crossing bucket, merging is element-wise
+   and only between congruent histograms.
+2. **Exposition format** — ``# HELP`` / ``# TYPE`` headers, ``_total`` on
+   counters, cumulative ``_bucket{le=...}`` + ``_sum`` + ``_count`` on
+   histograms, correct label escaping.
+3. **Tracing semantics** — span nesting propagates trace ids through
+   contextvars, explicit ids win, errors are recorded and re-raised, the
+   contextvars are restored on exit, and emission never replaces the span's
+   real exception.
+4. **Determinism** — nothing in this package feeds entropy or state into a
+   build or query path (asserted end-to-end in test_obs_build below and in
+   test_server.py's tracing tests).
+"""
+
+import json
+import logging
+import threading
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram,
+                       MetricsRegistry, PeakMemoryMeter, Tracer,
+                       current_span_id, current_trace_id, log_buckets)
+from repro.obs.prometheus import (escape_label_value, render_labels,
+                                  render_stats_tree, sanitize_metric_name)
+
+
+# ------------------------------------------------------------------ buckets
+
+def test_log_buckets_are_log_spaced():
+    bounds = log_buckets(0.001, 10.0, 4)
+    assert bounds == pytest.approx((0.001, 0.01, 0.1, 1.0))
+
+
+@pytest.mark.parametrize("start,factor,count", [
+    (0.0, 2.0, 3), (-1.0, 2.0, 3), (float("inf"), 2.0, 3),
+    (1.0, 1.0, 3), (1.0, 0.5, 3), (1.0, float("nan"), 3),
+    (1.0, 2.0, 0), (1e300, 10.0, 20),
+])
+def test_log_buckets_rejects_bad_geometry(start, factor, count):
+    with pytest.raises(ValueError):
+        log_buckets(start, factor, count)
+
+
+def test_default_latency_buckets_cover_microseconds_to_seconds():
+    assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(5e-05)
+    assert DEFAULT_LATENCY_BUCKETS[-1] > 5.0
+    assert len(DEFAULT_LATENCY_BUCKETS) == 18
+
+
+# ---------------------------------------------------------------- histogram
+
+def test_histogram_boundary_values_are_le_inclusive():
+    hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+    for value in (1.0, 2.0, 4.0, 5.0, 0.5):
+        hist.observe(value)
+    snap = hist.child()
+    # Exact bounds land in their own bucket (le is inclusive); 5.0 overflows.
+    assert snap.counts == (2, 1, 1, 1)
+    assert snap.count == 5
+    assert snap.total == pytest.approx(12.5)
+    assert snap.max_value == 5.0
+
+
+def test_histogram_quantile_interpolates_within_the_crossing_bucket():
+    hist = Histogram("h", buckets=(10.0, 20.0, 30.0, 40.0))
+    for _ in range(10):
+        hist.observe(5.0)    # bucket (0, 10]
+    for _ in range(10):
+        hist.observe(15.0)   # bucket (10, 20]
+    # Rank 10 of 20 is exactly the first bucket's upper edge...
+    assert hist.quantile(0.5) == pytest.approx(10.0)
+    # ...and rank 15 sits halfway through the second bucket.
+    assert hist.quantile(0.75) == pytest.approx(15.0)
+    assert hist.quantile(0.0) == pytest.approx(0.0)
+    assert hist.quantile(1.0) == pytest.approx(20.0)
+
+
+def test_histogram_quantile_clamps_overflow_bucket_to_observed_max():
+    hist = Histogram("h", buckets=(1.0,))
+    hist.observe(7.5)
+    assert hist.quantile(0.99) <= 7.5
+    assert hist.quantile(1.0) == pytest.approx(7.5)
+
+
+def test_histogram_quantile_on_empty_child_is_zero():
+    hist = Histogram("h", buckets=(1.0, 2.0))
+    assert hist.quantile(0.5) == 0.0
+
+
+@pytest.mark.parametrize("q", [-0.1, 1.5])
+def test_histogram_quantile_rejects_out_of_range(q):
+    hist = Histogram("h", buckets=(1.0,))
+    with pytest.raises(ValueError):
+        hist.quantile(q)
+
+
+def test_histogram_rejects_nan_and_bad_buckets():
+    hist = Histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        hist.observe(float("nan"))
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, float("inf")))
+    with pytest.raises(ValueError):
+        Histogram("h", labelnames=("le",))
+
+
+def test_histogram_merge_is_element_wise():
+    left = Histogram("h", labelnames=("op",), buckets=(1.0, 2.0))
+    right = Histogram("h", labelnames=("op",), buckets=(1.0, 2.0))
+    left.observe(0.5, op="a")
+    right.observe(1.5, op="a")
+    right.observe(9.0, op="b")
+    left.merge(right)
+    merged = left.child(op="a")
+    assert merged.counts == (1, 1, 0)
+    assert merged.count == 2
+    assert merged.total == pytest.approx(2.0)
+    assert left.child(op="b").max_value == 9.0
+    # The source histogram is untouched.
+    assert right.child(op="a").count == 1
+    # Self-merge is a no-op, not a doubling.
+    left.merge(left)
+    assert left.child(op="a").count == 2
+
+
+def test_histogram_merge_requires_congruent_shape():
+    base = Histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        base.merge(Histogram("h", buckets=(1.0, 3.0)))
+    with pytest.raises(ValueError):
+        base.merge(Histogram("h", labelnames=("op",), buckets=(1.0, 2.0)))
+
+
+# ---------------------------------------------------------- counters/gauges
+
+def test_counter_is_monotone_and_label_checked():
+    counter = Counter("c", labelnames=("op",))
+    counter.inc(op="ping")
+    counter.inc(2.0, op="ping")
+    assert counter.value(op="ping") == pytest.approx(3.0)
+    assert counter.total() == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        counter.inc(-1.0, op="ping")
+    with pytest.raises(ValueError):
+        counter.inc()  # missing the registered label
+    with pytest.raises(ValueError):
+        counter.inc(op="ping", extra="nope")
+
+
+def test_gauge_dec_floor_clamps():
+    gauge = Gauge("g")
+    gauge.inc()
+    gauge.dec(floor=0.0)
+    gauge.dec(floor=0.0)  # the double-close: must clamp, not go negative
+    assert gauge.value() == 0.0
+    gauge.dec()  # no floor: free-running
+    assert gauge.value() == -1.0
+    gauge.set(7)
+    assert gauge.value() == 7.0
+
+
+@pytest.mark.parametrize("name", ["", "2fast", "has space", "dash-ed"])
+def test_metric_names_are_validated(name):
+    with pytest.raises(ValueError):
+        Counter(name)
+
+
+def test_label_names_are_validated():
+    with pytest.raises(ValueError):
+        Counter("c", labelnames=("__reserved",))
+    with pytest.raises(ValueError):
+        Counter("c", labelnames=("op", "op"))
+
+
+# ----------------------------------------------------------------- registry
+
+def test_registry_get_or_create_returns_the_same_metric():
+    registry = MetricsRegistry()
+    first = registry.counter("requests", "help", ("op",))
+    second = registry.counter("requests", "help", ("op",))
+    assert first is second
+    assert registry.get("requests") is first
+
+
+def test_registry_rejects_kind_label_and_bucket_mismatches():
+    registry = MetricsRegistry()
+    registry.counter("requests", labelnames=("op",))
+    with pytest.raises(ValueError):
+        registry.gauge("requests")
+    with pytest.raises(ValueError):
+        registry.counter("requests", labelnames=("code",))
+    registry.histogram("latency", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        registry.histogram("latency", buckets=(1.0, 3.0))
+
+
+def test_registry_snapshot_is_json_ready():
+    registry = MetricsRegistry()
+    registry.counter("requests", labelnames=("op",)).inc(op="ping")
+    registry.histogram("latency", buckets=(1.0,)).observe(0.5)
+    snapshot = json.loads(json.dumps(registry.snapshot()))
+    assert snapshot["requests"]["samples"] == [
+        {"labels": {"op": "ping"}, "value": 1.0}]
+    hist = snapshot["latency"]["samples"][0]
+    assert hist["count"] == 1
+    assert hist["buckets"]["1.0"] == 1
+    assert hist["buckets"]["+Inf"] == 1
+
+
+def test_registry_prometheus_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("requests", "Requests handled", ("op",)).inc(op="ping")
+    registry.gauge("active", "Open connections").set(2)
+    hist = registry.histogram("latency", "Latency", ("op",),
+                              buckets=(1.0, 2.0))
+    hist.observe(0.5, op="ping")
+    hist.observe(1.5, op="ping")
+    hist.observe(9.0, op="ping")
+    text = registry.to_prometheus()
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    assert "# HELP repro_requests_total Requests handled" in lines
+    assert "# TYPE repro_requests_total counter" in lines
+    assert 'repro_requests_total{op="ping"} 1' in lines
+    assert "# TYPE repro_active gauge" in lines
+    assert "repro_active 2" in lines
+    assert "# TYPE repro_latency histogram" in lines
+    # Cumulative buckets, closed by +Inf == _count.
+    assert 'repro_latency_bucket{op="ping",le="1.0"} 1' in lines
+    assert 'repro_latency_bucket{op="ping",le="2.0"} 2' in lines
+    assert 'repro_latency_bucket{op="ping",le="+Inf"} 3' in lines
+    assert 'repro_latency_sum{op="ping"} 11.0' in lines
+    assert 'repro_latency_count{op="ping"} 3' in lines
+    # Families render sorted by name: headers appear in lexical order.
+    headers = [line for line in lines if line.startswith("# TYPE")]
+    assert headers == sorted(headers)
+
+
+def test_prometheus_helpers_escape_and_sanitize():
+    assert sanitize_metric_name(("repro", "a-b c")) == "repro_a_b_c"
+    assert escape_label_value('say "hi"\n') == 'say \\"hi\\"\\n'
+    assert render_labels([("op", "ping"), ("code", "x")]) == \
+        '{op="ping",code="x"}'
+    assert render_labels([]) == ""
+
+
+def test_render_stats_tree_flattens_by_label_convention():
+    lines = render_stats_tree({
+        "server": {"requests_by_op": {"ping": 2, "stats": 1},
+                   "inflight": 0,
+                   "note": "skipped (non-numeric)"},
+    })
+    assert "# TYPE repro_server_requests gauge" in lines
+    assert 'repro_server_requests{op="ping"} 2' in lines
+    assert "repro_server_inflight 0" in lines
+    assert not any("note" in line for line in lines)
+
+
+def test_metrics_are_thread_safe_under_hammer():
+    registry = MetricsRegistry()
+    counter = registry.counter("c", labelnames=("op",))
+    hist = registry.histogram("h", buckets=(0.5, 1.0))
+    rounds = 200
+
+    def hammer(op):
+        for index in range(rounds):
+            counter.inc(op=op)
+            hist.observe((index % 3) * 0.4)
+
+    threads = [threading.Thread(target=hammer, args=("op%d" % i,))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.total() == 4 * rounds
+    assert hist.child().count == 4 * rounds
+
+
+# ------------------------------------------------------------------ tracing
+
+def test_span_emits_structured_event_to_sink():
+    events = []
+    tracer = Tracer(service="test", sink=events.append)
+    with tracer.span("work", pairs=3) as span:
+        span.annotate(faults=2)
+    (event,) = events
+    assert event["event"] == "span"
+    assert event["service"] == "test"
+    assert event["name"] == "work"
+    assert event["attrs"] == {"pairs": 3, "faults": 2}
+    assert event["duration_ms"] >= 0.0
+    assert len(event["trace_id"]) == 32
+    assert len(event["span_id"]) == 16
+    assert "error" not in event
+    assert tracer.counts() == {"spans_emitted": 1, "slow_spans": 0}
+
+
+def test_nested_spans_share_the_trace_and_chain_parents():
+    events = []
+    tracer = Tracer(sink=events.append)
+    with tracer.span("outer") as outer:
+        assert current_trace_id() == outer.trace_id
+        assert current_span_id() == outer.span_id
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+    # Contextvars are restored after exit (inner first, then outer).
+    assert current_trace_id() is None
+    assert current_span_id() is None
+    assert [event["name"] for event in events] == ["inner", "outer"]
+
+
+def test_explicit_trace_id_wins_over_ambient():
+    events = []
+    tracer = Tracer(sink=events.append)
+    with tracer.span("outer"):
+        with tracer.span("pinned", trace_id="client-supplied-id") as span:
+            assert span.trace_id == "client-supplied-id"
+            assert current_trace_id() == "client-supplied-id"
+
+
+def test_span_records_error_type_and_reraises():
+    events = []
+    tracer = Tracer(sink=events.append)
+    with pytest.raises(KeyError):
+        with tracer.span("broken"):
+            raise KeyError("nope")
+    assert events[0]["error"] == "KeyError"
+    assert current_trace_id() is None  # cleaned up despite the raise
+
+
+def test_slow_threshold_marks_spans():
+    events = []
+    tracer = Tracer(sink=events.append, slow_seconds=0.0)
+    with tracer.span("anything"):
+        pass
+    assert events[0]["slow"] is True
+    assert tracer.counts()["slow_spans"] == 1
+    with pytest.raises(ValueError):
+        Tracer(slow_seconds=-1.0)
+
+
+def test_broken_sink_does_not_replace_the_real_exception():
+    def explode(event):
+        raise RuntimeError("sink is broken")
+
+    tracer = Tracer(sink=explode)
+    with pytest.raises(KeyError):  # not RuntimeError
+        with tracer.span("work"):
+            raise KeyError("the real failure")
+
+
+def test_disabled_tracer_is_inert():
+    events = []
+    tracer = Tracer(sink=events.append, enabled=False)
+    with tracer.span("work") as span:
+        assert span.name == "work"
+    assert events == []
+    assert tracer.counts() == {"spans_emitted": 0, "slow_spans": 0}
+
+
+def test_default_tracer_logs_json_events(caplog):
+    with caplog.at_level(logging.INFO, logger="repro.obs.trace"):
+        with obs.span("default-path"):
+            pass
+    event = json.loads(caplog.records[-1].message)
+    assert event["name"] == "default-path"
+
+
+# ------------------------------------------------------------- peak memory
+
+def test_peak_memory_meter_uses_rss_when_not_tracing():
+    if tracemalloc.is_tracing():  # pragma: no cover - -X tracemalloc runs
+        pytest.skip("interpreter started with tracemalloc enabled")
+    meter = PeakMemoryMeter()
+    assert meter.probe in ("rss", "unavailable")
+    meter.start_phase()
+    peak = meter.end_phase()
+    if meter.probe == "rss":
+        assert peak is not None and peak > 0
+    else:  # pragma: no cover - non-POSIX platforms
+        assert peak is None
+
+
+def test_peak_memory_meter_resets_per_phase_under_tracemalloc():
+    tracemalloc.start()
+    try:
+        meter = PeakMemoryMeter()
+        assert meter.probe == "tracemalloc"
+        meter.start_phase()
+        blob = bytearray(1 << 20)
+        first = meter.end_phase()
+        del blob
+        meter.start_phase()
+        second = meter.end_phase()
+        assert first is not None and first >= (1 << 20)
+        # The reset makes phases independent: the idle phase reports far
+        # less than the allocating one (this is what RSS cannot do).
+        assert second is not None and second < first
+    finally:
+        tracemalloc.stop()
+
+
+def test_span_captures_peak_memory_when_asked():
+    events = []
+    tracer = Tracer(sink=events.append, capture_memory=True)
+    with tracer.span("alloc"):
+        data = list(range(1000))
+        del data
+    assert events[0].get("peak_memory_bytes", 0) >= 0

@@ -667,3 +667,237 @@ def test_hot_key_and_metrics_counters_survive_thread_hammer(oracle):
         assert len(stats_snapshots) == 2 * workers
     finally:
         manager.close()
+
+
+# ----------------------------------------------------------- observability
+
+def test_connection_close_accounting_never_goes_negative():
+    """Regression: a double close (idempotent client teardown racing the
+    server's own cleanup) must clamp ``connections_active`` at zero."""
+    from repro.server.metrics import ServerMetrics
+
+    metrics = ServerMetrics()
+    metrics.connection_opened()
+    metrics.connection_closed()
+    metrics.connection_closed()  # the spurious second close
+    assert metrics.snapshot()["connections_active"] == 0
+    metrics.connection_opened()
+    assert metrics.snapshot()["connections_active"] == 1
+
+
+def test_stats_report_latency_quantiles(world, oracle):
+    """Every op's latency entry carries ordered histogram quantiles."""
+    graph, _ = world
+    (faults, pairs, _), = workload(graph, num_sets=1, num_pairs=5, seed=31)
+
+    async def scenario():
+        server = await _start(oracle)
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        for _ in range(5):
+            await client.connected_many(pairs, faults)
+        stats = await client.stats()
+        await client.close()
+        await server.close()
+        return stats
+
+    stats = asyncio.run(scenario())
+    entry = stats["server"]["latency_by_op"]["connected_many"]
+    assert entry["count"] == 5
+    assert 0.0 <= entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+    # Quantiles are interpolated within log-spaced buckets: bounded above by
+    # the exact maximum padded by one bucket factor (2x), not by wishes.
+    assert entry["p99_ms"] <= max(entry["max_ms"], 0.1) * 2.0
+    assert entry["mean_ms"] <= entry["max_ms"]
+
+
+def test_trace_id_round_trips_through_server_spans(world, oracle):
+    """A client-supplied trace id is echoed in the envelope and stamps the
+    server's dispatch *and* session-build spans (contextvar propagation)."""
+    graph, _ = world
+    (faults, pairs, _), = workload(graph, num_sets=1, num_pairs=3, seed=41)
+    from repro.obs import Tracer
+
+    events = []
+    tracer = Tracer(service="repro.server", sink=events.append)
+
+    async def scenario():
+        server = await _start(oracle, tracer=tracer)
+        client = await AsyncQueryClient.connect(server.host, server.port,
+                                                trace_id="trace-under-test")
+        answers = await client.connected_many(pairs, faults)
+        assert client.last_trace == "trace-under-test"
+        await client.close()
+        await server.close()
+        return answers
+
+    asyncio.run(scenario())
+    spans = {event["name"]: event for event in events}
+    assert spans["server.connected_many"]["trace_id"] == "trace-under-test"
+    assert spans["session.build"]["trace_id"] == "trace-under-test"
+    # The build span is a child within the same trace, not a new root.
+    assert spans["session.build"]["parent_id"] == \
+        spans["server.connected_many"]["span_id"]
+
+
+def test_untraced_envelopes_carry_no_trace_key(oracle):
+    """No trace in, no trace out: untagged clients see byte-identical
+    envelopes to the pre-tracing protocol."""
+
+    async def scenario():
+        server = await _start(oracle)
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        writer.write(b'{"op": "ping", "id": 1}\n')
+        await writer.drain()
+        plain = await reader.readline()
+        writer.write(b'{"op": "ping", "id": 1, "trace": "abc"}\n')
+        await writer.drain()
+        traced = await reader.readline()
+        writer.close()
+        await writer.wait_closed()
+        await server.close()
+        return plain, traced
+
+    plain, traced = asyncio.run(scenario())
+    assert b"trace" not in plain
+    assert json.loads(traced)["trace"] == "abc"
+    # Everything else in the envelope is unchanged by the tag.
+    assert {k: v for k, v in json.loads(traced).items() if k != "trace"} == \
+        json.loads(plain)
+
+
+def test_invalid_trace_field_is_bad_request(oracle):
+    async def scenario():
+        server = await _start(oracle)
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        for bad in (b'{"op": "ping", "trace": 7}',
+                    b'{"op": "ping", "trace": ""}',
+                    b'{"op": "ping", "trace": "%s"}' % (b"x" * 129)):
+            writer.write(bad + b"\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["ok"] is False
+            assert response["error"]["code"] == protocol.E_BAD_REQUEST
+        writer.close()
+        await writer.wait_closed()
+        await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_answers_bit_identical_with_tracing_on_and_off(world, oracle):
+    """The acceptance bar: tracing must never perturb query answers."""
+    from repro.obs import Tracer
+
+    graph, _ = world
+    scenarios = workload(graph, num_sets=3, num_pairs=10, seed=51)
+
+    async def run_with(tracer):
+        server = await _start(oracle, tracer=tracer)
+        client = await AsyncQueryClient.connect(server.host, server.port,
+                                                trace_id="bit-identity")
+        answers = [await client.connected_many(pairs, faults)
+                   for faults, pairs, _ in scenarios]
+        await client.close()
+        await server.close()
+        return answers
+
+    traced = asyncio.run(run_with(Tracer(sink=lambda event: None)))
+    untraced = asyncio.run(run_with(Tracer(enabled=False)))
+    truth = [t for _, _, t in scenarios]
+    assert traced == untraced == truth
+
+
+async def _http_get(host, port, target):
+    """One raw HTTP/1.1 GET against the metrics sidecar."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(("GET %s HTTP/1.1\r\nHost: x\r\n\r\n" % target).encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line, _, header_block = head.partition(b"\r\n")
+    status = int(status_line.split()[1])
+    headers = {}
+    for line in header_block.split(b"\r\n"):
+        key, _, value = line.partition(b":")
+        headers[key.decode().lower()] = value.decode().strip()
+    return status, headers, body
+
+
+def test_metrics_sidecar_serves_prometheus_and_health(world, oracle):
+    """``--metrics-port``: /metrics exposes the registry's histogram
+    families plus the flattened stats tree; /healthz reports readiness."""
+    graph, _ = world
+    (faults, pairs, _), = workload(graph, num_sets=1, num_pairs=3, seed=61)
+
+    async def scenario():
+        server = await _start(oracle, metrics_port=0)
+        assert server.metrics_port is not None
+        client = await AsyncQueryClient.connect(server.host, server.port)
+        await client.connected_many(pairs, faults)
+        await client.ping()
+        status, headers, body = await _http_get(
+            server.metrics_host, server.metrics_port, "/metrics")
+        health = await _http_get(server.metrics_host, server.metrics_port,
+                                 "/healthz")
+        missing = await _http_get(server.metrics_host, server.metrics_port,
+                                  "/nope")
+        await client.close()
+        await server.close()
+        return status, headers, body.decode(), health, missing
+
+    status, headers, text, health, missing = asyncio.run(scenario())
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain; version=0.0.4")
+    lines = text.splitlines()
+    assert "# TYPE repro_server_request_seconds histogram" in lines
+    assert any(line.startswith('repro_server_request_seconds_bucket'
+                               '{op="connected_many",le="') for line in lines)
+    assert 'repro_server_request_seconds_count{op="connected_many"} 1' in lines
+    assert 'repro_server_requests_total{op="ping"} 1' in lines
+    # Numbers the registry does not own ride along as flattened gauges.
+    assert any(line.startswith("repro_server_session_hot_keys{key=")
+               for line in lines)
+    assert "# TYPE repro_oracle_max_faults gauge" in lines
+    # Families are disjoint: one # TYPE per family name.
+    families = [line.split()[2] for line in lines if line.startswith("# TYPE")]
+    assert len(families) == len(set(families))
+
+    health_status, _, health_body = health
+    assert health_status == 200
+    payload = json.loads(health_body)
+    assert payload["status"] == "ok"
+    assert payload["oracle"]["max_faults"] == MAX_FAULTS
+    assert missing[0] == 404
+
+
+def test_metrics_sidecar_rejects_non_get(oracle):
+    async def scenario():
+        server = await _start(oracle, metrics_port=0)
+        reader, writer = await asyncio.open_connection(
+            server.metrics_host, server.metrics_port)
+        writer.write(b"POST /metrics HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        await server.close()
+        return raw
+
+    raw = asyncio.run(scenario())
+    assert raw.startswith(b"HTTP/1.1 405 ")
+
+
+def test_healthz_degrades_to_503_after_close(oracle):
+    """A server that stopped listening reports unavailable, not a hang."""
+
+    async def scenario():
+        server = await _start(oracle, metrics_port=0)
+        ready, payload = server.health()
+        assert ready and payload["status"] == "ok"
+        await server.close()
+        ready, payload = server.health()
+        assert not ready and payload["status"] == "unavailable"
+
+    asyncio.run(scenario())
