@@ -7,8 +7,11 @@ against the medium workload snapshot:
 
 * in-process ``connected_many`` throughput (the no-network ceiling),
 * server throughput with a single blocking client,
-* aggregate server throughput with several concurrent clients, and
-* the session hit rate the concurrent clients achieve.
+* aggregate server throughput with several concurrent clients,
+* the session hit rate the concurrent clients achieve, and
+* a worker sweep: aggregate q/s and client-observed p50/p99 against
+  ``repro serve --workers 1/2/4`` fleets over a version-2 (mmap) snapshot
+  (``--skip-sweep`` omits it; it spawns real server processes).
 
 Hard assertions: every answer served over the wire is bit-identical to the
 in-process oracle, and the concurrent clients share sessions (positive hit
@@ -27,8 +30,13 @@ directly as a CI smoke test::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
+import signal
+import subprocess
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -63,6 +71,9 @@ NUM_FAULT_SETS = 5
 #: "concurrency does not collapse throughput", not linear scaling; the 0.9
 #: floor leaves headroom for shared-runner jitter.
 MIN_CONCURRENT_RATIO = 0.9
+
+#: Fleet sizes the worker sweep serves (``repro serve --workers N``).
+WORKER_COUNTS = (1, 2, 4)
 
 
 def build_world(n, seed, max_faults):
@@ -157,6 +168,147 @@ def run_server_benchmark(n=N, seed=SEED, max_faults=MAX_FAULTS,
     }
 
 
+def _quantile(values, fraction):
+    """Nearest-rank quantile of a non-empty list (client-observed)."""
+    ranked = sorted(values)
+    index = min(len(ranked) - 1, int(fraction * len(ranked)))
+    return ranked[index]
+
+
+def drive_client_latencies(host, port, requests, num_requests) -> list:
+    """Like :func:`drive_client` but returns per-request latencies (seconds)."""
+    latencies = []
+    with Oracle.connect(host, port) as client:
+        for index in range(num_requests):
+            faults, pairs, expected = requests[index % len(requests)]
+            start = time.perf_counter()
+            answers = client.connected_many(pairs, faults)
+            latencies.append(time.perf_counter() - start)
+            assert answers == expected, \
+                "fleet answer diverged from in-process oracle"
+    return latencies
+
+
+def _warm_fleet(host, port, requests, workers):
+    """Build every distinct fault-set session on every worker.
+
+    Each worker behind the shared SO_REUSEPORT port keeps its own session
+    cache, and the kernel balances *connections* — so one long-lived warm
+    connection only ever warms one worker.  Drive many short-lived
+    connections in parallel and repeat until a full pass observes no
+    cold-build latency (warm requests are milliseconds; session builds are
+    seconds), so the timed phase measures steady-state serving.
+    """
+    connections = max(8, 4 * workers)
+    for _ in range(6):
+        with ThreadPoolExecutor(max_workers=connections) as warm_pool:
+            passes = list(warm_pool.map(
+                lambda _: drive_client_latencies(host, port, requests,
+                                                 len(requests)),
+                range(connections)))
+        if max(value for chunk in passes for value in chunk) < 0.25:
+            return
+
+
+def _spawn_fleet(snapshot_path, workers):
+    """Start ``repro serve --workers N`` on an ephemeral port; returns
+    ``(process, announce_event)``."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--snapshot", str(snapshot_path), "--port", "0",
+         "--workers", str(workers)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    # Workers share the parent's stdout, so tracing spans (slow session
+    # builds during pre-warm) interleave with the announce line — scan for
+    # the "serving" event instead of trusting the first line.
+    for line in process.stdout:
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if event.get("event") == "serving":
+            return process, event
+    process.kill()
+    process.wait()
+    raise RuntimeError("fleet exited before announcing readiness")
+
+
+def run_worker_sweep(n=N, seed=SEED, max_faults=MAX_FAULTS,
+                     requests_per_client=REQUESTS_PER_CLIENT,
+                     num_clients=NUM_CLIENTS, worker_counts=WORKER_COUNTS):
+    """Aggregate q/s and client-observed p50/p99 per ``--workers`` count.
+
+    Each fleet size serves the same version-2 (mmap layout) snapshot from a
+    temp directory; every answer is hard-checked against the in-process
+    oracle, so the sweep doubles as a multi-process bit-identity test.
+    """
+    from repro.api import upgrade_snapshot
+
+    _, reference, requests = build_world(n, seed, max_faults)
+    reference.close()
+    graph = cached_graph(FAMILY, n, seed)
+    built = Oracle.build(graph, max_faults=max_faults,
+                         variant=SchemeVariant.DETERMINISTIC_NEARLINEAR)
+    sweep = {}
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        v1_path = os.path.join(tmp, "world.ftcs")
+        built.save(v1_path)
+        built.close()
+        snapshot_path = os.path.join(tmp, "world.v2.ftcs")
+        upgrade_snapshot(v1_path, snapshot_path)
+        from repro.pool import hot_keys_path
+
+        for workers in worker_counts:
+            # Each fleet size starts cold: drop the hot-key sidecar the
+            # previous fleet wrote on shutdown, so no entry gets a pre-warm
+            # head start (the warm-up drive below levels the caches).
+            sidecar = hot_keys_path(snapshot_path)
+            if os.path.exists(sidecar):
+                os.remove(sidecar)
+            process, event = _spawn_fleet(snapshot_path, workers)
+            # Load generation scales with the fleet: one client connection
+            # pins to one worker, so measuring a 4-worker fleet with 2
+            # clients would leave half the fleet idle.
+            clients = max(num_clients, 2 * workers)
+            try:
+                _warm_fleet(event["host"], event["port"], requests, workers)
+                start = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=clients) as pool:
+                    latency_lists = list(pool.map(
+                        lambda _: drive_client_latencies(
+                            event["host"], event["port"], requests,
+                            requests_per_client),
+                        range(clients)))
+                wall = time.perf_counter() - start
+            finally:
+                process.send_signal(signal.SIGTERM)
+                process.wait(timeout=60)
+            latencies = [value for chunk in latency_lists for value in chunk]
+            total_queries = len(latencies) * PAIRS_PER_REQUEST
+            sweep[str(workers)] = {
+                "workers": workers,
+                "clients": clients,
+                "aggregate_qps": total_queries / wall,
+                "p50_ms": _quantile(latencies, 0.50) * 1000.0,
+                "p99_ms": _quantile(latencies, 0.99) * 1000.0,
+            }
+    return sweep
+
+
+def _sweep_rows(sweep):
+    return [[entry["workers"], entry["clients"],
+             "%.0f" % entry["aggregate_qps"],
+             "%.2f" % entry["p50_ms"], "%.2f" % entry["p99_ms"]]
+            for entry in sweep.values()]
+
+
+_SWEEP_HEADERS = ["workers", "clients", "aggregate q/s", "p50 ms", "p99 ms"]
+
+
 def _table_rows(result):
     return [[
         "%.0f" % result["inprocess_qps"],
@@ -184,6 +336,19 @@ if pytest is not None:
         check_speedup("multi-client aggregate vs single client",
                       result["concurrent_ratio"], MIN_CONCURRENT_RATIO)
 
+    def test_worker_sweep_serves_bit_identical_answers():
+        import socket
+
+        if not hasattr(socket, "SO_REUSEPORT"):
+            pytest.skip("platform without SO_REUSEPORT")
+        sweep = run_worker_sweep(n=48, requests_per_client=6,
+                                 num_clients=2, worker_counts=(1, 2))
+        print_table("Worker sweep (small)", _SWEEP_HEADERS, _sweep_rows(sweep))
+        assert set(sweep) == {"1", "2"}
+        for entry in sweep.values():
+            assert entry["aggregate_qps"] > 0
+            assert entry["p50_ms"] <= entry["p99_ms"]
+
 
 # --------------------------------------------------------------------- script
 
@@ -202,6 +367,12 @@ def main(argv=None) -> int:
                              "at least this multiple of a single client's; "
                              "defaults to %.1f when REPRO_BENCH_STRICT=1 and "
                              "to report-only otherwise" % MIN_CONCURRENT_RATIO)
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the multi-process --workers sweep (it "
+                             "spawns real server fleets)")
+    parser.add_argument("--workers", type=int, action="append", default=None,
+                        help="fleet size to sweep (repeatable; default %s)"
+                             % (WORKER_COUNTS,))
     args = parser.parse_args(argv)
     minimum = args.min_ratio
     if minimum is None:
@@ -216,7 +387,7 @@ def main(argv=None) -> int:
     print("all wire answers bit-identical to the in-process oracle; "
           "%d session builds for %d distinct fault sets"
           % (result["session_builds"], NUM_FAULT_SETS))
-    emit_bench_json("server", {
+    payload = {
         "n": args.n,
         "max_faults": args.max_faults,
         "pairs_per_request": PAIRS_PER_REQUEST,
@@ -229,7 +400,28 @@ def main(argv=None) -> int:
         "session_builds": result["session_builds"],
         "p50_ms": result["p50_ms"],
         "p99_ms": result["p99_ms"],
-    })
+    }
+    import socket
+
+    if args.skip_sweep or not hasattr(socket, "SO_REUSEPORT"):
+        if not args.skip_sweep:
+            print("worker sweep skipped: platform without SO_REUSEPORT")
+    else:
+        sweep = run_worker_sweep(n=args.n, seed=args.seed,
+                                 max_faults=args.max_faults,
+                                 requests_per_client=args.requests,
+                                 num_clients=args.clients,
+                                 worker_counts=tuple(args.workers)
+                                 if args.workers else WORKER_COUNTS)
+        print_table("Worker sweep (clients scale with the fleet)",
+                    _SWEEP_HEADERS, _sweep_rows(sweep))
+        # Fleet scaling is bounded by the machine: on a 1-2 core box extra
+        # workers only add contention, so record the core count next to the
+        # numbers it explains.
+        payload["cpu_count"] = os.cpu_count()
+        print("worker sweep ran on %s cpu core(s)" % os.cpu_count())
+        payload["worker_sweep"] = sweep
+    emit_bench_json("server", payload)
     if minimum and result["concurrent_ratio"] < minimum:
         print("FAIL: %d-client aggregate is %.2fx a single client (need %.1fx)"
               % (result["num_clients"], result["concurrent_ratio"], minimum),

@@ -15,8 +15,10 @@ runs still line up).  A metric *regresses* when
   and recorded values ending in ``_seconds``, ``_ms``, or ``_ratio`` — which
   covers the server's ``p50_ms``/``p95_ms``/``p99_ms`` latency quantiles)
   and the new value exceeds the old by more than the threshold factor, or
-* it is higher-is-better (``ops`` and recorded values containing ``speedup``)
-  and the new value falls below the old by more than the threshold factor.
+* it is higher-is-better (``ops``, recorded values containing ``speedup``,
+  and throughput values ending in ``_qps`` — which covers the server
+  benchmark's worker-sweep ``aggregate_qps``) and the new value falls below
+  the old by more than the threshold factor.
 
 Exit status 1 when any metric regressed, 0 otherwise (``--report-only``
 disables the failure exit for advisory use).
@@ -48,7 +50,8 @@ def _direction(leaf: str) -> str | None:
     if leaf in LOWER_IS_BETTER_STATS or leaf.endswith(("_seconds", "_ms",
                                                        "_ratio")):
         return "lower"
-    if leaf in HIGHER_IS_BETTER_STATS or "speedup" in leaf:
+    if leaf in HIGHER_IS_BETTER_STATS or "speedup" in leaf or \
+            leaf.endswith("_qps"):
         return "higher"
     return None
 

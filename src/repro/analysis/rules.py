@@ -409,7 +409,10 @@ LOCK_CONTRACTS: tuple[LockContract, ...] = (
                      "_session_failures", "_queries_answered",
                  })),
     LockContract("src/repro/server/session_manager.py", "SessionManager",
-                 "_hot_lock", frozenset({"_hot_keys", "_hot_key_names"})),
+                 "_hot_lock", frozenset({"_hot_keys", "_hot_key_names",
+                                         "_hot_key_faults"})),
+    LockContract("src/repro/pool/oracle.py", "PooledOracle", "_lock",
+                 frozenset({"_queries_answered"})),
     LockContract("src/repro/core/ftc.py", "LabelBackedQueries",
                  "_session_lock",
                  frozenset({"_session_cache", "_session_evictions"}),

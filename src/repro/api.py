@@ -58,7 +58,7 @@ from repro.core.config import (FTCConfig, SchemeVariant, resolve_build_executor,
                                resolve_ftc_config)
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
-from repro.errors import OracleError, TransportError
+from repro.errors import OracleClosedError, OracleError, TransportError
 # The Prometheus text-exposition helpers live in repro.obs.prometheus so the
 # metrics registry, the /metrics sidecar, and this facade render one format
 # (repro.obs imports nothing from this module — the dependency is one-way).
@@ -72,7 +72,7 @@ if TYPE_CHECKING:
 Vertex = Hashable
 
 #: The transport tags, in the order the conformance suite exercises them.
-TRANSPORTS = ("build", "snapshot", "tcp")
+TRANSPORTS = ("build", "snapshot", "pool", "tcp")
 
 
 # ------------------------------------------------------------------- stats
@@ -472,6 +472,18 @@ class Oracle:
         return load_snapshot(source)
 
     @staticmethod
+    def pool(path: Any, workers: int | None = None) -> Any:
+        """Serve a snapshot *file* through a process pool (the "pool" transport).
+
+        Each pool worker loads ``path`` independently, so a version-2
+        (mmap layout) artifact is one page-cached copy shared by all of
+        them.  ``workers`` defaults to the machine's CPU count.
+        """
+        from repro.pool import PooledOracle
+
+        return PooledOracle(path, workers=workers)
+
+    @staticmethod
     def connect(host: str, port: int, timeout: float = 30.0) -> RemoteOracle:
         """Dial a running :mod:`repro.server` and return the "tcp" transport."""
         return RemoteOracle.connect(host, port, timeout=timeout)
@@ -480,22 +492,24 @@ class Oracle:
 def parse_oracle_uri(uri: str) -> tuple:
     """Split an oracle URI into ``(kind, rest)``.
 
-    Accepted forms: ``snapshot:PATH``, ``tcp://HOST:PORT``, ``build:PATH``
-    (an edge-list file; the empty path means "caller supplies the graph"),
-    and — as a convenience — a bare path ending in ``.ftcs``.  ``build:``
-    URIs additionally accept a query string of construction options
-    (``build:edges.txt?jobs=4``), split off by :func:`parse_build_query`.
+    Accepted forms: ``snapshot:PATH``, ``pool:PATH``, ``tcp://HOST:PORT``,
+    ``build:PATH`` (an edge-list file; the empty path means "caller supplies
+    the graph"), and — as a convenience — a bare path ending in ``.ftcs``.
+    ``build:`` URIs additionally accept a query string of construction
+    options (``build:edges.txt?jobs=4``), split off by
+    :func:`parse_build_query`; ``pool:`` URIs accept ``?workers=N``, split
+    off by :func:`parse_pool_query`.
     """
     if not isinstance(uri, str):
         raise TypeError("oracle URI must be a string, got %r" % type(uri).__name__)
     for scheme, kind in (("tcp://", "tcp"), ("snapshot:", "snapshot"),
-                         ("build:", "build")):
+                         ("pool:", "pool"), ("build:", "build")):
         if uri.startswith(scheme):
             return kind, uri[len(scheme):]
     if uri.endswith(".ftcs"):
         return "snapshot", uri
     raise ValueError("unsupported oracle URI %r (expected snapshot:PATH, "
-                     "tcp://HOST:PORT, or build:EDGELIST)" % (uri,))
+                     "pool:PATH, tcp://HOST:PORT, or build:EDGELIST)" % (uri,))
 
 
 def parse_build_query(rest: str) -> tuple:
@@ -527,6 +541,33 @@ def parse_build_query(rest: str) -> tuple:
     return path, options
 
 
+def parse_pool_query(rest: str) -> tuple:
+    """Split a ``pool:`` URI remainder into ``(path, options)``.
+
+    The query string accepts ``workers=N`` (a positive integer — the process
+    pool size; default lets the pool match the CPU count); anything else is
+    a :class:`ValueError`, so typos fail loudly instead of silently serving
+    from one process.
+    """
+    path, separator, query = rest.partition("?")
+    options: dict = {}
+    if not separator:
+        return path, options
+    for item in query.split("&"):
+        if not item:
+            continue
+        key, equals, value = item.partition("=")
+        if key == "workers" and equals:
+            if not value.isdigit() or int(value) < 1:
+                raise ValueError("pool: oracle URI option workers=%r must be "
+                                 "a positive integer" % value)
+            options["workers"] = int(value)
+        else:
+            raise ValueError("unsupported pool: oracle URI option %r "
+                             "(expected workers=N)" % item)
+    return path, options
+
+
 def open_oracle(uri: str, *, graph: Any = None,
                 config: FTCConfig | None = None,
                 max_faults: int | None = None,
@@ -537,6 +578,9 @@ def open_oracle(uri: str, *, graph: Any = None,
 
     * ``snapshot:network.ftcs`` (or a bare ``*.ftcs`` path) →
       :meth:`Oracle.load`;
+    * ``pool:network.ftcs?workers=4`` → :meth:`Oracle.pool` (a process pool
+      answering queries over the same snapshot file; ``workers`` defaults to
+      the CPU count);
     * ``tcp://127.0.0.1:7421`` → :meth:`Oracle.connect`;
     * ``build:edges.txt`` → read the edge list and :meth:`Oracle.build` with
       the given construction parameters (``build:`` with an empty path uses
@@ -546,9 +590,10 @@ def open_oracle(uri: str, *, graph: Any = None,
       option replaces the same-named keyword, and the combined result goes
       through :func:`~repro.build.executors.resolve_executor`, which raises
       ``ValueError`` on genuine conflicts (e.g. ``?executor=process:2`` with
-      ``jobs=4``).  On ``snapshot:`` / ``tcp://`` URIs the ``executor=`` /
-      ``jobs=`` keywords raise ``ValueError`` — construction options must
-      never silently do nothing.
+      ``jobs=4``).  On ``snapshot:`` / ``pool:`` / ``tcp://`` URIs the
+      ``executor=`` / ``jobs=`` keywords raise ``ValueError`` — construction
+      options must never silently do nothing (a pool's parallelism is its
+      ``workers=`` option, not a build executor).
     """
     kind, rest = parse_oracle_uri(uri)
     if kind != "build" and (executor is not None or jobs is not None):
@@ -569,6 +614,11 @@ def open_oracle(uri: str, *, graph: Any = None,
         if not rest:
             raise ValueError("snapshot: oracle URI needs a path")
         return Oracle.load(rest)
+    if kind == "pool":
+        pool_path, pool_options = parse_pool_query(rest)
+        if not pool_path:
+            raise ValueError("pool: oracle URI needs a snapshot path")
+        return Oracle.pool(pool_path, workers=pool_options.get("workers"))
     path, options = parse_build_query(rest)
     executor = options.get("executor", executor)
     jobs = options.get("jobs", jobs)
@@ -583,11 +633,27 @@ def open_oracle(uri: str, *, graph: Any = None,
                         executor=executor, jobs=jobs)
 
 
+def upgrade_snapshot(source: Any, destination: Any) -> dict:
+    """Rewrite a version-1 ``FTCS`` artifact as version 2 (the mmap layout).
+
+    Facade over :func:`repro.core.snapshot.upgrade_snapshot_file` (the CLI's
+    ``snapshot-upgrade`` goes through here — seam discipline keeps it off
+    ``repro.core``).  Returns the converter's summary dict: source and
+    destination paths, format versions, output size, and label counts.  The
+    answers served from either artifact are bit-identical; version 2 adds the
+    page-aligned label region that lets :meth:`Oracle.load` mmap the file.
+    """
+    from repro.core.snapshot import upgrade_snapshot_file
+
+    return upgrade_snapshot_file(source, destination)
+
+
 __all__ = [
     "Oracle",
     "OracleProtocol",
     "OracleStats",
     "OracleError",
+    "OracleClosedError",
     "TransportError",
     "RemoteOracle",
     "RemoteBatchSession",
@@ -603,4 +669,6 @@ __all__ = [
     "open_oracle",
     "parse_build_query",
     "parse_oracle_uri",
+    "parse_pool_query",
+    "upgrade_snapshot",
 ]

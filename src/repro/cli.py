@@ -3,14 +3,15 @@
 Every subcommand that answers queries programs against the oracle protocol of
 :mod:`repro.api` — it never constructs a transport-specific oracle class,
 rehydrates a snapshot, or opens a socket directly.  Transport selection is one flag: ``--oracle`` takes
-a URI (``build:EDGELIST``, ``snapshot:PATH.ftcs``, ``tcp://HOST:PORT``) and
+a URI (``build:EDGELIST``, ``snapshot:PATH.ftcs``, ``pool:PATH.ftcs?workers=N``,
+``tcp://HOST:PORT``) and
 the legacy ``--edges`` / ``--snapshot`` flags are sugar for the first two.
 Construction likewise goes through the one build facade of
 :mod:`repro.build`: ``--jobs N`` (or a ``build:...?jobs=N`` URI) shards
 label construction across N processes, byte-identical to a serial build;
 on ``serve`` the flag instead bounds the session-building worker threads.
 
-Nine subcommands cover the typical workflow:
+Ten subcommands cover the typical workflow:
 
 ``stats``
     Build labels for a graph (edge-list file) and print label-size
@@ -38,6 +39,9 @@ Nine subcommands cover the typical workflow:
 ``load-labeling``
     Load a snapshot, rehydrate the decode-side oracle (no graph, no
     reconstruction), and print a summary.
+``snapshot-upgrade``
+    Rewrite a version-1 snapshot as version 2 — the page-aligned layout
+    ``Oracle.load`` serves via ``mmap`` — with bit-identical answers.
 ``serve``
     Load a snapshot and serve ``connected`` / ``connected_many`` / ``stats``
     over the newline-JSON TCP protocol of :mod:`repro.server` to any number
@@ -47,6 +51,8 @@ Nine subcommands cover the typical workflow:
     line with the bound address (``--port 0`` picks an ephemeral port).
     ``--metrics-port`` adds an HTTP sidecar serving ``GET /metrics``
     (Prometheus text, with per-op latency histograms) and ``GET /healthz``.
+    ``--workers N`` serves from N processes sharing the port via
+    ``SO_REUSEPORT`` (see :mod:`repro.pool`), each with its own sidecar.
 ``client-query``
     Connect to a running server and issue one request: a ``connected_many``
     batch built from ``--fault`` / ``--pair`` / ``--pairs-file`` (the
@@ -62,17 +68,19 @@ Edge-list format: one edge per line, two whitespace-separated vertex names
 (everything is treated as a string identifier); lines starting with ``#`` are
 ignored.
 
-Snapshot format (``FTCS``, version 1)
--------------------------------------
+Snapshot format (``FTCS``, versions 1 and 2)
+--------------------------------------------
 
 A snapshot is the self-contained shippable artifact the universal decoder
 promises: 4-byte magic ``FTCS`` + a version byte, the ``FTCConfig`` fields,
 the edge-id codec and GF(2^w) parameters, the outdetect descriptor (per-level
 Reed--Solomon thresholds, or the sketch's levels/repetitions/seed), and every
 vertex and edge label as the self-describing ``FTCL`` per-label blobs.  All
-integers are LEB128 varints.  ``repro.core.snapshot`` documents the exact
-byte layout; ``Oracle.load`` answers queries identically to the live scheme
-without ever seeing the graph.
+integers are LEB128 varints.  Version 2 (``snapshot-upgrade``) moves the
+label blobs into a page-aligned region behind a per-label offset index, so
+``Oracle.load`` serves the file through ``mmap`` without copying it.
+``repro.core.snapshot`` documents the exact byte layouts; both versions
+answer queries identically to the live scheme without ever seeing the graph.
 
 Examples
 --------
@@ -403,18 +411,21 @@ def _attach_session_structure(report: dict, answerer, faults: list) -> None:
 
 
 def _cmd_batch_query_remote(args: argparse.Namespace) -> int:
-    """The tcp:// transport of ``batch-query``: membership checks happen
-    server-side and come back as structured errors."""
-    _note_jobs_not_applicable(args, "the server already holds its labels")
+    """The ``tcp://`` and ``pool:`` transports of ``batch-query``: queries
+    fan out to the server / worker pool, and membership problems come back
+    as structured errors rather than local pre-checks."""
+    kind, _ = parse_oracle_uri(args.oracle)
+    _note_jobs_not_applicable(args, "the server already holds its labels"
+                              if kind == "tcp"
+                              else "the pool serves already-constructed labels")
     if args.faults_file:
-        print("error: --faults-file needs a local transport (the server builds "
-              "and caches its own sessions); send one fault set per request",
-              file=sys.stderr)
+        print("error: --faults-file needs a local transport (the %s builds "
+              "and caches its own sessions); send one fault set per request"
+              % ("server" if kind == "tcp" else "pool"), file=sys.stderr)
         return 2
     if args.random_pairs:
-        print("error: --random-pairs needs a local transport (the server does "
-              "not enumerate vertices); sample pairs locally instead",
-              file=sys.stderr)
+        print("error: --random-pairs needs a local transport; sample pairs "
+              "locally instead", file=sys.stderr)
         return 2
     graph = load_edge_list(args.edges) if args.edges else None
     if args.check and graph is None:
@@ -430,16 +441,20 @@ def _cmd_batch_query_remote(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     try:
-        oracle = open_oracle(args.oracle, timeout=args.timeout)
-    except (TransportError, ValueError) as error:
+        oracle = open_oracle(args.oracle, timeout=args.timeout) \
+            if kind == "tcp" else open_oracle(args.oracle)
+    except (TransportError, FileNotFoundError, LabelDecodeError,
+            ValueError) as error:
         # ValueError: a scheme-valid but malformed URI (e.g. tcp:// without
-        # a port) must be a clean CLI error, not a traceback.
+        # a port) must be a clean CLI error, not a traceback; the file
+        # errors cover a pool: path that is missing or corrupt.
         print("error: %s" % error, file=sys.stderr)
         return 2
     try:
         with oracle:
             answers = oracle.connected_many(pairs, faults)
-            report = _batch_report("server", faults, pairs, answers)
+            report = _batch_report("server" if kind == "tcp" else "pool",
+                                   faults, pairs, answers)
             _attach_session_structure(report, oracle, faults)
     except RemoteOracleError as error:
         if args.json:
@@ -448,6 +463,11 @@ def _cmd_batch_query_remote(args: argparse.Namespace) -> int:
             print("error: server refused the request: %s" % error, file=sys.stderr)
         return 2
     except TransportError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as error:
+        # The pool's workers validate membership and fault budgets; their
+        # exceptions surface here instead of as wire errors.
         print("error: %s" % error, file=sys.stderr)
         return 2
     exit_code = 0
@@ -507,7 +527,7 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
     kind = _fold_oracle_uri(args)
     if kind == "error":
         return 2
-    if kind == "tcp":
+    if kind in ("tcp", "pool"):
         return _cmd_batch_query_remote(args)
     graph = load_edge_list(args.edges) if args.edges else None
     if args.faults_file and args.fault:
@@ -724,26 +744,69 @@ def cmd_load_labeling(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.server.server import run_server
+def cmd_snapshot_upgrade(args: argparse.Namespace) -> int:
+    from repro.api import upgrade_snapshot
 
-    # The whole point of the server: load an artifact, never construct.
-    oracle = _open_snapshot_or_report(args.snapshot)
-    if oracle is None:
+    try:
+        report = upgrade_snapshot(args.snapshot, args.output)
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
         return 2
+    except LabelDecodeError as error:
+        print("error: not a loadable FTCS snapshot: %s" % error, file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pool.prewarm import hot_keys_path
+
     if args.max_sessions < 1:
         print("error: --max-sessions must be at least 1", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.metrics_port is not None and args.metrics_port < 0:
+        print("error: --metrics-port must be non-negative", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
         return 2
 
     def announce(event: dict) -> None:
         event["snapshot"] = args.snapshot
         print(json.dumps(event), flush=True)
 
-    if args.jobs is not None and args.jobs < 1:
-        print("error: --jobs must be at least 1", file=sys.stderr)
-        return 2
-    if args.metrics_port is not None and args.metrics_port < 0:
-        print("error: --metrics-port must be non-negative", file=sys.stderr)
+    if args.workers is not None:
+        # Fleet mode: the parent only reserves the port; each worker process
+        # loads the snapshot itself (one shared page-cached copy when the
+        # artifact is version 2).
+        from repro.pool import run_pooled_server
+
+        try:
+            return run_pooled_server(args.snapshot, host=args.host,
+                                     port=args.port, workers=args.workers,
+                                     max_sessions=args.max_sessions,
+                                     max_request_bytes=args.max_request_bytes,
+                                     jobs=args.jobs,
+                                     metrics_port=args.metrics_port,
+                                     announce=announce)
+        except FileNotFoundError:
+            print("error: snapshot file not found: %s" % args.snapshot,
+                  file=sys.stderr)
+            return 2
+        except (OSError, TransportError) as error:
+            print("error: cannot serve on %s:%d: %s" % (args.host, args.port,
+                                                        error), file=sys.stderr)
+            return 2
+
+    from repro.server.server import run_server
+
+    # The whole point of the server: load an artifact, never construct.
+    oracle = _open_snapshot_or_report(args.snapshot)
+    if oracle is None:
         return 2
     try:
         return run_server(oracle, host=args.host, port=args.port,
@@ -751,7 +814,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                           max_request_bytes=args.max_request_bytes,
                           jobs=args.jobs,
                           metrics_port=args.metrics_port,
-                          announce=announce)
+                          announce=announce,
+                          hot_keys_file=hot_keys_path(args.snapshot))
     except OSError as error:  # e.g. port already in use
         print("error: cannot serve on %s:%d: %s" % (args.host, args.port, error),
               file=sys.stderr)
@@ -930,6 +994,15 @@ def build_parser() -> argparse.ArgumentParser:
                              help="path of the snapshot file to load")
     load_parser.set_defaults(handler=cmd_load_labeling)
 
+    upgrade_parser = subparsers.add_parser(
+        "snapshot-upgrade",
+        help="rewrite a v1 FTCS snapshot as v2 (the mmap page-aligned layout)")
+    upgrade_parser.add_argument("--snapshot", required=True,
+                                help="source snapshot (version 1 or 2)")
+    upgrade_parser.add_argument("--output", required=True,
+                                help="path of the version-2 snapshot to write")
+    upgrade_parser.set_defaults(handler=cmd_snapshot_upgrade)
+
     serve_parser = subparsers.add_parser(
         "serve", help="serve a snapshot's oracle over the newline-JSON TCP protocol")
     serve_parser.add_argument("--snapshot", required=True,
@@ -953,7 +1026,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also serve GET /metrics (Prometheus text) "
                                    "and GET /healthz on this HTTP port "
                                    "(0 picks an ephemeral port, reported in "
-                                   "the startup line; default: disabled)")
+                                   "the startup line; default: disabled; with "
+                                   "--workers, worker i uses this port + i, "
+                                   "or 0 gives every worker an ephemeral port)")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="serve from this many processes sharing the "
+                                   "port via SO_REUSEPORT (default: one "
+                                   "in-process server)")
     serve_parser.set_defaults(handler=cmd_serve)
 
     client_parser = subparsers.add_parser(

@@ -50,15 +50,50 @@ Every malformed input fails closed with
 :class:`~repro.core.serialize.LabelDecodeError` — truncation, oversized
 declared lengths, unknown tags/kinds, and trailing bytes are all rejected
 without unbounded allocation.
+
+Snapshot format (version 2: the mmap layout)
+--------------------------------------------
+
+Version 2 stores the same information rearranged for ``mmap`` serving: all
+label blobs are concatenated into one page-aligned *label region* at the end
+of the file, and the index up front records each label's ``(offset, length)``
+within that region instead of inlining the bytes::
+
+    magic  b"FTCS"                         4 bytes
+    format version (= 2)                   1 byte
+    u64 LE region_offset                   absolute file offset, page aligned
+    u64 LE region_length                   bytes in the label region
+    -- header -------------------------------------------------------------
+    FTCConfig / codec / outdetect fields, exactly as in version 1
+    -- index --------------------------------------------------------------
+    varint  vertex count, then per vertex:
+            vertex key, varint region offset, varint blob length
+    varint  edge count, then per edge:
+            key u, key v, varint region offset, varint blob length
+    -- padding ------------------------------------------------------------
+    zero bytes up to region_offset (a multiple of 4096)
+    -- label region -------------------------------------------------------
+    region_length bytes of concatenated label blobs
+
+When a v2 file is loaded *by path*, :func:`load_snapshot` maps it read-only
+and hands out zero-copy ``memoryview`` slices as the lazy label blobs: N
+worker processes mapping the same artifact share one page-cached copy, and
+per-worker RSS stays proportional to the labels actually decoded.  Version 1
+artifacts keep loading exactly as before (fully read into bytes);
+:func:`upgrade_snapshot_file` (``repro snapshot-upgrade``) converts between
+the layouts without decoding a single label, so answers are bit-identical
+across versions by construction.
 """
 
 from __future__ import annotations
 
+import mmap
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.config import FTCConfig, SchemeVariant
+from repro.errors import OracleClosedError
 from repro.core.ftc import FTCLabeling, LabelBackedQueries
 from repro.core.labels import EdgeLabel, VertexLabel
 from repro.core.serialize import (LabelDecodeError, read_varint, write_varint)
@@ -77,8 +112,16 @@ Vertex = Hashable
 #: File magic of a serialized whole-labeling snapshot.
 SNAPSHOT_MAGIC = b"FTCS"
 
-#: Current snapshot format version (bump when the layout changes).
+#: The original inline-blob snapshot format version.
 SNAPSHOT_VERSION = 1
+
+#: The mmap-oriented layout: page-aligned label region + offset index.
+SNAPSHOT_VERSION_V2 = 2
+
+#: Alignment of the v2 label region.  4096 covers every page size the
+#: serving tier targets; a larger system page still maps the region with at
+#: most one partially-shared leading page.
+SNAPSHOT_PAGE_SIZE = 4096
 
 #: Scheme-kind byte: layered Reed--Solomon threshold outdetect.
 SCHEME_LAYERED_RS = 0x01
@@ -129,6 +172,30 @@ def _read_exact(data: bytes, offset: int, length: int, what: str) -> tuple[bytes
         raise LabelDecodeError("%s of declared length %d runs past the end of "
                                "the snapshot" % (what, length))
     return data[offset:offset + length], offset + length
+
+
+def _label_blob(label) -> bytes:
+    """The serialized bytes of a label-map value.
+
+    Values are decoded label objects, raw ``bytes`` blobs (lazy v1 load), or
+    ``memoryview`` slices of an mmap'd v2 region — all re-serialize to the
+    identical blob, so round-tripping a lazily-loaded snapshot is byte-exact.
+    """
+    if isinstance(label, bytes):
+        return label
+    if isinstance(label, memoryview):
+        return bytes(label)
+    return label.to_bytes()
+
+
+def _region_slice(region, relative: int, length: int, region_length: int,
+                  what: str):
+    """One label blob out of the v2 region, bounds-checked fail-closed."""
+    if relative + length > region_length:
+        raise LabelDecodeError(
+            "%s blob at %d + %d bytes runs past the %d-byte label region"
+            % (what, relative, length, region_length))
+    return region[relative:relative + length]
 
 
 def read_string(data: bytes, offset: int) -> tuple[str, int]:
@@ -272,6 +339,10 @@ class FTCSnapshot:
     outdetect: OutdetectDescriptor
     vertex_labels: dict = dataclass_field(default_factory=dict)
     edge_labels: dict = dataclass_field(default_factory=dict)
+    #: Which container layout this snapshot was parsed from (1 or 2).  Both
+    #: layouts carry identical information, so the version is provenance, not
+    #: content — it is excluded from equality.
+    format_version: int = dataclass_field(default=SNAPSHOT_VERSION, compare=False)
 
     # ------------------------------------------------------------- creation
 
@@ -303,9 +374,8 @@ class FTCSnapshot:
 
     # ------------------------------------------------------------- encoding
 
-    def to_bytes(self) -> bytes:
-        out = bytearray(SNAPSHOT_MAGIC)
-        out.append(SNAPSHOT_VERSION)
+    def _write_header_fields(self, out: bytearray) -> None:
+        """Append the config / codec / outdetect fields (identical in v1/v2)."""
         config = self.config
         write_varint(config.max_faults, out)
         write_string(config.variant.value, out)
@@ -334,19 +404,65 @@ class FTCSnapshot:
         else:
             raise ValueError("unknown outdetect scheme kind %r" % descriptor.kind)
 
+    def to_bytes(self) -> bytes:
+        """Serialize to the version-1 (inline-blob) layout."""
+        out = bytearray(SNAPSHOT_MAGIC)
+        out.append(SNAPSHOT_VERSION)
+        self._write_header_fields(out)
+
         write_varint(len(self.vertex_labels), out)
         for vertex, label in self.vertex_labels.items():
             write_vertex_key(vertex, out)
-            blob = label if isinstance(label, bytes) else label.to_bytes()
+            blob = _label_blob(label)
             write_varint(len(blob), out)
             out += blob
         write_varint(len(self.edge_labels), out)
         for (u, v), label in self.edge_labels.items():
             write_vertex_key(u, out)
             write_vertex_key(v, out)
-            blob = label if isinstance(label, bytes) else label.to_bytes()
+            blob = _label_blob(label)
             write_varint(len(blob), out)
             out += blob
+        return bytes(out)
+
+    def to_bytes_v2(self) -> bytes:
+        """Serialize to the version-2 (mmap) layout.
+
+        Deterministic like :meth:`to_bytes`: blobs land in the label region in
+        index order, the index records region-relative offsets (which depend
+        only on blob sizes, never on where the region starts), and the region
+        itself starts at the first page boundary past the index.
+        """
+        region = bytearray()
+        body = bytearray()
+        self._write_header_fields(body)
+
+        write_varint(len(self.vertex_labels), body)
+        for vertex, label in self.vertex_labels.items():
+            blob = _label_blob(label)
+            write_vertex_key(vertex, body)
+            write_varint(len(region), body)
+            write_varint(len(blob), body)
+            region += blob
+        write_varint(len(self.edge_labels), body)
+        for (u, v), label in self.edge_labels.items():
+            blob = _label_blob(label)
+            write_vertex_key(u, body)
+            write_vertex_key(v, body)
+            write_varint(len(region), body)
+            write_varint(len(blob), body)
+            region += blob
+
+        prefix_length = len(SNAPSHOT_MAGIC) + 1 + 16
+        index_end = prefix_length + len(body)
+        region_offset = -(-index_end // SNAPSHOT_PAGE_SIZE) * SNAPSHOT_PAGE_SIZE
+        out = bytearray(SNAPSHOT_MAGIC)
+        out.append(SNAPSHOT_VERSION_V2)
+        out += region_offset.to_bytes(8, "little")
+        out += len(region).to_bytes(8, "little")
+        out += body
+        out += bytes(region_offset - index_end)
+        out += region
         return bytes(out)
 
     # ------------------------------------------------------------- decoding
@@ -366,18 +482,67 @@ class FTCSnapshot:
         return cls._from_bytes(data, decode_labels)
 
     @classmethod
-    def _from_bytes(cls, data: bytes, decode_labels: bool) -> "FTCSnapshot":
+    def _from_bytes(cls, data, decode_labels: bool) -> "FTCSnapshot":
         if len(data) < len(SNAPSHOT_MAGIC) + 1:
             raise LabelDecodeError("byte string too short to hold a snapshot header")
-        if data[:len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        if bytes(data[:len(SNAPSHOT_MAGIC)]) != SNAPSHOT_MAGIC:
             raise LabelDecodeError("bad snapshot magic %r (expected %r)"
                                    % (bytes(data[:len(SNAPSHOT_MAGIC)]), SNAPSHOT_MAGIC))
         version = data[len(SNAPSHOT_MAGIC)]
+        if version == SNAPSHOT_VERSION_V2:
+            return cls._parse_v2(data, decode_labels)
         if version != SNAPSHOT_VERSION:
-            raise LabelDecodeError("unsupported snapshot format version %d (this "
-                                   "build reads version %d)" % (version, SNAPSHOT_VERSION))
+            raise LabelDecodeError(
+                "unsupported snapshot format version %d (this build reads "
+                "versions %d and %d)"
+                % (version, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V2))
+        if not isinstance(data, bytes):
+            data = bytes(data)
         offset = len(SNAPSHOT_MAGIC) + 1
 
+        config, codec_modulus, field_width, field_modulus, descriptor, offset = \
+            cls._read_header_fields(data, offset)
+
+        vertex_count, offset = read_varint(data, offset)
+        remaining = len(data) - offset
+        if 3 * vertex_count > remaining:
+            raise LabelDecodeError("snapshot declares %d vertex labels but only %d "
+                                   "bytes remain" % (vertex_count, remaining))
+        vertex_labels: dict = {}
+        for _ in range(vertex_count):
+            vertex, offset = read_vertex_key(data, offset)
+            length, offset = read_varint(data, offset)
+            blob, offset = _read_exact(data, offset, length, "vertex-label blob")
+            vertex_labels[vertex] = VertexLabel.from_bytes(blob) if decode_labels else blob
+
+        edge_count, offset = read_varint(data, offset)
+        remaining = len(data) - offset
+        if 5 * edge_count > remaining:
+            raise LabelDecodeError("snapshot declares %d edge labels but only %d "
+                                   "bytes remain" % (edge_count, remaining))
+        edge_labels: dict = {}
+        for _ in range(edge_count):
+            u, offset = read_vertex_key(data, offset)
+            v, offset = read_vertex_key(data, offset)
+            length, offset = read_varint(data, offset)
+            blob, offset = _read_exact(data, offset, length, "edge-label blob")
+            try:
+                edge = canonical_edge(u, v)
+            except ValueError as error:
+                raise LabelDecodeError("invalid snapshot edge: %s" % error) from error
+            edge_labels[edge] = EdgeLabel.from_bytes(blob) if decode_labels else blob
+
+        if offset != len(data):
+            raise LabelDecodeError("%d trailing bytes after the snapshot payload"
+                                   % (len(data) - offset))
+        return cls(config=config, codec_modulus=codec_modulus,
+                   field_width=field_width, field_modulus=field_modulus,
+                   outdetect=descriptor, vertex_labels=vertex_labels,
+                   edge_labels=edge_labels)
+
+    @classmethod
+    def _read_header_fields(cls, data: bytes, offset: int):
+        """Parse the config / codec / outdetect fields (identical in v1/v2)."""
         max_faults, offset = read_varint(data, offset)
         variant_value, offset = read_string(data, offset)
         rule_value, offset = read_string(data, offset)
@@ -433,49 +598,100 @@ class FTCSnapshot:
                                              id_bits=id_bits)
         else:
             raise LabelDecodeError("unknown outdetect scheme kind byte 0x%02x" % kind_byte)
+        return config, codec_modulus, field_width, field_modulus, descriptor, offset
 
-        vertex_count, offset = read_varint(data, offset)
-        remaining = len(data) - offset
+    @classmethod
+    def _parse_v2(cls, data, decode_labels: bool) -> "FTCSnapshot":
+        """Parse the mmap layout.
+
+        ``data`` may be ``bytes`` or a ``memoryview`` over an mmap.  The
+        index (everything before the label region) is always materialized as
+        small bytes for parsing; label blobs are *slices of the source
+        buffer* — zero-copy views when the source is a mapped file.
+        """
+        total = len(data)
+        prefix = len(SNAPSHOT_MAGIC) + 1
+        if total < prefix + 16:
+            raise LabelDecodeError("truncated snapshot (missing v2 region header)")
+        region_offset = int.from_bytes(bytes(data[prefix:prefix + 8]), "little")
+        region_length = int.from_bytes(bytes(data[prefix + 8:prefix + 16]), "little")
+        if region_offset % SNAPSHOT_PAGE_SIZE != 0:
+            raise LabelDecodeError(
+                "v2 label region offset %d is not %d-byte page aligned"
+                % (region_offset, SNAPSHOT_PAGE_SIZE))
+        if not prefix + 16 <= region_offset <= total:
+            raise LabelDecodeError(
+                "v2 label region offset %d is outside the %d-byte snapshot"
+                % (region_offset, total))
+        if region_offset + region_length != total:
+            raise LabelDecodeError(
+                "v2 label region (%d + %d bytes) does not end at the "
+                "snapshot's %d bytes" % (region_offset, region_length, total))
+        index = bytes(data[:region_offset])
+        region = data[region_offset:total]
+        offset = prefix + 16
+
+        config, codec_modulus, field_width, field_modulus, descriptor, offset = \
+            cls._read_header_fields(index, offset)
+
+        vertex_count, offset = read_varint(index, offset)
+        remaining = region_offset - offset
         if 3 * vertex_count > remaining:
             raise LabelDecodeError("snapshot declares %d vertex labels but only %d "
-                                   "bytes remain" % (vertex_count, remaining))
+                                   "index bytes remain" % (vertex_count, remaining))
         vertex_labels: dict = {}
         for _ in range(vertex_count):
-            vertex, offset = read_vertex_key(data, offset)
-            length, offset = read_varint(data, offset)
-            blob, offset = _read_exact(data, offset, length, "vertex-label blob")
-            vertex_labels[vertex] = VertexLabel.from_bytes(blob) if decode_labels else blob
+            vertex, offset = read_vertex_key(index, offset)
+            relative, offset = read_varint(index, offset)
+            length, offset = read_varint(index, offset)
+            blob = _region_slice(region, relative, length, region_length,
+                                 "vertex-label")
+            vertex_labels[vertex] = \
+                VertexLabel.from_bytes(bytes(blob)) if decode_labels else blob
 
-        edge_count, offset = read_varint(data, offset)
-        remaining = len(data) - offset
+        edge_count, offset = read_varint(index, offset)
+        remaining = region_offset - offset
         if 5 * edge_count > remaining:
             raise LabelDecodeError("snapshot declares %d edge labels but only %d "
-                                   "bytes remain" % (edge_count, remaining))
+                                   "index bytes remain" % (edge_count, remaining))
         edge_labels: dict = {}
         for _ in range(edge_count):
-            u, offset = read_vertex_key(data, offset)
-            v, offset = read_vertex_key(data, offset)
-            length, offset = read_varint(data, offset)
-            blob, offset = _read_exact(data, offset, length, "edge-label blob")
+            u, offset = read_vertex_key(index, offset)
+            v, offset = read_vertex_key(index, offset)
+            relative, offset = read_varint(index, offset)
+            length, offset = read_varint(index, offset)
+            blob = _region_slice(region, relative, length, region_length,
+                                 "edge-label")
             try:
                 edge = canonical_edge(u, v)
             except ValueError as error:
                 raise LabelDecodeError("invalid snapshot edge: %s" % error) from error
-            edge_labels[edge] = EdgeLabel.from_bytes(blob) if decode_labels else blob
+            edge_labels[edge] = \
+                EdgeLabel.from_bytes(bytes(blob)) if decode_labels else blob
 
-        if offset != len(data):
-            raise LabelDecodeError("%d trailing bytes after the snapshot payload"
-                                   % (len(data) - offset))
+        if any(index[offset:region_offset]):
+            raise LabelDecodeError("nonzero padding between the v2 index and "
+                                   "the label region")
         return cls(config=config, codec_modulus=codec_modulus,
                    field_width=field_width, field_modulus=field_modulus,
                    outdetect=descriptor, vertex_labels=vertex_labels,
-                   edge_labels=edge_labels)
+                   edge_labels=edge_labels,
+                   format_version=SNAPSHOT_VERSION_V2)
 
     # ----------------------------------------------------------------- files
 
-    def save(self, path) -> int:
-        """Write the snapshot to ``path``; returns the byte count."""
-        data = self.to_bytes()
+    def save(self, path, version: int = SNAPSHOT_VERSION) -> int:
+        """Write the snapshot to ``path``; returns the byte count.
+
+        ``version`` selects the container layout: 1 (inline blobs, the
+        default) or 2 (the mmap layout of :meth:`to_bytes_v2`).
+        """
+        if version == SNAPSHOT_VERSION:
+            data = self.to_bytes()
+        elif version == SNAPSHOT_VERSION_V2:
+            data = self.to_bytes_v2()
+        else:
+            raise ValueError("unknown snapshot format version %d" % version)
         Path(path).write_bytes(data)
         return len(data)
 
@@ -493,7 +709,7 @@ class FTCSnapshot:
         """Human-oriented summary (what ``repro.cli load-labeling`` prints)."""
         summary = {
             "format": "ftc-snapshot",
-            "snapshot_version": SNAPSHOT_VERSION,
+            "snapshot_version": self.format_version,
             "max_faults": self.config.max_faults,
             "variant": self.config.variant.value,
             "threshold_rule": self.config.threshold_rule.value,
@@ -564,6 +780,11 @@ class RehydratedOracle(LabelBackedQueries):
         self._edge_labels = dict(snapshot.edge_labels)
         self._init_session_cache()
         self._queries_answered = 0
+        self._closed = False
+        # Set by load_snapshot when this oracle's blobs are memoryview slices
+        # of a mapped file; close() then owns unmapping it.
+        self._mmap = None
+        self._mmap_view = None
 
     # ---------------------------------------------------------- label lookups
     #
@@ -575,23 +796,25 @@ class RehydratedOracle(LabelBackedQueries):
     # concurrent threads may at worst decode the same blob twice.
 
     def vertex_label(self, vertex: Vertex) -> VertexLabel:
+        self._ensure_open()
         try:
             label = self._vertex_labels[vertex]
         except KeyError:
             raise KeyError("vertex %r is not in the snapshot" % (vertex,)) from None
-        if isinstance(label, bytes):
-            label = VertexLabel.from_bytes(label)
+        if isinstance(label, (bytes, memoryview)):
+            label = VertexLabel.from_bytes(bytes(label))
             self._vertex_labels[vertex] = label
         return label
 
     def edge_label(self, u: Vertex, v: Vertex) -> EdgeLabel:
+        self._ensure_open()
         edge = canonical_edge(u, v)
         try:
             label = self._edge_labels[edge]
         except KeyError:
             raise KeyError("edge %r is not in the snapshot" % (edge,)) from None
-        if isinstance(label, bytes):
-            label = EdgeLabel.from_bytes(label)
+        if isinstance(label, (bytes, memoryview)):
+            label = EdgeLabel.from_bytes(bytes(label))
             self._edge_labels[edge] = label
         return label
 
@@ -621,9 +844,15 @@ class RehydratedOracle(LabelBackedQueries):
 
     # ---------------------------------------------------------------- queries
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise OracleClosedError("snapshot oracle is closed; its label "
+                                    "buffers were released")
+
     def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = (),
                   use_fast_engine: bool = True) -> bool:
         """Oracle-style single query through the cached batch session."""
+        self._ensure_open()
         if not use_fast_engine:
             answer = self._connected_per_query(s, t, list(faults), use_fast_engine=False)
             self._queries_answered += 1
@@ -632,13 +861,58 @@ class RehydratedOracle(LabelBackedQueries):
 
     def connected_many(self, pairs: Sequence[tuple],
                        faults: Iterable[Edge] = ()) -> list[bool]:
+        self._ensure_open()
         answers = super().connected_many(pairs, faults)
         self._queries_answered += len(answers)
         return answers
 
+    def batch_session(self, faults: Iterable[Edge] = ()):
+        self._ensure_open()
+        return super().batch_session(faults)
+
     @property
     def queries_answered(self) -> int:
         return self._queries_answered
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release the snapshot-backed buffers; idempotent.
+
+        Drops the cached sessions *and* the label maps, and — when the labels
+        were zero-copy views of an mmap'd v2 artifact — unmaps the file.
+        Unlike a live :class:`~repro.core.ftc.FTCLabeling` (whose labels stay
+        usable after ``close()``), a closed snapshot oracle answers nothing:
+        further queries raise :class:`~repro.errors.OracleClosedError`, the
+        same contract the remote transport has always had.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        super().close()
+        self._vertex_labels = {}
+        self._edge_labels = {}
+        if self._mmap is not None:
+            # load_snapshot built the snapshot privately for this oracle, so
+            # dropping its maps here releases the last blob views (CPython
+            # frees them immediately; no GC cycle involved).
+            self.snapshot.vertex_labels = {}
+            self.snapshot.edge_labels = {}
+            if self._mmap_view is not None:
+                self._mmap_view.release()
+                self._mmap_view = None
+            try:
+                self._mmap.close()
+            except BufferError:
+                # A caller still holds an exported label view; the mapping is
+                # released when that last reference drops.
+                pass
+            self._mmap = None
+
+    def _adopt_mmap(self, mapped, view) -> None:
+        """Take ownership of the mapping backing this oracle's label views."""
+        self._mmap = mapped
+        self._mmap_view = view
 
     # ------------------------------------------------------------ statistics
 
@@ -663,9 +937,55 @@ def load_snapshot(source) -> RehydratedOracle:
     """
     if isinstance(source, (bytes, bytearray, memoryview)):
         data = bytes(source)
-    else:
-        data = Path(source).read_bytes()
+        return FTCSnapshot.from_bytes(data, decode_labels=False).rehydrate()
+
+    path = Path(source)
+    try:
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except ValueError as error:
+        # Zero-length files cannot be mapped; fail like any truncated input.
+        raise LabelDecodeError("cannot map snapshot %s: %s" % (path, error)) from error
+    prefix = len(SNAPSHOT_MAGIC) + 1
+    if len(mapped) > prefix and mapped[:len(SNAPSHOT_MAGIC)] == SNAPSHOT_MAGIC \
+            and mapped[len(SNAPSHOT_MAGIC)] == SNAPSHOT_VERSION_V2:
+        view = memoryview(mapped)
+        try:
+            snapshot = FTCSnapshot.from_bytes(view, decode_labels=False)
+            oracle = snapshot.rehydrate()
+        except LabelDecodeError:
+            view.release()
+            mapped.close()
+            raise
+        oracle._adopt_mmap(mapped, view)
+        return oracle
+    data = bytes(mapped)
+    mapped.close()
     return FTCSnapshot.from_bytes(data, decode_labels=False).rehydrate()
+
+
+def upgrade_snapshot_file(source, destination) -> dict:
+    """Convert a snapshot file to the v2 mmap layout (``repro snapshot-upgrade``).
+
+    Label blobs are copied verbatim — the container is parsed with
+    ``decode_labels=False`` and re-emitted, so conversion is I/O-bound and the
+    rehydrated answers are bit-identical by construction.  Accepts either
+    input version (re-encoding a v2 file canonicalizes it).  Returns a summary
+    dict for the CLI to print.
+    """
+    snapshot = FTCSnapshot.from_bytes(Path(source).read_bytes(),
+                                      decode_labels=False)
+    data = snapshot.to_bytes_v2()
+    Path(destination).write_bytes(data)
+    return {
+        "source": str(source),
+        "destination": str(destination),
+        "from_version": snapshot.format_version,
+        "to_version": SNAPSHOT_VERSION_V2,
+        "bytes": len(data),
+        "vertex_labels": len(snapshot.vertex_labels),
+        "edge_labels": len(snapshot.edge_labels),
+    }
 
 
 __all__ = [
@@ -674,7 +994,10 @@ __all__ = [
     "RehydratedOracle",
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
+    "SNAPSHOT_VERSION_V2",
+    "SNAPSHOT_PAGE_SIZE",
     "describe_outdetect",
     "build_decode_outdetect",
     "load_snapshot",
+    "upgrade_snapshot_file",
 ]

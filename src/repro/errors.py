@@ -3,12 +3,16 @@
 Every transport of the oracle contract (:mod:`repro.api`) signals failures
 through one tree rooted at :class:`OracleError`, so callers programming
 against the protocol catch one base class regardless of whether the labels
-live in process, came from a snapshot, or sit behind a TCP server:
+live in process, came from a snapshot, sit behind a TCP server, or fan out
+to a worker pool:
 
 * :class:`OracleError` — base of every oracle-level failure.
 * :class:`TransportError` — the transport itself failed (connection refused,
   connection dropped mid-request, garbage on the wire, use after ``close()``).
-  Only the remote transport raises it; local transports have no transport.
+* :class:`OracleClosedError` — the specific "use after ``close()``" case.
+  Every transport that releases resources on ``close()`` (snapshot-backed,
+  pooled, remote) raises it — or its :class:`TransportError` base — when a
+  query arrives after the oracle was closed.
 * :class:`~repro.core.query.QueryFailure` — a query could not be answered
   reliably (randomized sketch labels, heuristic thresholds); subclasses
   :class:`OracleError`.
@@ -36,4 +40,13 @@ class TransportError(OracleError):
     garbage — as opposed to a well-formed answer that reports a query error."""
 
 
-__all__ = ["OracleError", "TransportError"]
+class OracleClosedError(TransportError):
+    """A query reached an oracle after its ``close()`` released resources.
+
+    Subclasses :class:`TransportError` so existing ``except TransportError``
+    call sites (written against the remote transport's post-close behavior)
+    keep working unchanged across every transport.
+    """
+
+
+__all__ = ["OracleError", "TransportError", "OracleClosedError"]

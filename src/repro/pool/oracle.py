@@ -1,0 +1,206 @@
+"""The "pool" transport: one snapshot served by a process pool.
+
+A :class:`PooledOracle` satisfies the same
+:class:`~repro.api.OracleProtocol` as the build/snapshot/tcp transports, but
+answers queries in a :class:`~concurrent.futures.ProcessPoolExecutor` whose
+workers each hold the *same* snapshot — loaded by path, so a v2 (mmap
+layout) artifact is one page-cached copy shared by every worker, not N
+resident copies.  This sidesteps the GIL for CPU-bound decode work while
+keeping the caller's surface synchronous and local.
+
+Error contract: worker-side exceptions (``KeyError`` for unknown ids,
+``ValueError`` for over-budget fault sets, ``QueryFailure``,
+``LabelDecodeError``) pickle back and re-raise in the caller unchanged, so
+the conformance suite's shared expectations hold.  A crashed worker pool
+surfaces as :class:`~repro.errors.TransportError`; queries after ``close()``
+raise :class:`~repro.errors.OracleClosedError` — the same post-close
+contract as the remote transport.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence, cast
+
+from repro.errors import OracleClosedError, TransportError
+
+Vertex = Hashable
+
+# ----------------------------------------------------------- worker process
+#
+# Each pool worker loads the snapshot once (initializer) into a module
+# global, then answers plain-data requests against it.  Only module-level
+# functions and picklable arguments cross the process boundary, so the pool
+# works under fork and spawn start methods alike.
+
+_worker_oracle: Any = None
+
+
+def _pool_initializer(path: str) -> None:
+    global _worker_oracle
+    from repro.api import Oracle
+
+    _worker_oracle = Oracle.load(path)
+
+
+def _worker_connected_many(pairs: list, faults: list) -> list:
+    return list(_worker_oracle.connected_many(pairs, faults))
+
+
+def _worker_session_info(faults: list) -> dict:
+    session = _worker_oracle.batch_session(faults)
+    return {"num_components": session.num_components(),
+            "num_fragments": session.num_fragments()}
+
+
+# ------------------------------------------------------------- the transport
+
+class PooledBatchSession:
+    """A fault-set-pinned view over the pool (mirrors ``RemoteBatchSession``).
+
+    The structure counts were computed by a worker when the session was
+    created; queries ride the pool via the pinned fault list, hitting
+    whichever worker's session cache is free.
+    """
+
+    def __init__(self, oracle: "PooledOracle", faults: list, info: Mapping):
+        self._oracle = oracle
+        self._faults = list(faults)
+        self._info = dict(info)
+
+    def connected(self, s: Vertex, t: Vertex) -> bool:
+        return self._oracle.connected(s, t, self._faults)
+
+    def connected_many(self, pairs: Sequence[tuple]) -> list:
+        return self._oracle.connected_many(pairs, self._faults)
+
+    def num_components(self) -> int:
+        return cast(int, self._info.get("num_components"))
+
+    def num_fragments(self) -> int:
+        return cast(int, self._info.get("num_fragments"))
+
+
+class PooledOracle:
+    """Fan ``connected_many`` / ``batch_session`` out to snapshot workers.
+
+    ``path`` must be a snapshot *file* (workers re-load it by path; bytes
+    would be pickled to every worker, defeating the shared page cache).  The
+    parent also loads the snapshot once for metadata (``max_faults``,
+    vertex/edge counts, ``stats()``) — with a v2 artifact that costs an mmap
+    and an index parse, not a copy of the labels.
+    """
+
+    #: Transport tag of the oracle protocol (:mod:`repro.api`).
+    transport = "pool"
+
+    def __init__(self, path: Any, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("pool workers must be at least 1, got %d" % workers)
+        from repro.api import Oracle
+
+        self.path = str(path)
+        # Validates the artifact up front: a bad path or corrupt snapshot
+        # fails here, in the caller, not later inside a worker.
+        self._local = Oracle.load(self.path)
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_pool_initializer,
+            initargs=(self.path,))
+        self._lock = threading.Lock()
+        self._queries_answered = 0
+        self._closed = False
+
+    # ------------------------------------------------------------- plumbing
+
+    def _run(self, task: Callable[..., Any], *args: Any) -> Any:
+        executor = self._executor
+        if self._closed or executor is None:
+            raise OracleClosedError("pool oracle over %s is closed" % self.path)
+        try:
+            return executor.submit(task, *args).result()
+        except BrokenProcessPool as error:
+            raise TransportError("pool worker for %s crashed: %s"
+                                 % (self.path, error)) from error
+
+    # -------------------------------------------------------------- queries
+
+    def connected(self, s: Vertex, t: Vertex, faults: Iterable = ()) -> bool:
+        return cast(bool, self.connected_many([(s, t)], faults)[0])
+
+    def connected_many(self, pairs: Sequence[tuple],
+                       faults: Iterable = ()) -> list:
+        answers = cast(list, self._run(_worker_connected_many, list(pairs),
+                                       list(faults)))
+        with self._lock:
+            self._queries_answered += len(answers)
+        return answers
+
+    def batch_session(self, faults: Iterable = ()) -> PooledBatchSession:
+        fault_list = list(faults)
+        info = cast(dict, self._run(_worker_session_info, fault_list))
+        return PooledBatchSession(self, fault_list, info)
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def max_faults(self) -> int:
+        return cast(int, self._local.config.max_faults)
+
+    @property
+    def queries_answered(self) -> int:
+        with self._lock:
+            return self._queries_answered
+
+    def stats(self) -> Any:
+        """Normalized :class:`~repro.api.OracleStats` for the pool.
+
+        Counts are parent-side (queries routed through this object); the
+        session cache reported is the parent's metadata oracle's — worker
+        caches are per-process and surface in the served ``/metrics``
+        sidecars instead.
+        """
+        from repro.api import OracleStats
+
+        local = self._local
+        with self._lock:
+            answered = self._queries_answered
+        return OracleStats(
+            transport=self.transport,
+            max_faults=local.config.max_faults,
+            vertices=cast(int, local.num_vertices()),
+            edges=cast(int, local.num_edges()),
+            queries_answered=answered,
+            variant=cast(str, local.config.variant.value),
+            session_cache=cast(Mapping, local.session_cache_info()),
+            extra={"pool": {"workers": self.workers}},
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Shut the worker pool down and release the metadata oracle.
+
+        Idempotent; queries afterwards raise
+        :class:`~repro.errors.OracleClosedError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        self._local.close()
+
+    def __enter__(self) -> "PooledOracle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+__all__ = ["PooledOracle", "PooledBatchSession"]

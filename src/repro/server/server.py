@@ -59,9 +59,14 @@ class QueryServer:
                  executor=None, metrics_port: int | None = None,
                  metrics_host: str | None = None,
                  tracer: Tracer | None = None,
-                 slow_request_seconds: float = 1.0):
+                 slow_request_seconds: float = 1.0,
+                 reuse_port: bool = False):
         self._requested_host = host
         self._requested_port = port
+        # SO_REUSEPORT lets N sibling server processes bind one port and have
+        # the kernel balance accepted connections across them — the
+        # ``repro serve --workers N`` front-end (:mod:`repro.pool.frontend`).
+        self._reuse_port = reuse_port
         self.max_request_bytes = max_request_bytes
         # One tracer spans the whole request path: the dispatch span makes
         # the trace id current, the session manager's build/decode spans
@@ -101,8 +106,13 @@ class QueryServer:
         """
         if self._server is not None:
             raise RuntimeError("server already started")
+        # reuse_port is only forwarded when requested: passing it at all
+        # raises on platforms without SO_REUSEPORT, and the default
+        # single-process path must keep working there.
+        extra: dict[str, Any] = {"reuse_port": True} if self._reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self._requested_host, self._requested_port)
+            self._handle_connection, self._requested_host,
+            self._requested_port, **extra)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         sidecar_host, sidecar_port = self._metrics_requested
@@ -456,7 +466,11 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
                max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
                jobs: int | None = None,
                announce: Callable[[dict], None] | None = None,
-               metrics_port: int | None = None) -> int:
+               metrics_port: int | None = None,
+               reuse_port: bool = False,
+               worker_index: int | None = None,
+               hot_keys_file: str | None = None,
+               prewarm_top: int | None = None) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Starts the server, reports the bound address through ``announce`` (the
@@ -467,6 +481,17 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
     ``metrics_port`` (the CLI's ``--metrics-port``) enables the
     ``/metrics`` + ``/healthz`` sidecar; its bound port rides on the
     announce event.  Returns a process exit code.
+
+    The :mod:`repro.pool` front-end runs this same function once per worker
+    process: ``reuse_port`` joins the shared SO_REUSEPORT listener group and
+    ``worker_index`` stamps the ``server_worker_info{worker=...}`` gauge so
+    each sidecar's exposition identifies its process.  ``hot_keys_file``
+    (maintained for plain ``repro serve`` too) closes the restart loop: the
+    hottest fault sets recorded there by the previous run are pre-warmed via
+    :meth:`~repro.server.session_manager.SessionManager.prewarm_sessions`
+    before readiness is announced, and the current run's hottest sets are
+    written back on graceful shutdown.  ``prewarm_top`` bounds both
+    directions (default: the session manager's top-K).
     """
     executor = None
     if jobs is not None:
@@ -474,19 +499,47 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
             raise ValueError("jobs must be at least 1, got %d" % jobs)
         executor = ThreadPoolExecutor(max_workers=jobs,
                                       thread_name_prefix="repro-session")
+    prewarm_sets: list = []
+    if hot_keys_file is not None:
+        from repro.pool.prewarm import load_hot_fault_sets
+
+        prewarm_sets = load_hot_fault_sets(hot_keys_file)
+        if prewarm_top is not None:
+            prewarm_sets = prewarm_sets[:prewarm_top]
+    # Filled inside _main at shutdown; persisted after the loop exits (file
+    # writes stay off the event loop).
+    shutdown_state: dict = {}
 
     async def _main() -> None:
         server = QueryServer(oracle, host=host, port=port,
                              max_sessions=max_sessions,
                              max_request_bytes=max_request_bytes,
-                             executor=executor, metrics_port=metrics_port)
+                             executor=executor, metrics_port=metrics_port,
+                             reuse_port=reuse_port)
         bound_host, bound_port = await server.start()
+        if worker_index is not None:
+            server.metrics.registry.gauge(
+                "server_worker_info",
+                "Identity of this serving worker process",
+                labelnames=("worker",)).set(1.0, worker=str(worker_index))
+        prewarmed = None
+        if prewarm_sets:
+            try:
+                prewarmed = await server.sessions.prewarm_sessions(prewarm_sets)
+            except (KeyError, ValueError, QueryFailure, LabelDecodeError):
+                # A stale pre-warm file (snapshot swapped, budget changed)
+                # must never block serving; cold sessions build on demand.
+                prewarmed = 0
         if announce is not None:
             event = {"event": "serving", "host": bound_host,
                      "port": bound_port, "max_faults": oracle.max_faults,
                      "vertices": server_vertex_count(oracle)}
             if server.metrics_port is not None:
                 event["metrics_port"] = server.metrics_port
+            if worker_index is not None:
+                event["worker"] = worker_index
+            if prewarmed is not None:
+                event["prewarmed_sessions"] = prewarmed
             announce(event)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -496,6 +549,9 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
         try:
             await stop.wait()
         finally:
+            if hot_keys_file is not None:
+                shutdown_state["hot_fault_sets"] = \
+                    server.sessions.hot_fault_sets(prewarm_top)
             await server.close()
 
     try:
@@ -505,6 +561,11 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
     finally:
         if executor is not None:
             executor.shutdown(wait=True)
+        hot_fault_sets = shutdown_state.get("hot_fault_sets")
+        if hot_keys_file is not None and hot_fault_sets:
+            from repro.pool.prewarm import save_hot_fault_sets
+
+            save_hot_fault_sets(hot_keys_file, hot_fault_sets)
     return 0
 
 

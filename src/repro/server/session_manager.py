@@ -74,6 +74,9 @@ class SessionManager:
         self._hot_keys: Counter = Counter()
         #: First-seen human-readable rendering of each tracked key.
         self._hot_key_names: dict[tuple, str] = {}
+        #: First-seen raw fault list per tracked key — what pre-warm replays
+        #: (the canonical key and the rendered name are both lossy).
+        self._hot_key_faults: dict[tuple, list] = {}
         self._hot_lock = threading.Lock()
 
     # ------------------------------------------------------------- sessions
@@ -191,6 +194,8 @@ class SessionManager:
             self._hot_keys[key] += 1
             if key not in self._hot_key_names:
                 self._hot_key_names[key] = _render_fault_set(fault_list)
+            if key not in self._hot_key_faults:
+                self._hot_key_faults[key] = [tuple(edge) for edge in fault_list]
 
     def hot_keys(self, top: int | None = None) -> dict:
         """The ``top`` hottest fault sets as ``{rendered fault set: lookups}``.
@@ -216,6 +221,23 @@ class SessionManager:
                     name = "%s#%s" % (name, _key_digest(key))
                 report[name] = count
             return report
+
+    def hot_fault_sets(self, top: int | None = None) -> list[list]:
+        """The ``top`` hottest fault sets as replayable edge lists.
+
+        Ranked like :meth:`hot_keys` (count-descending, then rendered name,
+        so the order is deterministic); each entry is the first-seen raw
+        fault list for that canonical key — exactly what
+        :meth:`prewarm_sessions` (and the ``repro.pool`` restart pre-warm
+        file) takes.
+        """
+        if top is None:
+            top = self.HOT_KEY_TOP_K
+        with self._hot_lock:
+            ranked = sorted(self._hot_keys.items(),
+                            key=lambda item: (-item[1], self._hot_key_names[item[0]]))
+            return [list(self._hot_key_faults[key]) for key, _ in ranked[:top]
+                    if key in self._hot_key_faults]
 
     # ---------------------------------------------------------------- stats
 

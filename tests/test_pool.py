@@ -1,0 +1,289 @@
+"""The ``repro.pool`` serving tier: pooled oracle, pre-warm file, front-end.
+
+The transport conformance itself (bit-identity, error contract, stats shape)
+runs in ``tests/test_oracle_protocol.py``, where ``"pool"`` is one of the
+``TRANSPORTS``.  This file covers what is specific to the tier: the pooled
+oracle's lifecycle and fan-out, the hot-key pre-warm sidecar (atomic save,
+fail-soft load, ranked extraction from the session manager), and the
+SO_REUSEPORT front-end's building blocks.
+"""
+
+import json
+import os
+import socket
+
+import pytest
+
+from repro.api import Oracle
+from repro.errors import OracleClosedError, TransportError
+from repro.pool import (PooledOracle, hot_keys_path, load_hot_fault_sets,
+                        save_hot_fault_sets)
+from repro.pool.frontend import _reserve_port, _worker_metrics_port
+from repro.server.session_manager import SessionManager
+from repro.workloads import GraphFamily, make_graph
+
+MAX_FAULTS = 2
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=12, seed=3, density=1.4)
+    oracle = Oracle.build(graph, max_faults=MAX_FAULTS)
+    path = tmp_path_factory.mktemp("pool") / "world.ftcs"
+    path.write_bytes(oracle.to_snapshot_bytes())
+    oracle.close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def world(snapshot_path):
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=12, seed=3, density=1.4)
+    reference = Oracle.load(snapshot_path)
+    pool = Oracle.pool(snapshot_path, workers=2)
+    try:
+        yield graph, reference, pool
+    finally:
+        pool.close()
+        reference.close()
+
+
+# ------------------------------------------------------------ pooled oracle
+
+
+def test_pool_requires_at_least_one_worker(snapshot_path):
+    with pytest.raises(ValueError):
+        PooledOracle(snapshot_path, workers=0)
+
+
+def test_pool_validates_the_artifact_up_front(tmp_path):
+    with pytest.raises(Exception):
+        PooledOracle(tmp_path / "missing.ftcs", workers=1)
+
+
+def test_pool_answers_match_the_snapshot_transport(world):
+    graph, reference, pool = world
+    edges = sorted(graph.edges())
+    vertices = sorted(graph.vertices())
+    import random
+
+    rng = random.Random(9)
+    for _ in range(6):
+        faults = rng.sample(edges, rng.randint(0, MAX_FAULTS))
+        pairs = [tuple(rng.sample(vertices, 2)) for _ in range(10)]
+        assert pool.connected_many(pairs, faults) == \
+            reference.connected_many(pairs, faults)
+
+
+def test_pool_batch_session_pins_faults_and_reports_structure(world):
+    graph, reference, pool = world
+    faults = sorted(graph.edges())[:MAX_FAULTS]
+    vertices = sorted(graph.vertices())
+    session = pool.batch_session(faults)
+    ref_session = reference.batch_session(faults)
+    assert session.num_components() == ref_session.num_components()
+    assert session.num_fragments() == ref_session.num_fragments()
+    pairs = [(vertices[0], vertices[-1]), (vertices[1], vertices[4])]
+    assert session.connected_many(pairs) == \
+        reference.connected_many(pairs, faults)
+
+
+def test_pool_counts_queries_and_reports_workers(world):
+    _, _, pool = world
+    before = pool.queries_answered
+    graph_vertices = sorted(make_graph(GraphFamily.TREE_PLUS_CHORDS, n=12,
+                                       seed=3, density=1.4).vertices())
+    pool.connected_many([(graph_vertices[0], graph_vertices[1])], [])
+    stats = pool.stats()
+    assert stats.transport == "pool"
+    assert stats.extra["pool"]["workers"] == 2
+    assert pool.queries_answered == before + 1
+
+
+def test_pool_close_is_idempotent_and_post_close_raises(snapshot_path):
+    pool = Oracle.pool(snapshot_path, workers=1)
+    vertices = sorted(make_graph(GraphFamily.TREE_PLUS_CHORDS, n=12, seed=3,
+                                 density=1.4).vertices())
+    with pool:
+        assert pool.connected(vertices[0], vertices[1], []) in (True, False)
+    pool.close()  # second close must not raise
+    with pytest.raises(OracleClosedError):
+        pool.connected(vertices[0], vertices[1], [])
+    # The post-close error is part of the shared transport hierarchy.
+    with pytest.raises(TransportError):
+        pool.batch_session([])
+
+
+# ------------------------------------------------------------ pre-warm file
+
+
+def test_hot_keys_path_sits_beside_the_snapshot():
+    assert hot_keys_path("/data/net.ftcs") == "/data/net.ftcs.hotkeys.json"
+
+
+def test_hot_fault_sets_round_trip(tmp_path):
+    path = tmp_path / "net.ftcs.hotkeys.json"
+    fault_sets = [[("a", "b"), ("c", "d")], [(1, 2)], []]
+    assert save_hot_fault_sets(path, fault_sets) == 3
+    loaded = load_hot_fault_sets(path)
+    assert loaded == [[("a", "b"), ("c", "d")], [(1, 2)], []]
+
+
+def test_save_hot_fault_sets_is_atomic(tmp_path):
+    path = tmp_path / "net.ftcs.hotkeys.json"
+    save_hot_fault_sets(path, [[("a", "b")]])
+    assert not list(tmp_path.glob("*.tmp"))
+    assert load_hot_fault_sets(path) == [[("a", "b")]]
+
+
+@pytest.mark.parametrize("payload", [
+    "not json at all",
+    '"a json string"',
+    '{"version": 999, "fault_sets": []}',
+    '{"version": 1, "fault_sets": "nope"}',
+    '{"version": 1, "fault_sets": [["not-an-edge"]]}',
+    '{"version": 1, "fault_sets": [[["a", "b", "c"]]]}',
+])
+def test_load_hot_fault_sets_is_fail_soft(tmp_path, payload):
+    path = tmp_path / "bad.hotkeys.json"
+    path.write_text(payload)
+    assert load_hot_fault_sets(path) == []
+
+
+def test_load_hot_fault_sets_missing_file_is_empty(tmp_path):
+    assert load_hot_fault_sets(tmp_path / "nope.json") == []
+
+
+def test_session_manager_exposes_ranked_hot_fault_sets(world):
+    _, reference, _ = world
+    manager = SessionManager(reference)
+    try:
+        hot = [("a", "b")]
+        cold = [("c", "d")]
+        for _ in range(3):
+            manager._record_hot_key(("hot",), hot)
+        manager._record_hot_key(("cold",), cold)
+        ranked = manager.hot_fault_sets()
+        assert ranked[0] == hot
+        assert ranked == [hot, cold]
+        assert manager.hot_fault_sets(top=1) == [hot]
+    finally:
+        manager.close()
+
+
+def test_hot_fault_sets_survive_a_json_round_trip(tmp_path, world):
+    """What the server persists on shutdown is exactly what a restarted
+    server can replay through ``prewarm_sessions``."""
+    _, reference, _ = world
+    manager = SessionManager(reference)
+    try:
+        graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=12, seed=3,
+                           density=1.4)
+        faults = sorted(graph.edges())[:MAX_FAULTS]
+        _, key = reference._fault_labels_keyed(faults)
+        manager._record_hot_key(key, faults)
+        path = tmp_path / "world.ftcs.hotkeys.json"
+        save_hot_fault_sets(path, manager.hot_fault_sets())
+        replay = load_hot_fault_sets(path)
+        assert replay == [[tuple(edge) for edge in faults]]
+        import asyncio
+
+        warmed = asyncio.run(manager.prewarm_sessions(replay))
+        assert warmed == 1
+    finally:
+        manager.close()
+
+
+# ---------------------------------------------------------------- front-end
+
+
+def test_reserve_port_resolves_an_ephemeral_port():
+    if not hasattr(socket, "SO_REUSEPORT"):
+        pytest.skip("platform without SO_REUSEPORT")
+    reservation = _reserve_port("127.0.0.1", 0)
+    try:
+        host, port = reservation.getsockname()[:2]
+        assert port > 0
+        # A second SO_REUSEPORT bind of the same port must succeed — that is
+        # the whole mechanism the worker fleet relies on.
+        sibling = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sibling.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sibling.bind((host, port))
+        sibling.close()
+    finally:
+        reservation.close()
+
+
+def test_worker_metrics_port_mapping():
+    assert _worker_metrics_port(None, 0) is None
+    assert _worker_metrics_port(None, 3) is None
+    assert _worker_metrics_port(0, 0) == 0
+    assert _worker_metrics_port(0, 5) == 0
+    assert _worker_metrics_port(9100, 0) == 9100
+    assert _worker_metrics_port(9100, 2) == 9102
+
+
+def test_run_pooled_server_rejects_bad_arguments(snapshot_path):
+    from repro.pool import run_pooled_server
+
+    with pytest.raises(ValueError):
+        run_pooled_server(str(snapshot_path), workers=0)
+    with pytest.raises(FileNotFoundError):
+        run_pooled_server(str(snapshot_path) + ".missing", workers=1)
+
+
+@pytest.mark.skipif(not hasattr(socket, "SO_REUSEPORT"),
+                    reason="platform without SO_REUSEPORT")
+def test_fleet_serves_and_shuts_down_cleanly(snapshot_path, tmp_path):
+    """End-to-end: a 2-worker fleet answers like the snapshot transport and
+    dies cleanly on SIGTERM, leaving the hot-key sidecar behind."""
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=12, seed=3, density=1.4)
+    vertices = sorted(graph.vertices())
+    edges = sorted(graph.edges())
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--snapshot", str(snapshot_path), "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    try:
+        # Tracing spans from the workers share stdout with the announce
+        # line, so scan for the "serving" event rather than trusting the
+        # first line.
+        event = None
+        for line in process.stdout:
+            try:
+                candidate = json.loads(line)
+            except ValueError:
+                continue
+            if candidate.get("event") == "serving":
+                event = candidate
+                break
+        assert event is not None, "fleet exited before announcing readiness"
+        assert event["workers"] == 2
+        remote = Oracle.connect(event["host"], event["port"])
+        reference = Oracle.load(snapshot_path)
+        try:
+            faults = edges[:MAX_FAULTS]
+            pairs = [(vertices[0], vertices[-1]), (vertices[2], vertices[5])]
+            assert remote.connected_many(pairs, faults) == \
+                reference.connected_many(pairs, faults)
+        finally:
+            remote.close()
+            reference.close()
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+        sidecar = hot_keys_path(snapshot_path)
+        deadline = time.monotonic() + 5
+        while not os.path.exists(sidecar) and time.monotonic() < deadline:
+            time.sleep(0.1)
+        assert load_hot_fault_sets(sidecar) == [[tuple(e) for e in faults]]
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()

@@ -398,3 +398,140 @@ def test_audit_scheme_propagates_programming_errors():
         raise QueryFailure("whp miss")
 
     assert audit_scheme(benign, workload)["failed"] == 1
+
+
+# ------------------------------------------------- version 2 (mmap layout)
+
+
+def test_v2_round_trip_and_answer_identity(snapshot_bytes):
+    """v2 re-encodes the same labeling: equal decoded snapshots, equal
+    answers, and a canonical encoding of its own."""
+    from repro.core.snapshot import SNAPSHOT_PAGE_SIZE, SNAPSHOT_VERSION_V2
+
+    v1_snapshot = FTCSnapshot.from_bytes(snapshot_bytes)
+    v2_bytes = v1_snapshot.to_bytes_v2()
+    assert v2_bytes[4] == SNAPSHOT_VERSION_V2
+    v2_snapshot = FTCSnapshot.from_bytes(v2_bytes)
+    assert v2_snapshot == v1_snapshot  # format_version excluded from equality
+    assert v2_snapshot.format_version == SNAPSHOT_VERSION_V2
+    # The label region is page-aligned, and re-encoding is canonical.
+    region_offset = int.from_bytes(v2_bytes[5:13], "little")
+    assert region_offset % SNAPSHOT_PAGE_SIZE == 0
+    lazy = FTCSnapshot.from_bytes(v2_bytes, decode_labels=False)
+    assert lazy.to_bytes_v2() == v2_bytes
+    # And v2 state re-encodes to the identical v1 bytes too.
+    assert v2_snapshot.to_bytes() == snapshot_bytes
+
+
+def test_v2_oracle_answers_match_v1(tmp_path, snapshot_bytes):
+    graph = make_graph(GraphFamily.TREE_PLUS_CHORDS, n=18, seed=9, density=1.5)
+    v1_path = tmp_path / "l1.ftcs"
+    v1_path.write_bytes(snapshot_bytes)
+    v2_path = tmp_path / "l2.ftcs"
+    from repro.core.snapshot import upgrade_snapshot_file
+
+    report = upgrade_snapshot_file(v1_path, v2_path)
+    assert report["from_version"] == 1
+    assert report["to_version"] == 2
+    assert v2_path.stat().st_size == report["bytes"]
+    v1_oracle = load_snapshot(v1_path)
+    v2_oracle = load_snapshot(v2_path)
+    workload = make_query_workload(graph, num_queries=40, max_faults=2,
+                                   model=FaultModel.TREE_BIASED, seed=17)
+    assert _answers(v2_oracle, workload.queries) == \
+        _answers(v1_oracle, workload.queries)
+    v1_oracle.close()
+    v2_oracle.close()
+
+
+def test_v2_file_loads_through_mmap(tmp_path, snapshot_bytes):
+    """Loading a v2 file keeps label blobs as views over the mapping, not
+    copies, and still decodes lazily per label."""
+    v2_path = tmp_path / "l2.ftcs"
+    v2_path.write_bytes(FTCSnapshot.from_bytes(
+        snapshot_bytes, decode_labels=False).to_bytes_v2())
+    oracle = load_snapshot(v2_path)
+    assert oracle._mmap is not None
+    vertex = sorted(oracle.vertices())[0]
+    assert isinstance(oracle._vertex_labels[vertex], memoryview)
+    label = oracle.vertex_label(vertex)  # decodes on first use
+    assert oracle._vertex_labels[vertex] is label
+    oracle.close()
+
+
+def test_v2_close_releases_buffers_and_fails_post_close_queries(
+        tmp_path, snapshot_bytes):
+    from repro.errors import OracleClosedError
+
+    v2_path = tmp_path / "l2.ftcs"
+    v2_path.write_bytes(FTCSnapshot.from_bytes(
+        snapshot_bytes, decode_labels=False).to_bytes_v2())
+    oracle = load_snapshot(v2_path)
+    vertices = sorted(oracle.vertices())
+    assert oracle.connected(vertices[0], vertices[1]) in (True, False)
+    oracle.close()
+    oracle.close()  # idempotent
+    with pytest.raises(OracleClosedError):
+        oracle.connected(vertices[0], vertices[1])
+    with pytest.raises(OracleClosedError):
+        oracle.connected_many([(vertices[0], vertices[1])], [])
+    with pytest.raises(OracleClosedError):
+        oracle.batch_session([])
+    with pytest.raises(OracleClosedError):
+        oracle.vertex_label(vertices[0])
+
+
+def test_v2_validation_fails_closed(snapshot_bytes):
+    """Corrupt v2 region headers raise LabelDecodeError, never misparse."""
+    data = bytearray(FTCSnapshot.from_bytes(
+        snapshot_bytes, decode_labels=False).to_bytes_v2())
+    region_offset = int.from_bytes(data[5:13], "little")
+
+    def with_header(offset=None, length=None):
+        mutated = bytearray(data)
+        if offset is not None:
+            mutated[5:13] = offset.to_bytes(8, "little")
+        if length is not None:
+            mutated[13:21] = length.to_bytes(8, "little")
+        return bytes(mutated)
+
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(with_header(offset=region_offset + 1))  # unaligned
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(with_header(offset=len(data) * 2))  # beyond end
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(with_header(length=len(data)))  # wrong length
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(bytes(data) + b"\x00")  # trailing bytes
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(bytes(data[:region_offset - 1]))  # truncated
+    # Nonzero padding between the index and the region is rejected.
+    padded = bytearray(data)
+    padded[region_offset - 1] = 1
+    with pytest.raises(LabelDecodeError):
+        FTCSnapshot.from_bytes(bytes(padded))
+
+
+def test_v2_truncation_fails_closed(snapshot_bytes):
+    data = FTCSnapshot.from_bytes(snapshot_bytes,
+                                  decode_labels=False).to_bytes_v2()
+    cuts = sorted({len(data) * i // 53 for i in range(53)} | {len(data) - 1})
+    for cut in cuts:
+        if cut >= len(data):
+            continue
+        with pytest.raises(LabelDecodeError):
+            FTCSnapshot.from_bytes(data[:cut], decode_labels=False)
+
+
+def test_save_dispatches_on_version(tmp_path, snapshot_bytes):
+    from repro.core.snapshot import SNAPSHOT_VERSION_V2
+
+    snapshot = FTCSnapshot.from_bytes(snapshot_bytes)
+    v1_path = tmp_path / "v1.ftcs"
+    v2_path = tmp_path / "v2.ftcs"
+    snapshot.save(v1_path)
+    snapshot.save(v2_path, version=SNAPSHOT_VERSION_V2)
+    assert v1_path.read_bytes()[4] == 1
+    assert v2_path.read_bytes()[4] == SNAPSHOT_VERSION_V2
+    with pytest.raises(ValueError):
+        snapshot.save(tmp_path / "v9.ftcs", version=9)

@@ -1,0 +1,87 @@
+"""Property-based snapshot tests (requires ``hypothesis``; skipped without).
+
+Two properties over *generated* graphs and fault sets, not hand-picked ones:
+
+* **Round-trip**: ``FTCSnapshot.from_bytes(x).to_bytes() == x`` for both
+  container versions — the encodings are canonical fixed points.
+* **Answer bit-identity**: a v1-rehydrated oracle, a v2-rehydrated oracle,
+  and the live labeling agree on every generated ``(s, t, F)`` query.
+
+Examples are intentionally few (labeling construction dominates the runtime)
+but each example covers a whole generated workload.
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.core import FTCConfig, FTCLabeling, FTCSnapshot, load_snapshot  # noqa: E402
+from repro.workloads import GraphFamily, make_graph  # noqa: E402
+
+MAX_FAULTS = 2
+
+FAMILIES = [GraphFamily.ERDOS_RENYI, GraphFamily.GRID,
+            GraphFamily.TREE_PLUS_CHORDS]
+
+world_strategy = st.tuples(
+    st.sampled_from(FAMILIES),
+    st.integers(min_value=8, max_value=24),   # graph size
+    st.integers(min_value=0, max_value=2**16),  # graph seed
+    st.integers(min_value=0, max_value=2**16),  # query seed
+)
+
+
+def _build(family, n, seed):
+    graph = make_graph(family, n=n, seed=seed, density=1.5)
+    return graph, FTCLabeling(graph, FTCConfig(max_faults=MAX_FAULTS))
+
+
+def _generated_queries(graph, seed, count=12):
+    rng = random.Random(seed)
+    edges = sorted(graph.edges())
+    vertices = sorted(graph.vertices())
+    queries = []
+    for _ in range(count):
+        faults = rng.sample(edges, rng.randint(0, min(MAX_FAULTS, len(edges))))
+        s, t = rng.sample(vertices, 2)
+        queries.append((s, t, faults))
+    return queries
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(world=world_strategy)
+def test_snapshot_round_trip_is_canonical(world):
+    family, n, seed, _ = world
+    _, labeling = _build(family, n, seed)
+    v1 = labeling.to_snapshot_bytes()
+    assert FTCSnapshot.from_bytes(v1, decode_labels=False).to_bytes() == v1
+    v2 = FTCSnapshot.from_bytes(v1, decode_labels=False).to_bytes_v2()
+    assert FTCSnapshot.from_bytes(v2, decode_labels=False).to_bytes_v2() == v2
+    # Decoded contents are equal whichever container carried them.
+    assert FTCSnapshot.from_bytes(v2) == FTCSnapshot.from_bytes(v1)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(world=world_strategy)
+def test_v1_v2_and_live_answers_are_bit_identical(world):
+    family, n, graph_seed, query_seed = world
+    graph, labeling = _build(family, n, graph_seed)
+    v1 = labeling.to_snapshot_bytes()
+    v2 = FTCSnapshot.from_bytes(v1, decode_labels=False).to_bytes_v2()
+    v1_oracle = load_snapshot(v1)
+    v2_oracle = load_snapshot(v2)
+    try:
+        for s, t, faults in _generated_queries(graph, query_seed):
+            expected = labeling.connected(s, t, faults)
+            assert v1_oracle.connected(s, t, faults) == expected
+            assert v2_oracle.connected(s, t, faults) == expected
+            assert graph.connected(s, t, removed=faults) == expected
+    finally:
+        v1_oracle.close()
+        v2_oracle.close()
