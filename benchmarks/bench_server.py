@@ -11,7 +11,12 @@ against the medium workload snapshot:
 * the session hit rate the concurrent clients achieve, and
 * a worker sweep: aggregate q/s and client-observed p50/p99 against
   ``repro serve --workers 1/2/4`` fleets over a version-2 (mmap) snapshot
-  (``--skip-sweep`` omits it; it spawns real server processes).
+  (``--skip-sweep`` omits it; it spawns real server processes), and
+* a mid-run reload track: sustain load while a hot swap
+  (:meth:`~repro.api.RemoteOracle.reload`) replaces the serving snapshot,
+  recording ``swap_p99_ms`` (client-observed p99 across the whole run, swap
+  included) and ``swap_stall_ms`` (the single worst request) — both ``_ms``
+  metrics, so ``compare.py`` treats them as lower-is-better.
 
 Hard assertions: every answer served over the wire is bit-identical to the
 in-process oracle, and the concurrent clients share sessions (positive hit
@@ -165,6 +170,80 @@ def run_server_benchmark(n=N, seed=SEED, max_faults=MAX_FAULTS,
         # Server-side per-request latency quantiles (histogram estimates).
         "p50_ms": latency.get("p50_ms", 0.0),
         "p99_ms": latency.get("p99_ms", 0.0),
+    }
+
+
+def run_reload_benchmark(n=N, seed=SEED, max_faults=MAX_FAULTS,
+                         requests_per_client=REQUESTS_PER_CLIENT,
+                         num_clients=NUM_CLIENTS):
+    """Client-observed latency while a hot swap happens mid-run.
+
+    Serves a snapshot file, drives ``num_clients`` concurrent clients, and
+    halfway through triggers the authenticated ``reload`` op from a separate
+    control connection.  Every answer is still hard-checked against the
+    precomputed truth (the rewritten file holds byte-identical content, so
+    the truth table stays valid while the swap itself is fully real: new
+    oracle object, epoch bump, retired-oracle close).  No connection may
+    drop, and the post-swap epoch must have advanced.
+    """
+    import tempfile as tempfile_module
+
+    graph = cached_graph(FAMILY, n, seed)
+    built = Oracle.build(graph, max_faults=max_faults,
+                         variant=SchemeVariant.DETERMINISTIC_NEARLINEAR)
+    data = built.to_snapshot_bytes()
+    reference = Oracle.load(data)
+    fault_sets = [list(faults) for faults in sample_fault_sets(
+        graph, NUM_FAULT_SETS, max_faults, model=FaultModel.TREE_BIASED,
+        seed=seed)]
+    rng = random.Random(seed + 1)
+    vertices = sorted(graph.vertices())
+    requests = []
+    for faults in fault_sets:
+        pairs = [tuple(rng.sample(vertices, 2)) for _ in range(PAIRS_PER_REQUEST)]
+        requests.append((faults, pairs, reference.connected_many(pairs, faults)))
+    reference.close()
+
+    with tempfile_module.TemporaryDirectory(prefix="bench-reload-") as tmp:
+        path = os.path.join(tmp, "world.ftcs")
+        with open(path, "wb") as handle:
+            handle.write(data)
+        with BackgroundServer(Oracle.load(path), max_sessions=32,
+                              snapshot_path=path,
+                              reload_token="bench-reload") as server:
+            # Warm every distinct session so the track measures the swap,
+            # not first-touch session construction.
+            drive_client_latencies(server.host, server.port, requests,
+                                   len(requests))
+
+            def load_phase():
+                return drive_client_latencies(server.host, server.port,
+                                              requests, requests_per_client)
+
+            with Oracle.connect(server.host, server.port) as control:
+                epoch_before = control.server_stats()["server"]["snapshot_epoch"]
+                with ThreadPoolExecutor(max_workers=num_clients + 1) as pool:
+                    futures = [pool.submit(load_phase)
+                               for _ in range(num_clients)]
+                    # Let the load reach steady state, then swap mid-run.
+                    time.sleep(0.05)
+                    reload_start = time.perf_counter()
+                    report = control.reload("bench-reload")
+                    reload_seconds = time.perf_counter() - reload_start
+                    latency_lists = [future.result() for future in futures]
+                epoch_after = control.server_stats()["server"]["snapshot_epoch"]
+
+    assert report["reloaded"] is True, report
+    assert epoch_after == epoch_before + 1, (epoch_before, epoch_after)
+    latencies = [value for chunk in latency_lists for value in chunk]
+    return {
+        "clients": num_clients,
+        "requests_per_client": requests_per_client,
+        "swap_p99_ms": _quantile(latencies, 0.99) * 1000.0,
+        "swap_stall_ms": max(latencies) * 1000.0,
+        "reload_ms": reload_seconds * 1000.0,
+        "rewarmed_sessions": report["rewarmed_sessions"],
+        "epoch_after": epoch_after,
     }
 
 
@@ -336,6 +415,17 @@ if pytest is not None:
         check_speedup("multi-client aggregate vs single client",
                       result["concurrent_ratio"], MIN_CONCURRENT_RATIO)
 
+    def test_mid_run_reload_keeps_serving():
+        result = run_reload_benchmark(n=48, requests_per_client=8,
+                                      num_clients=2)
+        print_table("Mid-run reload", ["clients", "swap p99 ms",
+                                       "stall ms", "reload ms"],
+                    [[result["clients"], "%.2f" % result["swap_p99_ms"],
+                      "%.2f" % result["swap_stall_ms"],
+                      "%.2f" % result["reload_ms"]]])
+        assert result["epoch_after"] == 1
+        assert result["swap_p99_ms"] <= result["swap_stall_ms"]
+
     def test_worker_sweep_serves_bit_identical_answers():
         import socket
 
@@ -370,6 +460,8 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-sweep", action="store_true",
                         help="skip the multi-process --workers sweep (it "
                              "spawns real server fleets)")
+    parser.add_argument("--skip-reload", action="store_true",
+                        help="skip the mid-run hot-swap latency track")
     parser.add_argument("--workers", type=int, action="append", default=None,
                         help="fleet size to sweep (repeatable; default %s)"
                              % (WORKER_COUNTS,))
@@ -401,6 +493,23 @@ def main(argv=None) -> int:
         "p50_ms": result["p50_ms"],
         "p99_ms": result["p99_ms"],
     }
+    if not args.skip_reload:
+        reload_result = run_reload_benchmark(
+            n=args.n, seed=args.seed, max_faults=args.max_faults,
+            requests_per_client=args.requests, num_clients=args.clients)
+        print_table("Mid-run reload (hot swap under load)",
+                    ["clients", "swap p99 ms", "stall ms", "reload ms",
+                     "rewarmed"],
+                    [[reload_result["clients"],
+                      "%.2f" % reload_result["swap_p99_ms"],
+                      "%.2f" % reload_result["swap_stall_ms"],
+                      "%.2f" % reload_result["reload_ms"],
+                      reload_result["rewarmed_sessions"]]])
+        print("hot swap under load: zero dropped connections, every answer "
+              "bit-identical, epoch %d" % reload_result["epoch_after"])
+        payload["swap_p99_ms"] = reload_result["swap_p99_ms"]
+        payload["swap_stall_ms"] = reload_result["swap_stall_ms"]
+        payload["reload_ms"] = reload_result["reload_ms"]
     import socket
 
     if args.skip_sweep or not hasattr(socket, "SO_REUSEPORT"):

@@ -1,4 +1,4 @@
-"""The repo-specific invariant rules (``RPL001``...``RPL006``).
+"""The repo-specific invariant rules (``RPL001``...``RPL007``).
 
 Each rule encodes one seam contract of this codebase as an AST check — the
 invariants that used to live only in reviewers' heads and one-off tests:
@@ -23,6 +23,11 @@ RPL005  bulk-scalar-parity   Every public ``*_many`` op in ``repro.coding`` /
 RPL006  determinism          Build/decode modules use no wall-clock, unseeded
                              randomness, or set-iteration ordering — snapshot
                              bytes must be reproducible.
+RPL007  swap-discipline      The serving oracle pointer is replaced only through
+                             the hot-swap seam
+                             (:meth:`SessionManager.swap_oracle`) — never by a
+                             bare ``<obj>.oracle = ...`` assignment elsewhere in
+                             :mod:`repro.server`.
 ======= ==================== =====================================================
 
 All checks are lexical and intraprocedural on purpose: they are approximations
@@ -200,7 +205,7 @@ class ErrorDisciplineRule(Rule):
     #: The shared hierarchy plus the documented per-layer error types.
     ALLOWED_SHARED = frozenset({
         "OracleError", "TransportError", "QueryFailure", "LabelDecodeError",
-        "ProtocolError", "RemoteOracleError",
+        "ProtocolError", "RemoteOracleError", "DeltaError",
     })
     #: Builtins the oracle contract documents (unknown ids, over-budget
     #: faults, misuse) plus the interpreter-level types no hierarchy owns.
@@ -411,6 +416,13 @@ LOCK_CONTRACTS: tuple[LockContract, ...] = (
     LockContract("src/repro/server/session_manager.py", "SessionManager",
                  "_hot_lock", frozenset({"_hot_keys", "_hot_key_names",
                                          "_hot_key_faults"})),
+    # The hot-swap quadruple: the oracle pointer, its epoch, the per-epoch
+    # lease counts, and the retired-but-leased oracles move together or the
+    # swap races a request pinning the pointer (reads are epoch-tolerant by
+    # design; every *mutation* must be atomic with the epoch bump).
+    LockContract("src/repro/server/session_manager.py", "SessionManager",
+                 "_swap_lock", frozenset({"oracle", "_epoch", "_leases",
+                                          "_retired"})),
     LockContract("src/repro/pool/oracle.py", "PooledOracle", "_lock",
                  frozenset({"_queries_answered"})),
     LockContract("src/repro/core/ftc.py", "LabelBackedQueries",
@@ -692,6 +704,72 @@ class DeterminismRule(Rule):
                 "(sorted(...)) before iterating in a build/decode path"))
 
 
+# --------------------------------------------------------------------- RPL007
+
+class SwapDisciplineRule(Rule):
+    """The serving oracle is replaced only through the hot-swap seam.
+
+    Zero-downtime reload works because exactly one code path —
+    :meth:`SessionManager.swap_oracle` — flips the oracle pointer, under
+    ``_swap_lock``, atomically with the epoch bump and the lease bookkeeping.
+    A bare ``server.oracle = new`` / ``self.oracle = new`` anywhere else in
+    :mod:`repro.server` would bypass the lease protocol: in-flight requests
+    pinned to the old epoch could close an oracle still being read, or the
+    epoch gauge would lie.  This rule flags every assignment whose target is
+    an ``.oracle`` attribute in server code, outside the two sanctioned
+    sites (``SessionManager.__init__`` and ``SessionManager.swap_oracle``).
+
+    Lexical and intraprocedural like the other rules: any attribute named
+    ``oracle`` counts, whatever the receiver — over-approximate on purpose,
+    suppressible inline with ``# repro: allow[RPL007] why``.
+    """
+
+    code = "RPL007"
+    name = "swap-discipline"
+    description = ("the serving oracle pointer is assigned only inside "
+                   "SessionManager.__init__ / SessionManager.swap_oracle")
+
+    SCOPE = "src/repro/server/"
+    ALLOWED_SITES = frozenset({("SessionManager", "__init__"),
+                               ("SessionManager", "swap_oracle")})
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(self.SCOPE)
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        self._visit(module, module.tree, class_name=None, method_name=None,
+                    findings=findings)
+        yield from findings
+
+    def _visit(self, module: ModuleFile, node: ast.AST,
+               class_name: str | None, method_name: str | None,
+               findings: list) -> None:
+        if isinstance(node, ast.ClassDef):
+            class_name, method_name = node.name, None
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if method_name is None:
+                method_name = node.name
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and \
+                        target.attr == "oracle" and \
+                        (class_name, method_name) not in self.ALLOWED_SITES:
+                    findings.append(self._finding(
+                        module, node,
+                        "assigns %s in %s — the serving oracle is replaced "
+                        "only via SessionManager.swap_oracle (the lease-"
+                        "protocol seam)"
+                        % (ast.unparse(target),
+                           "%s.%s()" % (class_name, method_name)
+                           if class_name and method_name
+                           else (method_name or "module scope"))))
+        for child in ast.iter_child_nodes(node):
+            self._visit(module, child, class_name, method_name, findings)
+
+
 #: Registry in code order; the engine runs them all unless ``--rules`` picks.
 RULES: tuple[Rule, ...] = (
     SeamDisciplineRule(),
@@ -700,6 +778,7 @@ RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
     BulkScalarParityRule(),
     DeterminismRule(),
+    SwapDisciplineRule(),
 )
 
 
@@ -710,4 +789,4 @@ def rules_by_code() -> dict[str, Rule]:
 __all__ = ["ModuleFile", "Rule", "RULES", "rules_by_code", "LOCK_CONTRACTS",
            "LockContract", "PARSE_ERROR_CODE", "SeamDisciplineRule",
            "ErrorDisciplineRule", "AsyncSafetyRule", "LockDisciplineRule",
-           "BulkScalarParityRule", "DeterminismRule"]
+           "BulkScalarParityRule", "DeterminismRule", "SwapDisciplineRule"]

@@ -58,7 +58,8 @@ from repro.core.config import (FTCConfig, SchemeVariant, resolve_build_executor,
                                resolve_ftc_config)
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
-from repro.errors import OracleClosedError, OracleError, TransportError
+from repro.errors import (DeltaError, OracleClosedError, OracleError,
+                          TransportError)
 # The Prometheus text-exposition helpers live in repro.obs.prometheus so the
 # metrics registry, the /metrics sidecar, and this facade render one format
 # (repro.obs imports nothing from this module — the dependency is one-way).
@@ -374,6 +375,17 @@ class RemoteOracle:
         """The raw ``stats`` wire payload (``{"server": ..., "oracle": ...}``)."""
         return cast(dict, self._call(self._client.stats))
 
+    def reload(self, token: str, path: str | None = None) -> dict:
+        """Ask the server to hot-swap its snapshot (zero downtime).
+
+        Requires the server's configured ``--reload-token``; ``path``, if
+        given, must equal the server's snapshot path.  Returns the reload
+        report (new ``epoch``, ``rewarmed_sessions``, ...).  Unauthorized or
+        failed reloads surface as :class:`RemoteOracleError` with the wire
+        code preserved (``reload-forbidden`` / ``reload-failed``).
+        """
+        return cast(dict, self._call(self._client.reload, token, path))
+
     def stats(self) -> OracleStats:
         payload = self.server_stats()
         server = payload.get("server") or {}
@@ -482,6 +494,38 @@ class Oracle:
         from repro.pool import PooledOracle
 
         return PooledOracle(path, workers=workers)
+
+    @staticmethod
+    def build_delta(base: Any, graph: Any = None, *,
+                    add_edges: Iterable = (), remove_edges: Iterable = (),
+                    use_fast_engine: bool = True,
+                    executor: Any = None, jobs: int | None = None) -> Any:
+        """Rebuild a "build" transport oracle after a graph edit, incrementally.
+
+        ``base`` is an oracle from :meth:`Oracle.build`; pass either the full
+        target ``graph`` or the edit itself (``add_edges`` /
+        ``remove_edges``).  Labels are reconstructed through
+        :func:`repro.delta.incremental.incremental_labeling`, which patches
+        every base level whose structure survived the edit and falls back to
+        normal shard construction where it did not — the result (and its
+        snapshot) is byte-identical to a from-scratch build either way.
+        """
+        from repro.core.oracle import FTConnectivityOracle
+        from repro.delta.incremental import incremental_labeling
+
+        if getattr(base, "labeling", None) is None or \
+                getattr(base, "graph", None) is None:
+            raise DeltaError(
+                "build_delta needs a 'build' transport oracle (Oracle.build): "
+                "the %r transport carries labels only, not the graph and "
+                "build structures an incremental rebuild patches"
+                % getattr(base, "transport", "unknown"))
+        labeling = incremental_labeling(base.labeling, graph,
+                                        add_edges=add_edges,
+                                        remove_edges=remove_edges,
+                                        executor=resolve_build_executor(executor, jobs))
+        return FTConnectivityOracle.from_labeling(labeling.graph, labeling,
+                                                  use_fast_engine=use_fast_engine)
 
     @staticmethod
     def connect(host: str, port: int, timeout: float = 30.0) -> RemoteOracle:
@@ -648,13 +692,45 @@ def upgrade_snapshot(source: Any, destination: Any) -> dict:
     return upgrade_snapshot_file(source, destination)
 
 
+def diff_snapshots(base: Any, target: Any, destination: Any) -> dict:
+    """Write the ``FTCS-D`` delta that patches ``base`` into ``target``.
+
+    Facade over :func:`repro.delta.format.diff_snapshot_files` (the CLI's
+    ``snapshot-diff`` goes through here — seam discipline keeps it off
+    ``repro.delta`` internals).  The produced artifact is fail-closed: before
+    anything is written it is applied in memory and the reconstruction is
+    compared byte-for-byte against ``target``.  Returns the differ's summary
+    dict (paths, sizes, per-section change counts).
+    """
+    from repro.delta import diff_snapshot_files
+
+    return diff_snapshot_files(base, target, destination)
+
+
+def apply_delta(base: Any, delta: Any, destination: Any) -> dict:
+    """Reconstruct a target snapshot from ``base`` plus an ``FTCS-D`` delta.
+
+    Facade over :func:`repro.delta.format.apply_delta_file` (the CLI's
+    ``snapshot-apply``).  Fail-closed: the delta records the SHA-256 of both
+    endpoints, a mismatched base or a reconstruction that does not hash to
+    the recorded target raises :class:`~repro.errors.DeltaError` and nothing
+    is written.  Returns the summary dict of the reconstruction.
+    """
+    from repro.delta import apply_delta_file
+
+    return apply_delta_file(base, delta, destination)
+
+
 __all__ = [
     "Oracle",
     "OracleProtocol",
     "OracleStats",
     "OracleError",
     "OracleClosedError",
+    "DeltaError",
     "TransportError",
+    "apply_delta",
+    "diff_snapshots",
     "RemoteOracle",
     "RemoteBatchSession",
     "RemoteOracleError",

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field as dataclass_field
-from typing import Hashable
+from typing import Callable, Hashable, Optional
 
 from repro.build.executors import BuildExecutor, resolve_executor
 from repro.obs.memory import PeakMemoryMeter
@@ -56,6 +56,11 @@ from repro.outdetect.rs_threshold import RSThresholdOutdetect
 from repro.outdetect.sketch import SketchOutdetect
 
 Vertex = Hashable
+
+#: The incremental-build seam (:mod:`repro.delta`): called per layered-RS
+#: level with ``(level_index, threshold, edge_ids, vertices, field)``; a
+#: non-``None`` return is adopted as that level's complete label matrix.
+LevelReuseHook = Callable[[int, int, dict, list, object], Optional[list]]
 
 #: Stage names, in execution order (the keys of ``BuildReport.stage_seconds``).
 STAGES = ("spanning", "hierarchy", "outdetect", "assembly")
@@ -85,6 +90,9 @@ class BuildReport:
     total_seconds: float = 0.0
     stage_peak_bytes: dict = dataclass_field(default_factory=dict)
     memory_probe: str = "unavailable"
+    #: Levels whose label matrix came from a ``level_reuse`` hook instead of
+    #: shard construction (the incremental path of :mod:`repro.delta`).
+    reused_level_count: int = 0
 
     def to_dict(self) -> dict:
         """A JSON-ready view (what the CLI prints under ``build_report``)."""
@@ -97,6 +105,7 @@ class BuildReport:
             "total_seconds": self.total_seconds,
             "stage_peak_bytes": dict(self.stage_peak_bytes),
             "memory_probe": self.memory_probe,
+            "reused_level_count": self.reused_level_count,
         }
 
 
@@ -136,8 +145,21 @@ class BuildPlan:
     # ------------------------------------------------------------------ stages
 
     def run(self, executor: BuildExecutor | str | None = None,
-            jobs: int | None = None) -> BuildResult:
-        """Execute all four stages and return the result + report."""
+            jobs: int | None = None,
+            level_reuse: LevelReuseHook | None = None) -> BuildResult:
+        """Execute all four stages and return the result + report.
+
+        ``level_reuse`` is the incremental-build seam (:mod:`repro.delta`):
+        called once per layered-RS level with ``(level_index, threshold,
+        edge_ids, vertices, field)``, it may return a complete label matrix
+        for that level — which is adopted verbatim, skipping the level's
+        shard construction — or ``None`` to build the level from scratch.
+        Sketch variants ignore the hook (their single level is global).  The
+        hook must preserve the XOR-merge semantics: an adopted matrix must
+        equal what the shard pipeline would have produced, which callers
+        guarantee by patching a base matrix with the XOR contributions of the
+        changed edges only.
+        """
         executor = resolve_executor(executor, jobs)
         stage_seconds: dict[str, float] = {}
         stage_peak: dict[str, int] = {}
@@ -159,8 +181,8 @@ class BuildPlan:
 
         stage_start = time.perf_counter()
         meter.start_phase()
-        outdetect, shard_count, level_count = self._build_outdetect(
-            instance, hierarchy, executor)
+        outdetect, shard_count, level_count, reused_levels = \
+            self._build_outdetect(instance, hierarchy, executor, level_reuse)
         _record_peak(stage_peak, "outdetect", meter)
         stage_seconds["outdetect"] = time.perf_counter() - stage_start
 
@@ -179,6 +201,7 @@ class BuildPlan:
             total_seconds=time.perf_counter() - start,
             stage_peak_bytes=stage_peak,
             memory_probe=meter.probe,
+            reused_level_count=reused_levels,
         )
         return BuildResult(instance=instance, hierarchy=hierarchy,
                            outdetect=outdetect, tree_labeling=tree_labeling,
@@ -204,14 +227,17 @@ class BuildPlan:
 
     def _build_outdetect(self, instance: TransformedInstance,
                          hierarchy: EdgeHierarchy | None,
-                         executor: BuildExecutor) -> tuple:
+                         executor: BuildExecutor,
+                         level_reuse: LevelReuseHook | None = None) -> tuple:
         """Stage 3: shard every level's edges, fan out, merge, assemble.
 
-        Returns ``(scheme, shard_count, level_count)``.  Shards are created
-        per level with at most ``executor.jobs`` slices each, tasks are
-        dispatched in one ``executor.map`` across *all* levels (so a deep
-        hierarchy with skewed level sizes still load-balances), and each
-        level's partial matrices are XOR-merged back in place.
+        Returns ``(scheme, shard_count, level_count, reused_level_count)``.
+        Shards are created per level with at most ``executor.jobs`` slices
+        each, tasks are dispatched in one ``executor.map`` across *all*
+        levels (so a deep hierarchy with skewed level sizes still
+        load-balances), and each level's partial matrices are XOR-merged back
+        in place.  A level whose matrix the ``level_reuse`` hook supplies
+        dispatches no shard tasks at all.
         """
         vertices = list(instance.auxiliary.tree_prime.vertices())
         vertex_index = {vertex: position for position, vertex in enumerate(vertices)}
@@ -228,27 +254,40 @@ class BuildPlan:
                        {edge: instance.edge_ids[edge] for edge in level_edges})
                       for level_edges, threshold in zip(hierarchy.levels,
                                                         hierarchy.thresholds)]
+        reused: dict[int, list] = {}
+        if level_reuse is not None:
+            for level_index, (threshold, edge_ids) in enumerate(levels):
+                matrix = level_reuse(level_index, threshold, edge_ids,
+                                     vertices, field)
+                if matrix is not None:
+                    reused[level_index] = matrix
         tasks: list[dict] = []
         slices: list[list[int]] = []  # task indices per level, in level order
-        for threshold, edge_ids in levels:
+        for level_index, (threshold, edge_ids) in enumerate(levels):
             level_tasks: list[int] = []
-            for chunk in _chunks(_position_edges(edge_ids, vertex_index),
-                                 executor.jobs):
-                level_tasks.append(len(tasks))
-                tasks.append(rs_shard_task(field.width, field.modulus,
-                                           threshold, chunk))
+            if level_index not in reused:
+                for chunk in _chunks(_position_edges(edge_ids, vertex_index),
+                                     executor.jobs):
+                    level_tasks.append(len(tasks))
+                    tasks.append(rs_shard_task(field.width, field.modulus,
+                                               threshold, chunk))
             slices.append(level_tasks)
         results = executor.map(build_shard, tasks)
         merge_bulk = get_bulk_ops(None, max_bits=field.width)
         level_schemes: list[RSThresholdOutdetect] = []
-        for (threshold, edge_ids), task_indices in zip(levels, slices):
-            merged = merge_shards(len(vertices), 2 * threshold,
-                                  [results[index] for index in task_indices],
-                                  bulk=merge_bulk)
+        for level_index, ((threshold, edge_ids), task_indices) in \
+                enumerate(zip(levels, slices)):
+            if level_index in reused:
+                merged = reused[level_index]
+            else:
+                merged = merge_shards(len(vertices), 2 * threshold,
+                                      [results[index] for index in task_indices],
+                                      bulk=merge_bulk)
             level_schemes.append(RSThresholdOutdetect.from_label_matrix(
                 field, threshold, vertices, edge_ids, merged,
                 adaptive=self.config.adaptive_decoding))
-        return LayeredOutdetect(level_schemes), len(tasks), len(levels)
+        return (LayeredOutdetect(level_schemes), len(tasks), len(levels),
+                len(reused))
 
     def _build_sketch(self, instance: TransformedInstance, vertices: list,
                       vertex_index: dict, executor: BuildExecutor) -> tuple:
@@ -272,7 +311,7 @@ class BuildPlan:
             repetitions=geometry["repetitions"],
             seed=config.random_seed,
             id_bits=geometry["id_bits"])
-        return scheme, len(tasks), 1
+        return scheme, len(tasks), 1, 0
 
 
 def _record_peak(stage_peak: dict, stage: str, meter: PeakMemoryMeter) -> None:
@@ -312,4 +351,5 @@ def _chunks(items: list, parts: int) -> list:
     return out
 
 
-__all__ = ["STAGES", "BuildPlan", "BuildReport", "BuildResult"]
+__all__ = ["STAGES", "BuildPlan", "BuildReport", "BuildResult",
+           "LevelReuseHook"]

@@ -11,7 +11,7 @@ Construction likewise goes through the one build facade of
 label construction across N processes, byte-identical to a serial build;
 on ``serve`` the flag instead bounds the session-building worker threads.
 
-Ten subcommands cover the typical workflow:
+Twelve subcommands cover the typical workflow:
 
 ``stats``
     Build labels for a graph (edge-list file) and print label-size
@@ -42,6 +42,15 @@ Ten subcommands cover the typical workflow:
 ``snapshot-upgrade``
     Rewrite a version-1 snapshot as version 2 — the page-aligned layout
     ``Oracle.load`` serves via ``mmap`` — with bit-identical answers.
+``snapshot-diff``
+    Write the versioned ``FTCS-D`` delta artifact that patches one snapshot
+    into another (XOR patches over the label bytes plus add/remove records);
+    the delta records the SHA-256 of both endpoints and is verified by
+    re-applying it in memory before anything is written.
+``snapshot-apply``
+    Reconstruct the target snapshot from a base snapshot plus an ``FTCS-D``
+    delta.  Fail-closed: a wrong base or a reconstruction that does not hash
+    to the recorded target digest is an error and nothing is written.
 ``serve``
     Load a snapshot and serve ``connected`` / ``connected_many`` / ``stats``
     over the newline-JSON TCP protocol of :mod:`repro.server` to any number
@@ -116,6 +125,7 @@ from repro.api import (Oracle, RemoteOracleError, TransportError, open_oracle,
 from repro.core.config import SchemeVariant
 from repro.core.query import QueryFailure
 from repro.core.serialize import LabelDecodeError
+from repro.errors import DeltaError
 from repro.graphs.graph import Graph, read_edge_list
 from repro.server.protocol import dump_envelope, error_response, ok_response
 
@@ -759,6 +769,44 @@ def cmd_snapshot_upgrade(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot_diff(args: argparse.Namespace) -> int:
+    from repro.api import diff_snapshots
+
+    try:
+        report = diff_snapshots(args.base, args.target, args.output)
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except LabelDecodeError as error:
+        print("error: not a loadable FTCS snapshot: %s" % error, file=sys.stderr)
+        return 2
+    except DeltaError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def cmd_snapshot_apply(args: argparse.Namespace) -> int:
+    from repro.api import apply_delta
+
+    try:
+        report = apply_delta(args.base, args.delta, args.output)
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except LabelDecodeError as error:
+        print("error: not a loadable FTCS snapshot: %s" % error, file=sys.stderr)
+        return 2
+    except DeltaError as error:
+        # Wrong base, corrupt delta, or a reconstruction that failed digest
+        # verification: fail-closed means nothing was written.
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.pool.prewarm import hot_keys_path
 
@@ -773,6 +821,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.rewarm_interval is not None and args.rewarm_interval <= 0:
+        print("error: --rewarm-interval must be positive", file=sys.stderr)
         return 2
 
     def announce(event: dict) -> None:
@@ -792,7 +843,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                      max_request_bytes=args.max_request_bytes,
                                      jobs=args.jobs,
                                      metrics_port=args.metrics_port,
-                                     announce=announce)
+                                     announce=announce,
+                                     reload_token=args.reload_token,
+                                     rewarm_interval=args.rewarm_interval)
         except FileNotFoundError:
             print("error: snapshot file not found: %s" % args.snapshot,
                   file=sys.stderr)
@@ -815,7 +868,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                           jobs=args.jobs,
                           metrics_port=args.metrics_port,
                           announce=announce,
-                          hot_keys_file=hot_keys_path(args.snapshot))
+                          hot_keys_file=hot_keys_path(args.snapshot),
+                          snapshot_path=args.snapshot,
+                          reload_token=args.reload_token,
+                          rewarm_interval=args.rewarm_interval)
     except OSError as error:  # e.g. port already in use
         print("error: cannot serve on %s:%d: %s" % (args.host, args.port, error),
               file=sys.stderr)
@@ -1003,6 +1059,29 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="path of the version-2 snapshot to write")
     upgrade_parser.set_defaults(handler=cmd_snapshot_upgrade)
 
+    diff_parser = subparsers.add_parser(
+        "snapshot-diff",
+        help="write the FTCS-D delta that patches one snapshot into another")
+    diff_parser.add_argument("--base", required=True,
+                             help="base snapshot (the one deployed readers hold)")
+    diff_parser.add_argument("--target", required=True,
+                             help="target snapshot the delta reconstructs")
+    diff_parser.add_argument("--output", required=True,
+                             help="path of the FTCS-D delta file to write")
+    diff_parser.set_defaults(handler=cmd_snapshot_diff)
+
+    apply_parser = subparsers.add_parser(
+        "snapshot-apply",
+        help="reconstruct a target snapshot from base + FTCS-D delta "
+             "(digest-verified, fail-closed)")
+    apply_parser.add_argument("--base", required=True,
+                              help="base snapshot the delta was diffed against")
+    apply_parser.add_argument("--delta", required=True,
+                              help="FTCS-D delta file from snapshot-diff")
+    apply_parser.add_argument("--output", required=True,
+                              help="path of the reconstructed snapshot to write")
+    apply_parser.set_defaults(handler=cmd_snapshot_apply)
+
     serve_parser = subparsers.add_parser(
         "serve", help="serve a snapshot's oracle over the newline-JSON TCP protocol")
     serve_parser.add_argument("--snapshot", required=True,
@@ -1033,6 +1112,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="serve from this many processes sharing the "
                                    "port via SO_REUSEPORT (default: one "
                                    "in-process server)")
+    serve_parser.add_argument("--reload-token", default=None,
+                              help="enable the authenticated 'reload' wire op "
+                                   "with this shared secret (SIGHUP reloads "
+                                   "always work; default: wire op disabled)")
+    serve_parser.add_argument("--rewarm-interval", type=float, default=None,
+                              help="re-warm the hottest live fault-set "
+                                   "sessions every this many seconds "
+                                   "(default: only at startup and after a "
+                                   "reload)")
     serve_parser.set_defaults(handler=cmd_serve)
 
     client_parser = subparsers.add_parser(

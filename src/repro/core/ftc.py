@@ -362,9 +362,27 @@ class FTCLabeling(LabelBackedQueries):
                  executor=None, jobs: int | None = None):
         from repro.build.plan import BuildPlan
 
+        result = BuildPlan(graph, config, root=root).run(executor, jobs)
+        self._adopt_build_result(graph, config, result)
+
+    @classmethod
+    def from_build_result(cls, graph: Graph, config: FTCConfig,
+                          result) -> "FTCLabeling":
+        """Wrap an already-executed :class:`~repro.build.plan.BuildResult`.
+
+        The seam for builds that do not run the default plan — the
+        incremental path of :mod:`repro.delta` runs the plan itself (with a
+        ``level_reuse`` hook) and adopts the result here.  The labeling is
+        indistinguishable from one built by the constructor.
+        """
+        labeling = cls.__new__(cls)
+        labeling._adopt_build_result(graph, config, result)
+        return labeling
+
+    def _adopt_build_result(self, graph: Graph, config: FTCConfig,
+                            result) -> None:
         self.graph = graph
         self.config = config
-        result = BuildPlan(graph, config, root=root).run(executor, jobs)
         self.instance: TransformedInstance = result.instance
         self.outdetect: OutdetectScheme = result.outdetect
         self._tree_labeling = result.tree_labeling

@@ -55,6 +55,24 @@ class FTConnectivityOracle:
         self.use_fast_engine = use_fast_engine
         self._queries_answered = 0
 
+    @classmethod
+    def from_labeling(cls, graph: Graph, labeling: FTCLabeling,
+                      use_fast_engine: bool = True) -> "FTConnectivityOracle":
+        """Wrap an already-constructed labeling (no rebuild).
+
+        The adoption path of :meth:`repro.api.Oracle.build_delta`: an
+        incremental rebuild produces the :class:`~repro.core.ftc.FTCLabeling`
+        directly, and this constructor gives it the same oracle surface the
+        normal construction path gets.
+        """
+        oracle = cls.__new__(cls)
+        oracle.config = labeling.config
+        oracle.graph = graph
+        oracle.labeling = labeling
+        oracle.use_fast_engine = use_fast_engine
+        oracle._queries_answered = 0
+        return oracle
+
     def connected(self, s: Vertex, t: Vertex, faults: Iterable[Edge] = ()) -> bool:
         """Connectivity of s and t in G - F, answered from labels.
 

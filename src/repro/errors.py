@@ -49,4 +49,15 @@ class OracleClosedError(TransportError):
     """
 
 
-__all__ = ["OracleError", "TransportError", "OracleClosedError"]
+class DeltaError(OracleError):
+    """An ``FTCS-D`` delta artifact cannot be produced or applied.
+
+    Raised by :mod:`repro.delta` when a delta is malformed, was built against
+    a different base snapshot than the one it is being applied to, or when
+    applying it does not reproduce the recorded target digest.  Every delta
+    failure is fail-closed: either the reconstructed snapshot is byte-for-byte
+    the recorded target, or this error is raised and nothing is written.
+    """
+
+
+__all__ = ["OracleError", "TransportError", "OracleClosedError", "DeltaError"]

@@ -83,7 +83,9 @@ def _worker_entry(snapshot_path: str, host: str, port: int,
                   worker_index: int, ready_queue: Any,
                   max_sessions: int | None, max_request_bytes: int,
                   jobs: int | None, metrics_port: int | None,
-                  prewarm_top: int | None) -> None:
+                  prewarm_top: int | None,
+                  reload_token: str | None = None,
+                  rewarm_interval: float | None = None) -> None:
     """Worker process body: load the snapshot, run the ordinary server loop.
 
     Module-level (not a closure) so the fleet also works under the ``spawn``
@@ -105,7 +107,9 @@ def _worker_entry(snapshot_path: str, host: str, port: int,
         max_request_bytes=max_request_bytes, jobs=jobs,
         announce=ready_queue.put, metrics_port=metrics_port,
         reuse_port=True, worker_index=worker_index,
-        hot_keys_file=hot_keys_path(snapshot_path), prewarm_top=prewarm_top)
+        hot_keys_file=hot_keys_path(snapshot_path), prewarm_top=prewarm_top,
+        snapshot_path=snapshot_path, reload_token=reload_token,
+        rewarm_interval=rewarm_interval)
     sys.exit(code)
 
 
@@ -159,7 +163,9 @@ def run_pooled_server(snapshot_path: str, host: str = "127.0.0.1",
                       jobs: int | None = None,
                       metrics_port: int | None = None,
                       announce: Callable[[Mapping], None] | None = None,
-                      prewarm_top: int | None = None) -> int:
+                      prewarm_top: int | None = None,
+                      reload_token: str | None = None,
+                      rewarm_interval: float | None = None) -> int:
     """Blocking entry point behind ``repro serve --workers N``.
 
     Announces one combined event once every worker is ready::
@@ -172,6 +178,11 @@ def run_pooled_server(snapshot_path: str, host: str = "127.0.0.1",
     Workers pre-warm the snapshot's hot-key sidecar file on start and the
     first worker to exit cleanly refreshes it, so restarts of the fleet —
     and later single-process serves of the same snapshot — start warm.
+
+    SIGHUP to the parent is relayed to every live worker, so one signal
+    hot-swaps the whole fleet onto the rewritten snapshot file with zero
+    dropped connections (each worker swaps independently; see
+    :meth:`repro.server.server.QueryServer.reload_snapshot`).
     """
     from repro.server import protocol
 
@@ -193,7 +204,8 @@ def run_pooled_server(snapshot_path: str, host: str = "127.0.0.1",
                 target=_worker_entry,
                 args=(snapshot_path, bound_host, bound_port, index,
                       ready_queue, max_sessions, max_request_bytes, jobs,
-                      _worker_metrics_port(metrics_port, index), prewarm_top),
+                      _worker_metrics_port(metrics_port, index), prewarm_top,
+                      reload_token, rewarm_interval),
                 name="repro-serve-%d" % index, daemon=False)
             for index in range(workers)
         ]
@@ -228,6 +240,17 @@ def run_pooled_server(snapshot_path: str, host: str = "127.0.0.1",
             signum: signal.signal(signum, _handle_stop)
             for signum in (signal.SIGINT, signal.SIGTERM)
         }
+
+        def _handle_reload(signum: int, frame: Any) -> None:
+            # Relay only: each worker performs its own swap, so a worker
+            # mid-request simply swaps a moment later than its siblings.
+            for process in processes:
+                if process.is_alive() and process.pid is not None:
+                    os.kill(process.pid, signal.SIGHUP)
+
+        if hasattr(signal, "SIGHUP"):
+            previous_handlers[signal.SIGHUP] = \
+                signal.signal(signal.SIGHUP, _handle_reload)
         try:
             # Wake periodically to notice a worker that died on its own —
             # the fleet degrades to full restart, never to silent capacity

@@ -163,6 +163,16 @@ class AsyncQueryClient(_RequestMixin):
         structure (``num_components`` / ``num_fragments``)."""
         return await self.request("session_info", faults=_edges_to_wire(faults))
 
+    async def reload(self, token: str, path: str | None = None) -> dict:
+        """Hot-swap the serving snapshot (requires the server's reload token).
+
+        ``path``, if given, must match the server's configured snapshot path
+        (the op cannot point the server at a different file)."""
+        fields: dict = {"token": token}
+        if path is not None:
+            fields["path"] = path
+        return await self.request("reload", **fields)
+
     async def close(self) -> None:
         """Close the connection; safe to call more than once."""
         if self._closed:
@@ -219,6 +229,16 @@ class QueryClient(_RequestMixin):
         """Ensure the server-side batch session for ``faults``; returns its
         structure (``num_components`` / ``num_fragments``)."""
         return self.request("session_info", faults=_edges_to_wire(faults))
+
+    def reload(self, token: str, path: str | None = None) -> dict:
+        """Hot-swap the serving snapshot (requires the server's reload token).
+
+        ``path``, if given, must match the server's configured snapshot path
+        (the op cannot point the server at a different file)."""
+        fields: dict = {"token": token}
+        if path is not None:
+            fields["path"] = path
+        return self.request("reload", **fields)
 
     def close(self) -> None:
         """Close the connection; safe to call more than once, even after the

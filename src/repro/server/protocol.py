@@ -64,12 +64,17 @@ E_UNKNOWN_EDGE = "unknown-edge"
 E_OVER_BUDGET = "over-budget"
 E_DECODE = "label-decode-failed"
 E_QUERY_FAILED = "query-failed"
+E_RELOAD_FORBIDDEN = "reload-forbidden"
+E_RELOAD_FAILED = "reload-failed"
 E_INTERNAL = "internal-error"
 
 #: Request types the server understands.  ``session_info`` ensures the batch
 #: session for one fault set (building it if needed) and reports its
 #: structure — the wire backing of the remote transport's ``batch_session``.
-KNOWN_OPS = ("ping", "stats", "connected", "connected_many", "session_info")
+#: ``reload`` hot-swaps the serving snapshot (authenticated by the
+#: server-configured reload token; see :meth:`QueryServer.reload_snapshot`).
+KNOWN_OPS = ("ping", "stats", "connected", "connected_many", "session_info",
+             "reload")
 
 
 class ProtocolError(OracleError):
@@ -232,7 +237,7 @@ __all__ = [
     "MAX_VERTEX_DEPTH", "KNOWN_OPS",
     "E_MALFORMED", "E_OVERSIZED", "E_BAD_REQUEST", "E_UNKNOWN_OP",
     "E_UNKNOWN_VERTEX", "E_UNKNOWN_EDGE", "E_OVER_BUDGET", "E_DECODE",
-    "E_QUERY_FAILED", "E_INTERNAL",
+    "E_QUERY_FAILED", "E_RELOAD_FORBIDDEN", "E_RELOAD_FAILED", "E_INTERNAL",
     "ProtocolError", "vertex_from_wire", "vertex_to_wire", "parse_request",
     "extract_faults", "extract_pair", "extract_pairs",
     "ok_response", "error_response", "encode_line", "dump_envelope",

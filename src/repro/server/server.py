@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hmac
 import signal
 import threading
 import time
@@ -60,7 +61,9 @@ class QueryServer:
                  metrics_host: str | None = None,
                  tracer: Tracer | None = None,
                  slow_request_seconds: float = 1.0,
-                 reuse_port: bool = False):
+                 reuse_port: bool = False,
+                 snapshot_path: str | None = None,
+                 reload_token: str | None = None):
         self._requested_host = host
         self._requested_port = port
         # SO_REUSEPORT lets N sibling server processes bind one port and have
@@ -76,7 +79,14 @@ class QueryServer:
             service="repro.server", slow_seconds=slow_request_seconds)
         self.sessions = SessionManager(oracle, max_sessions=max_sessions,
                                        executor=executor, tracer=self.tracer)
-        self.oracle = oracle
+        # Hot-reload seam: the server reloads only from its *configured*
+        # snapshot path (a wire request cannot point it at an arbitrary
+        # file), and wire-triggered reloads additionally require the
+        # server-side token.  SIGHUP (local authority) needs no token.
+        self._snapshot_path = None if snapshot_path is None \
+            else str(snapshot_path)
+        self._reload_token = reload_token
+        self._reload_serial = asyncio.Lock()
         self.metrics = self.sessions.metrics
         self._server: asyncio.base_events.Server | None = None
         self._writers: set[asyncio.StreamWriter] = set()
@@ -95,7 +105,18 @@ class QueryServer:
             "connected": self._op_connected,
             "connected_many": self._op_connected_many,
             "session_info": self._op_session_info,
+            "reload": self._op_reload,
         }
+
+    @property
+    def oracle(self):
+        """The *currently serving* oracle (swapped atomically by reloads).
+
+        A read-through to the session manager — the single owner of the
+        oracle pointer — so the server can never serve stale state; request
+        handlers must not cache this across an ``await``.
+        """
+        return self.sessions.oracle
 
     # ------------------------------------------------------------ lifecycle
 
@@ -387,6 +408,89 @@ class QueryServer:
                 "num_fragments": session.num_fragments(),
                 "queries_answered": session.queries_answered}
 
+    # -------------------------------------------------------------- reload
+
+    async def _op_reload(self, request: dict) -> dict:
+        """The wire trigger for a hot swap — authenticated by configuration.
+
+        Disabled unless the server was started with a reload token; the
+        client must echo that exact token, and an optional ``path`` field
+        must equal the server's *configured* snapshot path (a request can
+        confirm what it expects to reload, never choose a different file).
+        Local operators use SIGHUP instead, which needs no token.
+        """
+        if self._reload_token is None:
+            raise ProtocolError(protocol.E_RELOAD_FORBIDDEN,
+                                "wire reload is disabled (server started "
+                                "without a reload token); send SIGHUP instead")
+        token = request.get("token")
+        if not isinstance(token, str) or \
+                not hmac.compare_digest(token, self._reload_token):
+            raise ProtocolError(protocol.E_RELOAD_FORBIDDEN,
+                                "bad reload token")
+        path = request.get("path")
+        if path is not None and path != self._snapshot_path:
+            raise ProtocolError(
+                protocol.E_RELOAD_FORBIDDEN,
+                "reload path %r does not match the configured snapshot %r"
+                % (path, self._snapshot_path))
+        return await self.reload_snapshot(source="wire")
+
+    async def reload_snapshot(self, source: str = "signal") -> dict:
+        """Hot-swap the serving oracle from the configured snapshot path.
+
+        Zero downtime by construction: the replacement loads on the worker
+        pool while the old oracle keeps answering, the pointer flip is
+        atomic (:meth:`SessionManager.swap_oracle`), in-flight requests stay
+        pinned to the generation they started on, and client connections
+        never close.  A load failure leaves the old oracle serving and
+        surfaces as the structured ``reload-failed`` error.  After the swap
+        the hottest live fault sets are replayed against the new labels so
+        the session cache does not go cold.
+        """
+        if self._snapshot_path is None:
+            raise ProtocolError(protocol.E_RELOAD_FAILED,
+                                "server was started without a snapshot path; "
+                                "there is nothing to reload from")
+        async with self._reload_serial:
+            from repro.api import Oracle
+
+            path = self._snapshot_path
+            started = time.perf_counter()
+            try:
+                epoch = await self.sessions.swap_oracle(
+                    lambda: Oracle.load(path))
+            except (OSError, LabelDecodeError) as error:
+                raise ProtocolError(
+                    protocol.E_RELOAD_FAILED,
+                    "reload failed (%s: %s); the previous snapshot keeps "
+                    "serving" % (type(error).__name__, error)) from error
+            rewarmed = await self.rewarm_hot_sessions()
+            seconds = time.perf_counter() - started
+            self.metrics.registry.gauge(
+                "server_last_reload_seconds",
+                "Duration of the most recent snapshot hot swap").set(seconds)
+            return {"reloaded": True, "epoch": epoch, "snapshot": path,
+                    "source": source, "seconds": seconds,
+                    "rewarmed_sessions": rewarmed}
+
+    async def rewarm_hot_sessions(self, top: int | None = None) -> int:
+        """Replay the hottest live fault sets through the session cache.
+
+        Called right after a hot swap (the new oracle's LRU starts cold) and
+        by the optional re-warm timer of :func:`run_server`.  Best-effort on
+        purpose: hot sets recorded against a previous snapshot may reference
+        edges that no longer exist, and a re-warm must never take the server
+        down — such sets simply stay cold.
+        """
+        fault_sets = self.sessions.hot_fault_sets(top)
+        if not fault_sets:
+            return 0
+        try:
+            return await self.sessions.prewarm_sessions(fault_sets)
+        except (KeyError, ValueError, QueryFailure, LabelDecodeError):
+            return 0
+
 
 # ------------------------------------------------------- synchronous harness
 
@@ -470,7 +574,10 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
                reuse_port: bool = False,
                worker_index: int | None = None,
                hot_keys_file: str | None = None,
-               prewarm_top: int | None = None) -> int:
+               prewarm_top: int | None = None,
+               snapshot_path: str | None = None,
+               reload_token: str | None = None,
+               rewarm_interval: float | None = None) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Starts the server, reports the bound address through ``announce`` (the
@@ -492,6 +599,14 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
     before readiness is announced, and the current run's hottest sets are
     written back on graceful shutdown.  ``prewarm_top`` bounds both
     directions (default: the session manager's top-K).
+
+    ``snapshot_path`` arms zero-downtime hot reload: SIGHUP swaps the
+    serving oracle for a fresh load of that same path (see
+    :meth:`QueryServer.reload_snapshot`), and ``reload_token`` additionally
+    enables the authenticated ``reload`` wire op.  ``rewarm_interval``
+    (seconds) starts a timer that periodically replays the hottest live
+    fault sets through the session cache, so long-lived servers stay warm
+    as traffic shifts — independently of reloads, which always re-warm.
     """
     executor = None
     if jobs is not None:
@@ -515,7 +630,9 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
                              max_sessions=max_sessions,
                              max_request_bytes=max_request_bytes,
                              executor=executor, metrics_port=metrics_port,
-                             reuse_port=reuse_port)
+                             reuse_port=reuse_port,
+                             snapshot_path=snapshot_path,
+                             reload_token=reload_token)
         bound_host, bound_port = await server.start()
         if worker_index is not None:
             server.metrics.registry.gauge(
@@ -546,9 +663,33 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
         for signum in (signal.SIGINT, signal.SIGTERM):
             with contextlib.suppress(NotImplementedError, RuntimeError):
                 loop.add_signal_handler(signum, stop.set)
+        # SIGHUP = hot reload, local authority (the pool parent relays it
+        # to every worker).  The handler only schedules the coroutine; the
+        # strong references keep in-flight reload tasks from being GC'd.
+        pending_reloads: set[asyncio.Task] = set()
+        if snapshot_path is not None and hasattr(signal, "SIGHUP"):
+            def _on_sighup() -> None:
+                task = loop.create_task(_signal_reload(server, announce))
+                pending_reloads.add(task)
+                task.add_done_callback(pending_reloads.discard)
+
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signal.SIGHUP, _on_sighup)
+        rewarm_task: asyncio.Task | None = None
+        if rewarm_interval is not None and rewarm_interval > 0:
+            rewarm_task = loop.create_task(
+                _rewarm_loop(server, rewarm_interval, prewarm_top))
         try:
             await stop.wait()
         finally:
+            if rewarm_task is not None:
+                rewarm_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await rewarm_task
+            for task in list(pending_reloads):
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
             if hot_keys_file is not None:
                 shutdown_state["hot_fault_sets"] = \
                     server.sessions.hot_fault_sets(prewarm_top)
@@ -567,6 +708,36 @@ def run_server(oracle, host: str = "127.0.0.1", port: int = 0,
 
             save_hot_fault_sets(hot_keys_file, hot_fault_sets)
     return 0
+
+
+async def _signal_reload(server: QueryServer,
+                         announce: Callable[[dict], None] | None) -> None:
+    """SIGHUP body: swap, then report the outcome through ``announce``.
+
+    A failed reload (missing/corrupt file) must never take the process
+    down — the old snapshot keeps serving and the failure is announced
+    and counted (``server_errors{code="reload-failed"}``).
+    """
+    try:
+        result = await server.reload_snapshot(source="signal")
+    except ProtocolError as error:
+        server.metrics.record_error(error.code)
+        event: dict = {"event": "reload-failed", "error": str(error)}
+    else:
+        event = {"event": "reloaded"}
+        event.update(result)
+    if announce is not None:
+        announce(event)
+
+
+async def _rewarm_loop(server: QueryServer, interval: float,
+                       top: int | None) -> None:
+    """The hot-key re-warm timer: every ``interval`` seconds, replay the
+    hottest live fault sets so their sessions stay resident as the LRU
+    churns.  Cancelled (never errors out) at shutdown."""
+    while True:
+        await asyncio.sleep(interval)
+        await server.rewarm_hot_sessions(top)
 
 
 def server_vertex_count(oracle) -> int | None:

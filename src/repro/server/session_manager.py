@@ -16,6 +16,12 @@ session LRU:
 * **Single-flight** — a thundering herd of requests for one *novel* fault set
   triggers exactly one construction; every other request awaits the same
   future and is counted as ``coalesced`` in the metrics.
+* **Hot swap** — :meth:`SessionManager.swap_oracle` atomically replaces the
+  oracle behind the manager (the zero-downtime reload of ``repro serve``):
+  the replacement is constructed off-loop, every in-flight request stays
+  pinned to the oracle it started on (a lease per request), and the old
+  oracle is closed only once its last lease drains.  ``stats()`` reports the
+  monotonically increasing ``snapshot_epoch``.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ class SessionManager:
                  metrics: ServerMetrics | None = None,
                  tracer: Tracer | None = None):
         self.oracle = oracle
+        self._max_sessions = max_sessions
         if max_sessions is not None:
             if max_sessions < 1:
                 raise ValueError("max_sessions must be at least 1")
@@ -78,6 +85,86 @@ class SessionManager:
         #: (the canonical key and the rendered name are both lossy).
         self._hot_key_faults: dict[tuple, list] = {}
         self._hot_lock = threading.Lock()
+        # Hot-swap state (all guarded by _swap_lock, see LOCK_CONTRACTS):
+        # the epoch counts snapshot generations, a lease per in-flight
+        # request pins the oracle that request started on, and a replaced
+        # oracle parks in _retired until its last lease drains.
+        self._swap_lock = threading.Lock()
+        self._epoch = 0
+        self._leases: Counter = Counter()
+        self._retired: dict[int, object] = {}
+        self._epoch_gauge = self.metrics.registry.gauge(
+            "server_snapshot_epoch",
+            "Monotonic epoch of the serving snapshot (bumped by hot swap)")
+        self._epoch_gauge.set(0.0)
+
+    # ----------------------------------------------------- oracle pinning
+
+    def _acquire_oracle(self) -> tuple:
+        """Pin the current oracle for one request: ``(oracle, epoch)``.
+
+        Every consumer of the oracle takes a lease and releases it in a
+        ``finally`` — a hot swap arriving mid-request then retires the old
+        oracle without closing it under the request's feet.
+        """
+        with self._swap_lock:
+            self._leases[self._epoch] += 1
+            return self.oracle, self._epoch
+
+    def _release_oracle(self, epoch: int) -> None:
+        """Drop one lease on ``epoch``; closes its oracle if it was retired
+        by a swap and this was the last request still using it."""
+        retired = None
+        with self._swap_lock:
+            remaining = self._leases[epoch] - 1
+            if remaining > 0:
+                self._leases[epoch] = remaining
+            else:
+                del self._leases[epoch]
+                retired = self._retired.pop(epoch, None)
+        if retired is not None:
+            retired.close()
+
+    @property
+    def epoch(self) -> int:
+        """The current snapshot generation (0 until the first swap)."""
+        with self._swap_lock:
+            return self._epoch
+
+    async def swap_oracle(self, loader) -> int:
+        """Atomically replace the oracle (the hot-reload seam); returns the
+        new epoch.
+
+        ``loader`` is a zero-argument callable returning the replacement
+        oracle; it runs on the executor, so the event loop keeps serving
+        from the old snapshot for the whole load.  If it raises, nothing
+        changes — the old oracle keeps serving.  After the pointer flip,
+        new requests lease the new oracle immediately; the old one is closed
+        here if idle, else by the last in-flight request that still leases
+        it.  The new oracle's session LRU starts cold (sessions are decoded
+        views of the old labels and must not survive the swap) and inherits
+        the configured ``max_sessions`` bound.
+        """
+        loop = asyncio.get_running_loop()
+        with self.tracer.span("session.swap"):
+            new_oracle = await loop.run_in_executor(self._executor, loader)
+        if self._max_sessions is not None:
+            new_oracle.SESSION_CACHE_SIZE = self._max_sessions
+        retired = None
+        with self._swap_lock:
+            old_oracle = self.oracle
+            old_epoch = self._epoch
+            self.oracle = new_oracle
+            self._epoch = old_epoch + 1
+            epoch = self._epoch
+            if self._leases.get(old_epoch, 0) > 0:
+                self._retired[old_epoch] = old_oracle
+            else:
+                retired = old_oracle
+        self._epoch_gauge.set(float(epoch))
+        if retired is not None:
+            retired.close()
+        return epoch
 
     # ------------------------------------------------------------- sessions
 
@@ -89,22 +176,37 @@ class SessionManager:
         :class:`~repro.core.query.QueryFailure` when the eager decomposition
         cannot decode (randomized labels — callers fall back per query).
         """
+        oracle, epoch = self._acquire_oracle()
+        try:
+            return await self._session_for(oracle, epoch, list(faults))
+        finally:
+            self._release_oracle(epoch)
+
+    async def _session_for(self, oracle, epoch: int,
+                           fault_list: list) -> BatchQuerySession:
+        """:meth:`session` against one *pinned* oracle (see ``_acquire_oracle``).
+
+        In-flight construction is deduplicated per ``(epoch, key)``: a build
+        started before a swap keeps serving its coalesced waiters from the
+        old oracle, while post-swap requests for the same fault set start a
+        fresh build against the new one.
+        """
         loop = asyncio.get_running_loop()
-        fault_list = list(faults)
         # Keying decodes at most f (small) edge labels — cheap enough for the
         # loop, and required before we can dedup in-flight construction.
-        _, key = self.oracle._fault_labels_keyed(fault_list)
+        _, key = oracle._fault_labels_keyed(fault_list)
         self._record_hot_key(key, fault_list)
-        session = self.oracle._cached_session(key)
+        session = oracle._cached_session(key)
         if session is not None:
             self.metrics.record_session_hit()
             return session
-        inflight = self._inflight.get(key)
+        inflight_key = (epoch, key)
+        inflight = self._inflight.get(inflight_key)
         if inflight is not None:
             self.metrics.record_session_coalesced()
             return await asyncio.shield(inflight)
         future: asyncio.Future = loop.create_future()
-        self._inflight[key] = future
+        self._inflight[inflight_key] = future
         self._inflight_gauge.set(float(len(self._inflight)))
         self.metrics.record_session_miss()
         try:
@@ -113,7 +215,7 @@ class SessionManager:
             # the client request that triggered it.
             with self.tracer.span("session.build", faults=len(fault_list)):
                 session = await loop.run_in_executor(
-                    self._executor, self.oracle.batch_session, fault_list)
+                    self._executor, oracle.batch_session, fault_list)
         except BaseException as error:
             self.metrics.record_session_failure()
             future.set_exception(error)
@@ -125,7 +227,7 @@ class SessionManager:
             future.set_result(session)
             return session
         finally:
-            self._inflight.pop(key, None)
+            self._inflight.pop(inflight_key, None)
             self._inflight_gauge.set(float(len(self._inflight)))
 
     async def connected_many(self, pairs: Sequence[tuple],
@@ -134,20 +236,26 @@ class SessionManager:
 
         The session is ensured first (single-flight), then the answers are
         computed on the executor; a :class:`QueryFailure` during construction
-        falls through to the oracle's own per-query fallback.
+        falls through to the oracle's own per-query fallback.  One oracle is
+        pinned for the whole request, so both steps — and the answers — come
+        from one snapshot generation even if a swap lands mid-request.
         """
         loop = asyncio.get_running_loop()
         fault_list = list(faults)
         pair_list = list(pairs)
+        oracle, epoch = self._acquire_oracle()
         try:
-            await self.session(fault_list)
-        except QueryFailure:
-            pass  # oracle.connected_many falls back to the per-query engines
-        with self.tracer.span("session.decode", pairs=len(pair_list),
-                              faults=len(fault_list)):
-            answers = await loop.run_in_executor(
-                self._executor, self.oracle.connected_many, pair_list,
-                fault_list)
+            try:
+                await self._session_for(oracle, epoch, fault_list)
+            except QueryFailure:
+                pass  # oracle.connected_many falls back to the per-query engines
+            with self.tracer.span("session.decode", pairs=len(pair_list),
+                                  faults=len(fault_list)):
+                answers = await loop.run_in_executor(
+                    self._executor, oracle.connected_many, pair_list,
+                    fault_list)
+        finally:
+            self._release_oracle(epoch)
         self.metrics.add_queries(len(answers))
         return answers
 
@@ -169,12 +277,17 @@ class SessionManager:
         fault_lists = [list(faults) for faults in fault_sets]
         if not fault_lists:
             return 0
-        with self.tracer.span("session.prewarm", fault_sets=len(fault_lists)):
-            sessions = await loop.run_in_executor(
-                self._executor,
-                lambda: self.oracle.build_sessions(fault_lists,
-                                                   executor=executor,
-                                                   jobs=jobs))
+        oracle, epoch = self._acquire_oracle()
+        try:
+            with self.tracer.span("session.prewarm",
+                                  fault_sets=len(fault_lists)):
+                sessions = await loop.run_in_executor(
+                    self._executor,
+                    lambda: oracle.build_sessions(fault_lists,
+                                                  executor=executor,
+                                                  jobs=jobs))
+        finally:
+            self._release_oracle(epoch)
         return len({session.key for session in sessions})
 
     # ------------------------------------------------------------- hot keys
@@ -246,6 +359,7 @@ class SessionManager:
         stats = self.metrics.snapshot()
         stats["session_cache"] = self.oracle.session_cache_info()
         stats["inflight_builds"] = len(self._inflight)
+        stats["snapshot_epoch"] = self.epoch
         # The *_by_key suffix makes the Prometheus renderer emit one labeled
         # family: repro_server_session_hot_keys{key="a-b,c-d"} N.
         stats["session_hot_keys_by_key"] = self.hot_keys()
@@ -254,9 +368,15 @@ class SessionManager:
         return stats
 
     def close(self) -> None:
-        """Shut down the worker pool (only if this manager created it)."""
+        """Shut down the worker pool (only if this manager created it) and
+        close any swap-retired oracles still waiting on a drain."""
         if self._own_executor:
             self._executor.shutdown(wait=True)
+        with self._swap_lock:
+            retired = list(self._retired.values())
+            self._retired.clear()
+        for oracle in retired:
+            oracle.close()
 
 
 def _key_digest(key: tuple) -> str:

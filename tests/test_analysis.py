@@ -426,6 +426,48 @@ class TestDeterminism:
         assert report.findings == [] and report.suppressed == 1
 
 
+# ---------------------------------------------------------------- RPL007
+
+class TestSwapDiscipline:
+    def test_oracle_assignment_outside_the_seam_flagged(self, tmp_path):
+        source = """
+            class Handler:
+                def hijack(self, replacement):
+                    self.oracle = replacement
+
+            def rebind(manager, replacement):
+                manager.oracle = replacement
+        """
+        findings = lint(tmp_path, {"src/repro/server/x.py": source}, "RPL007")
+        assert len(findings) == 2
+        assert all("swap_oracle" in finding.message for finding in findings)
+
+    def test_allowed_sites_and_other_attributes_pass(self, tmp_path):
+        source = """
+            class SessionManager:
+                def __init__(self, oracle):
+                    self.oracle = oracle
+
+                def swap_oracle(self, loader):
+                    self.oracle = loader()
+
+            class Other:
+                def configure(self, oracle):
+                    self.fallback = oracle
+        """
+        assert lint(tmp_path, {"src/repro/server/x.py": source},
+                    "RPL007") == []
+
+    def test_scope_is_the_server_package(self, tmp_path):
+        source = "class X:\n    def f(self, o):\n        self.oracle = o\n"
+        assert lint(tmp_path, {"src/repro/pool/x.py": source}, "RPL007") == []
+
+    def test_real_repo_respects_the_swap_seam(self):
+        report = run_analysis(REPO_ROOT, rules=[rules_by_code()["RPL007"]])
+        assert report.findings == [], \
+            [finding.render() for finding in report.findings]
+
+
 # ----------------------------------------------------------- suppressions
 
 def test_suppression_comments_are_tokenized_not_grepped():
@@ -533,7 +575,7 @@ def test_json_output_schema(tmp_path, capsys):
     assert payload["version"] == 1 and payload["tool"] == "repro.analysis"
     assert payload["files_scanned"] == 1
     assert payload["rules_run"] == ["RPL001", "RPL002", "RPL003", "RPL004",
-                                    "RPL005", "RPL006"]
+                                    "RPL005", "RPL006", "RPL007"]
     assert payload["counts_by_code"] == {"RPL001": 1}
     (finding,) = payload["findings"]
     assert set(finding) == {"code", "path", "line", "col", "message"}
@@ -550,7 +592,8 @@ def test_list_rules(capsys):
     assert analysis_main(["--list-rules", "--format", "json"]) == 0
     listed = json.loads(capsys.readouterr().out)
     assert [rule["code"] for rule in listed] == \
-        ["RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"]
+        ["RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+         "RPL007"]
     assert all(rule["name"] and rule["description"] for rule in listed)
 
 

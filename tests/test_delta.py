@@ -1,0 +1,233 @@
+"""Tests for the FTCS-D delta format and incremental rebuild (:mod:`repro.delta`).
+
+The delta contract, in order of importance:
+
+1. **Byte-identity** — ``apply_delta(base, diff_snapshots(base, target))``
+   reconstructs the target snapshot byte-for-byte, both container versions.
+2. **Fail closed** — applying against the wrong base, a truncated delta, or a
+   corrupted payload raises :class:`~repro.errors.DeltaError` (digest-checked
+   at both ends); the file wrapper never leaves a partial destination behind.
+3. **Incremental == scratch** — the shard-reusing rebuild produces bytes
+   identical to a from-scratch build, and actually reuses shards when the
+   edit leaves whole levels untouched.
+4. **Facade + CLI** — ``Oracle.build_delta`` / ``repro snapshot-diff`` /
+   ``repro snapshot-apply`` are the only seams entry points need.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import FTCConfig, FTCLabeling, FTCSnapshot
+from repro.delta import (DELTA_MAGIC, apply_delta, apply_delta_file,
+                         apply_edge_diff, describe_delta, diff_snapshot_files,
+                         diff_snapshots, incremental_labeling, plan_edge_diff)
+from repro.errors import DeltaError
+from repro.graphs.graph import Graph
+from repro.workloads import GraphFamily, make_graph
+
+MAX_FAULTS = 2
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Base + edited labelings over one medium graph (construction is slow)."""
+    graph = make_graph(GraphFamily.ERDOS_RENYI, n=28, seed=11)
+    base = FTCLabeling(graph, FTCConfig(max_faults=MAX_FAULTS))
+    vertices = sorted(graph.vertices())
+    non_edges = [(u, v) for i, u in enumerate(vertices)
+                 for v in vertices[i + 1:] if not graph.has_edge(u, v)]
+    add_edges = non_edges[:2]
+    target_graph = apply_edge_diff(graph, add_edges=add_edges)
+    target = FTCLabeling(target_graph, FTCConfig(max_faults=MAX_FAULTS))
+    return graph, base, add_edges, target_graph, target
+
+
+# ------------------------------------------------------------------ format
+
+def test_delta_round_trip_v1_and_v2(world):
+    _, base, _, _, target = world
+    base_v1 = base.to_snapshot_bytes()
+    target_v1 = target.to_snapshot_bytes()
+    delta = diff_snapshots(base_v1, target_v1)
+    assert delta[:4] == DELTA_MAGIC
+    assert apply_delta(base_v1, delta) == target_v1
+
+    base_v2 = FTCSnapshot.from_bytes(base_v1, decode_labels=False).to_bytes_v2()
+    target_v2 = FTCSnapshot.from_bytes(target_v1,
+                                       decode_labels=False).to_bytes_v2()
+    delta_v2 = diff_snapshots(base_v2, target_v2)
+    assert apply_delta(base_v2, delta_v2) == target_v2
+
+
+def test_describe_delta_reports_structure(world):
+    _, base, add_edges, _, target = world
+    base_bytes = base.to_snapshot_bytes()
+    delta = diff_snapshots(base_bytes, target.to_snapshot_bytes())
+    report = describe_delta(delta)
+    assert report["format"] == "ftcs-delta"
+    assert report["delta_version"] == 1
+    # Every added edge shows up; vertex labels change for (at least) the
+    # touched endpoints.
+    assert report["edge_added"] >= len(add_edges)
+    assert report["vertex_changed"] > 0
+    assert report["bytes"] == len(delta)
+
+
+def test_identity_delta_is_small_and_applies(world):
+    _, base, _, _, _ = world
+    data = base.to_snapshot_bytes()
+    delta = diff_snapshots(data, data)
+    report = describe_delta(delta)
+    assert report["vertex_changed"] == report["edge_changed"] == 0
+    assert report["vertex_added"] == report["edge_added"] == 0
+    assert report["vertex_removed"] == report["edge_removed"] == 0
+    assert len(delta) < len(data)
+    assert apply_delta(data, delta) == data
+
+
+# -------------------------------------------------------------- fail closed
+
+def test_apply_against_wrong_base_fails_closed(world):
+    _, base, _, _, target = world
+    base_bytes = base.to_snapshot_bytes()
+    target_bytes = target.to_snapshot_bytes()
+    delta = diff_snapshots(base_bytes, target_bytes)
+    with pytest.raises(DeltaError, match="base"):
+        apply_delta(target_bytes, delta)
+
+
+def test_truncated_and_corrupt_deltas_fail_closed(world):
+    _, base, _, _, target = world
+    base_bytes = base.to_snapshot_bytes()
+    delta = diff_snapshots(base_bytes, target.to_snapshot_bytes())
+    with pytest.raises(DeltaError):
+        apply_delta(base_bytes, delta[: len(delta) // 2])
+    with pytest.raises(DeltaError):
+        apply_delta(base_bytes, b"NOPE" + delta[4:])
+    # Flip one payload byte: the target digest check must catch it.
+    corrupted = bytearray(delta)
+    corrupted[-1] ^= 0xFF
+    with pytest.raises(DeltaError):
+        apply_delta(base_bytes, bytes(corrupted))
+
+
+def test_apply_file_failure_writes_nothing(tmp_path, world):
+    _, base, _, _, target = world
+    base_path = tmp_path / "base.ftcs"
+    target_path = tmp_path / "target.ftcs"
+    base_path.write_bytes(base.to_snapshot_bytes())
+    target_path.write_bytes(target.to_snapshot_bytes())
+    delta_path = tmp_path / "edit.ftcsd"
+    diff_snapshot_files(base_path, target_path, delta_path)
+    out = tmp_path / "rebuilt.ftcs"
+    with pytest.raises(DeltaError):
+        apply_delta_file(target_path, delta_path, out)  # wrong base
+    assert not out.exists()
+
+
+# ------------------------------------------------------------- incremental
+
+def test_incremental_reuses_untouched_levels():
+    """A count-preserving chord replacement on a chorded star keeps the
+    spanning tree (hub edges always win BFS) and every level's structural
+    parameters stable, and touches few enough rows to stay under the reuse
+    fraction guard — so at least one per-level shard must be adopted and
+    patched instead of recomputed."""
+    n = 24
+    chords = [(1, 5), (2, 9), (3, 13), (5, 20), (7, 15), (9, 18), (11, 22),
+              (4, 17)]
+    star = Graph([(0, leaf) for leaf in range(1, n)] + chords)
+    base = FTCLabeling(star, FTCConfig(max_faults=MAX_FAULTS))
+
+    incremental = incremental_labeling(base, add_edges=[(5, 21)],
+                                       remove_edges=[(5, 20)])
+    target_graph = apply_edge_diff(star, add_edges=[(5, 21)],
+                                   remove_edges=[(5, 20)])
+    scratch = FTCLabeling(target_graph, FTCConfig(max_faults=MAX_FAULTS))
+    assert incremental.to_snapshot_bytes() == scratch.to_snapshot_bytes()
+    assert incremental.build_report.reused_level_count >= 1
+
+
+def test_plan_edge_diff_round_trips(world):
+    graph, _, add_edges, target_graph, _ = world
+    plan = plan_edge_diff(graph, target_graph)
+    assert sorted(tuple(sorted(e)) for e in plan["added_edges"]) == \
+        sorted(tuple(sorted(e)) for e in add_edges)
+    assert plan["removed_edges"] == []
+    rebuilt = apply_edge_diff(graph, add_edges=plan["added_edges"],
+                              remove_edges=plan["removed_edges"])
+    assert sorted(rebuilt.edges()) == sorted(target_graph.edges())
+
+
+def test_build_delta_facade_matches_scratch(world):
+    from repro.api import Oracle
+
+    graph, _, add_edges, target_graph, target = world
+    base_oracle = Oracle.build(graph, max_faults=MAX_FAULTS)
+    swapped = Oracle.build_delta(base_oracle, add_edges=add_edges)
+    assert swapped.to_snapshot_bytes() == target.to_snapshot_bytes()
+    faults = [sorted(target_graph.edges())[0]]
+    pairs = [(0, 5), (3, 9), (2, 14)]
+    scratch = Oracle.load(target.to_snapshot_bytes())
+    assert swapped.connected_many(pairs, faults) == \
+        scratch.connected_many(pairs, faults)
+
+
+def test_build_delta_rejects_labels_only_transports(world):
+    from repro.api import Oracle
+
+    _, base, add_edges, _, _ = world
+    rehydrated = Oracle.load(base.to_snapshot_bytes())
+    with pytest.raises(DeltaError, match="build"):
+        Oracle.build_delta(rehydrated, add_edges=add_edges)
+
+
+# --------------------------------------------------------------------- CLI
+
+def test_cli_diff_apply_round_trip(tmp_path, capsys, world):
+    _, base, _, _, target = world
+    base_path = tmp_path / "base.ftcs"
+    target_path = tmp_path / "target.ftcs"
+    base_path.write_bytes(base.to_snapshot_bytes())
+    target_path.write_bytes(target.to_snapshot_bytes())
+    delta_path = tmp_path / "edit.ftcsd"
+    rebuilt_path = tmp_path / "rebuilt.ftcs"
+
+    assert main(["snapshot-diff", "--base", str(base_path),
+                 "--target", str(target_path),
+                 "--output", str(delta_path)]) == 0
+    diff_report = json.loads(capsys.readouterr().out)
+    assert diff_report["format"] == "ftcs-delta"
+
+    assert main(["snapshot-apply", "--base", str(base_path),
+                 "--delta", str(delta_path),
+                 "--output", str(rebuilt_path)]) == 0
+    apply_report = json.loads(capsys.readouterr().out)
+    assert apply_report["target_sha256"] == diff_report["target_sha256"]
+    assert rebuilt_path.read_bytes() == target_path.read_bytes()
+
+
+def test_cli_apply_wrong_base_is_reported(tmp_path, capsys, world):
+    _, base, _, _, target = world
+    base_path = tmp_path / "base.ftcs"
+    target_path = tmp_path / "target.ftcs"
+    base_path.write_bytes(base.to_snapshot_bytes())
+    target_path.write_bytes(target.to_snapshot_bytes())
+    delta_path = tmp_path / "edit.ftcsd"
+    assert main(["snapshot-diff", "--base", str(base_path),
+                 "--target", str(target_path),
+                 "--output", str(delta_path)]) == 0
+    capsys.readouterr()
+    assert main(["snapshot-apply", "--base", str(target_path),
+                 "--delta", str(delta_path),
+                 "--output", str(tmp_path / "x.ftcs")]) == 2
+    assert "base" in capsys.readouterr().err
+
+
+def test_cli_diff_missing_file_is_reported(tmp_path, capsys):
+    assert main(["snapshot-diff", "--base", str(tmp_path / "missing.ftcs"),
+                 "--target", str(tmp_path / "also-missing.ftcs"),
+                 "--output", str(tmp_path / "out.ftcsd")]) == 2
+    assert capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""Property-based delta + hot-swap tests (requires ``hypothesis``; skipped
+without).
+
+Three properties over *generated* graphs and edge edits, not hand-picked ones:
+
+* **Delta round-trip**: ``apply_delta(base, diff_snapshots(base, target))``
+  reconstructs the target snapshot byte-for-byte, whichever container version
+  (v1/v2) carries the endpoints.
+* **Incremental == scratch**: rebuilding through
+  :func:`repro.delta.incremental_labeling` (which may reuse untouched
+  per-level shards) produces snapshot bytes identical to a from-scratch
+  build of the edited graph.
+* **Swap bit-identity**: a server answering before, during, and after a hot
+  swap returns exactly what a fresh oracle on the new snapshot returns.
+
+Examples are intentionally few (labeling construction dominates the runtime)
+but each example covers a whole generated edit + workload.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.core import FTCConfig, FTCLabeling, FTCSnapshot, load_snapshot  # noqa: E402
+from repro.delta import apply_delta, apply_edge_diff, diff_snapshots, \
+    incremental_labeling  # noqa: E402
+from repro.workloads import GraphFamily, make_graph  # noqa: E402
+
+MAX_FAULTS = 2
+
+FAMILIES = [GraphFamily.ERDOS_RENYI, GraphFamily.GRID,
+            GraphFamily.TREE_PLUS_CHORDS]
+
+world_strategy = st.tuples(
+    st.sampled_from(FAMILIES),
+    st.integers(min_value=8, max_value=20),     # graph size
+    st.integers(min_value=0, max_value=2**16),  # graph seed
+    st.integers(min_value=0, max_value=2**16),  # edit/query seed
+)
+
+
+def _build(family, n, seed):
+    graph = make_graph(family, n=n, seed=seed, density=1.5)
+    return graph, FTCLabeling(graph, FTCConfig(max_faults=MAX_FAULTS))
+
+
+def _generate_edit(graph, seed):
+    """A safe random edit: add up to two non-edges, remove up to one edge
+    whose removal keeps its endpoints connected (so every family stays in
+    the regime all scheme variants support)."""
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    edges = sorted(tuple(sorted(edge)) for edge in graph.edges())
+    edge_set = set(edges)
+    add_edges = []
+    for _ in range(30):
+        if len(add_edges) >= rng.randint(1, 2):
+            break
+        u, v = rng.sample(vertices, 2)
+        key = tuple(sorted((u, v)))
+        if key not in edge_set and key not in add_edges:
+            add_edges.append(key)
+    remove_edges = []
+    if rng.random() < 0.5:
+        candidates = [edge for edge in edges
+                      if graph.connected(edge[0], edge[1], removed=[edge])]
+        if candidates:
+            remove_edges.append(rng.choice(candidates))
+    return add_edges, remove_edges
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(world=world_strategy)
+def test_delta_round_trip_is_byte_identical(world):
+    family, n, graph_seed, edit_seed = world
+    graph, base = _build(family, n, graph_seed)
+    add_edges, remove_edges = _generate_edit(graph, edit_seed)
+    target_graph = apply_edge_diff(graph, add_edges=add_edges,
+                                   remove_edges=remove_edges)
+    target = FTCLabeling(target_graph, FTCConfig(max_faults=MAX_FAULTS))
+
+    base_v1 = base.to_snapshot_bytes()
+    target_v1 = target.to_snapshot_bytes()
+    assert apply_delta(base_v1, diff_snapshots(base_v1, target_v1)) == target_v1
+
+    base_v2 = FTCSnapshot.from_bytes(base_v1, decode_labels=False).to_bytes_v2()
+    target_v2 = FTCSnapshot.from_bytes(target_v1,
+                                       decode_labels=False).to_bytes_v2()
+    assert apply_delta(base_v2, diff_snapshots(base_v2, target_v2)) == target_v2
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(world=world_strategy)
+def test_incremental_build_matches_scratch_bytes(world):
+    family, n, graph_seed, edit_seed = world
+    graph, base = _build(family, n, graph_seed)
+    add_edges, remove_edges = _generate_edit(graph, edit_seed)
+
+    incremental = incremental_labeling(base, add_edges=add_edges,
+                                       remove_edges=remove_edges)
+    target_graph = apply_edge_diff(graph, add_edges=add_edges,
+                                   remove_edges=remove_edges)
+    scratch = FTCLabeling(target_graph, FTCConfig(max_faults=MAX_FAULTS))
+    assert incremental.to_snapshot_bytes() == scratch.to_snapshot_bytes()
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(world=world_strategy)
+def test_answers_across_a_swap_are_bit_identical(world):
+    family, n, graph_seed, edit_seed = world
+    graph, base = _build(family, n, graph_seed)
+    add_edges, remove_edges = _generate_edit(graph, edit_seed)
+    target_graph = apply_edge_diff(graph, add_edges=add_edges,
+                                   remove_edges=remove_edges)
+    target = FTCLabeling(target_graph, FTCConfig(max_faults=MAX_FAULTS))
+    base_bytes = base.to_snapshot_bytes()
+    target_bytes = target.to_snapshot_bytes()
+
+    # Queries valid on both sides: fault edges drawn from the shared edges.
+    rng = random.Random(edit_seed)
+    shared = sorted(set(tuple(sorted(e)) for e in graph.edges()) &
+                    set(tuple(sorted(e)) for e in target_graph.edges()))
+    vertices = sorted(graph.vertices())
+    queries = []
+    for _ in range(8):
+        faults = rng.sample(shared, rng.randint(0, min(MAX_FAULTS, len(shared))))
+        s, t = rng.sample(vertices, 2)
+        queries.append((s, t, faults))
+
+    from repro.server import AsyncQueryClient, QueryServer
+
+    async def drive():
+        server = QueryServer(load_snapshot(base_bytes), port=0)
+        await server.start()
+        try:
+            client = await AsyncQueryClient.connect(server.host, server.port)
+            try:
+                before = [await client.connected(s, t, faults)
+                          for s, t, faults in queries]
+                await server.sessions.swap_oracle(
+                    lambda: load_snapshot(target_bytes))
+                after = [await client.connected(s, t, faults)
+                         for s, t, faults in queries]
+            finally:
+                await client.close()
+        finally:
+            await server.close()
+        return before, after
+
+    before, after = asyncio.run(drive())
+    base_oracle = load_snapshot(base_bytes)
+    target_oracle = load_snapshot(target_bytes)
+    assert before == [base_oracle.connected(s, t, faults)
+                      for s, t, faults in queries]
+    assert after == [target_oracle.connected(s, t, faults)
+                     for s, t, faults in queries]
